@@ -1,0 +1,43 @@
+"""Shared helpers for the ablation benches (thin wrappers over
+:mod:`repro.experiments.ablations`)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.ablations import run_policy_grid
+
+
+def run_variants(
+    schedulers,
+    load: float,
+    seeds: Sequence[int],
+    horizon: float,
+    energy: str = "E1",
+    tuf_shape: str = "step",
+    nu: float = 1.0,
+    rho: float = 0.96,
+    arrival_mode: str = "periodic",
+    burst_override: Optional[int] = None,
+    idle_power: float = 0.0,
+) -> Dict[str, list]:
+    """Run scheduler variants over shared workloads (see
+    :func:`repro.experiments.ablations.run_policy_grid`)."""
+    return run_policy_grid(
+        schedulers,
+        load=load,
+        seeds=seeds,
+        horizon=horizon,
+        energy=energy,
+        tuf_shape=tuf_shape,
+        nu=nu,
+        rho=rho,
+        arrival_mode=arrival_mode,
+        burst_override=burst_override,
+        idle_power=idle_power,
+    )
+
+
+def mean_metric(results, fn) -> float:
+    vals = [fn(r) for r in results]
+    return sum(vals) / len(vals)

@@ -1,0 +1,90 @@
+"""AB5 — Chebyshev allocation aggressiveness (ρ sweep).
+
+The allocation ``c = E(Y) + sqrt(ρ·Var/(1−ρ))`` grows with the target
+assurance ρ.  Sweeping ρ shows the trade the paper's Section 3.1 sets
+up: higher ρ ⇒ larger budgets ⇒ higher nominal load for the same true
+demand ⇒ more conservative frequencies (more energy) but stronger
+empirical attainment.  Uses high-variance demands so the pad matters.
+"""
+
+import numpy as np
+
+from repro.analysis import verify_assurances
+from repro.core import EUAStar
+from repro.demand import NormalDemand, chebyshev_allocation
+from repro.experiments import ascii_table, energy_setting
+from repro.arrivals import UAMSpec
+from repro.sim import Platform, Task, TaskSet, materialize, simulate
+from repro.tuf import LinearTUF
+
+RHOS = (0.5, 0.9, 0.96, 0.99)
+
+
+def _build_taskset(rho: float) -> TaskSet:
+    """Same true demand for every rho; only the budgets change.
+
+    The base set is calibrated so the *most* conservative sweep point
+    (rho=0.99) lands at nominal load 0.9 — tight enough that thin
+    budgets (low rho) actually cause requirement misses.
+    """
+    tasks = []
+    for i, window in enumerate((0.06, 0.13, 0.27, 0.51)):
+        mean = window * 100.0
+        # Heavy relative variance: std = 30% of the mean.
+        tasks.append(
+            Task(
+                name=f"T{i}",
+                tuf=LinearTUF(20.0, window),
+                demand=NormalDemand(mean, (0.3 * mean) ** 2),
+                uam=UAMSpec(1, window),
+                nu=0.3,
+                rho=0.99,
+            )
+        )
+    base = TaskSet(tasks).scaled_to_load(0.9, 1000.0)
+    return TaskSet(t.with_requirement(t.nu, rho) for t in base)
+
+
+def _run(seeds, horizon):
+    platform = Platform(energy_model=energy_setting("E1"))
+    rows = []
+    for rho in RHOS:
+        taskset = _build_taskset(rho)
+        attain, energy, loads = [], [], []
+        for seed in seeds:
+            rng = np.random.default_rng(seed)
+            trace = materialize(taskset, horizon, rng)
+            result = simulate(trace, EUAStar(), platform=platform)
+            reports = verify_assurances(result, taskset)
+            attain.append(min(r.attainment for r in reports.values()))
+            energy.append(result.energy)
+            loads.append(taskset.load(platform.scale.f_max))
+        rows.append(
+            {
+                "rho": rho,
+                "nominal_load": sum(loads) / len(loads),
+                "min_attainment": sum(attain) / len(attain),
+                "energy": sum(energy) / len(energy),
+            }
+        )
+    return rows
+
+
+def test_ablation_chebyshev_rho(benchmark, bench_seeds, bench_horizon):
+    rows = benchmark.pedantic(_run, args=(bench_seeds, bench_horizon), rounds=1, iterations=1)
+
+    # Budgets (and hence nominal load) grow monotonically with rho.
+    loads = [r["nominal_load"] for r in rows]
+    assert all(a < b for a, b in zip(loads, loads[1:]))
+    # More conservative budgets never hurt attainment, and the most
+    # conservative configuration clears its own target.
+    attain = [r["min_attainment"] for r in rows]
+    assert all(a <= b + 0.05 for a, b in zip(attain, attain[1:])), attain
+    assert rows[-1]["min_attainment"] >= RHOS[-1] - 0.05, rows[-1]
+    # The closed form itself is monotone in rho.
+    allocs = [chebyshev_allocation(10.0, 9.0, rho) for rho in RHOS]
+    assert all(a < b for a, b in zip(allocs, allocs[1:]))
+
+    print()
+    print("AB5 — Chebyshev rho sweep (min attainment vs energy):")
+    print(ascii_table(rows, ["rho", "nominal_load", "min_attainment", "energy"]))

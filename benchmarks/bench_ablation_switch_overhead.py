@@ -1,0 +1,68 @@
+"""AB9 — DVS transition overheads.
+
+The paper (like the Pillai–Shin baselines) models frequency switches as
+free.  Real parts pay tens of microseconds per transition (the K6-2+
+PowerNow! spec quotes ~200 µs including voltage settling).  This bench
+charges per-switch time and energy and measures how much of EUA*'s
+advantage survives — and that the engine accounts the overheads.
+"""
+
+import numpy as np
+
+from repro.core import EUAStar
+from repro.experiments import ascii_table, energy_setting, synthesize_taskset
+from repro.sched import EDFStatic
+from repro.sim import Platform, compare, materialize
+
+#: Per-transition time (s) and energy (model units) sweep points.
+SWEEP = (
+    ("free", 0.0, 0.0),
+    ("fast (20us)", 20e-6, 1e4),
+    ("slow (200us)", 200e-6, 1e5),
+)
+
+
+def _run(seeds, horizon):
+    model = energy_setting("E1")
+    rows = []
+    for label, s_time, s_energy in SWEEP:
+        energies, utilities, switches = [], [], []
+        for seed in seeds:
+            rng = np.random.default_rng(seed)
+            ts = synthesize_taskset(0.6, rng, tuf_shape="step", nu=1.0, rho=0.96)
+            trace = materialize(ts, horizon, rng)
+            platform = Platform(
+                energy_model=model, switch_time=s_time, switch_energy=s_energy
+            )
+            runs = compare([EUAStar(), EDFStatic()], trace, platform=platform)
+            energies.append(runs["EUA*"].energy / runs["EDF"].energy)
+            utilities.append(runs["EUA*"].metrics.normalized_utility)
+            switches.append(runs["EUA*"].processor_stats.switch_count)
+        rows.append(
+            {
+                "overhead": label,
+                "norm_energy": float(np.mean(energies)),
+                "utility": float(np.mean(utilities)),
+                "switches": float(np.mean(switches)),
+            }
+        )
+    return rows
+
+
+def test_ablation_switch_overhead(benchmark, bench_seeds, bench_horizon):
+    rows = benchmark.pedantic(_run, args=(bench_seeds, bench_horizon), rounds=1, iterations=1)
+
+    free, fast, slow = rows
+    # Switching actually happens (the knob is exercised).
+    assert free["switches"] > 10
+    # Overheads cost energy monotonically ...
+    assert free["norm_energy"] <= fast["norm_energy"] + 1e-9
+    assert fast["norm_energy"] <= slow["norm_energy"] + 1e-9
+    # ... but even at the slow PowerNow!-class figure the DVS advantage
+    # survives and utility stays near-optimal.
+    assert slow["norm_energy"] < 0.8
+    assert slow["utility"] >= 0.95
+
+    print()
+    print("AB9 — DVS transition overhead sweep (load 0.6, E1):")
+    print(ascii_table(rows, ["overhead", "norm_energy", "utility", "switches"]))

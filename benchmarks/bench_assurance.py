@@ -1,0 +1,42 @@
+"""Theorems 5/6 — statistical performance assurances.
+
+Runs EUA* on underloaded workloads and verifies every task's empirical
+``{ν, ρ}`` attainment, for both the Theorem 5 setting (step TUFs,
+critical time = termination time) and the Theorem 6 setting (linear
+non-increasing TUFs, critical time < termination, under the
+Baruah–Rosier–Howell condition).
+"""
+
+from repro.experiments import ascii_table, check_assurances
+
+
+def _run(horizon):
+    step = check_assurances(load=0.6, tuf_shape="step", nu=1.0, rho=0.96, horizon=horizon)
+    linear = check_assurances(load=0.6, tuf_shape="linear", nu=0.3, rho=0.9, horizon=horizon)
+    return step, linear
+
+
+def test_statistical_assurances(benchmark, bench_horizon):
+    step, linear = benchmark.pedantic(_run, args=(bench_horizon,), rounds=1, iterations=1)
+
+    assert step["all_satisfied"], step["min_attainment"]
+    assert linear["brh_schedulable"]
+    assert linear["all_satisfied"], linear["min_attainment"]
+
+    print()
+    print("Theorem 5 (step TUFs, {nu=1, rho=.96}) per-task attainment:")
+    rows = [
+        {
+            "task": r.task_name,
+            "jobs": r.jobs_decided,
+            "attainment": r.attainment,
+            "wilson_lb": r.lower_bound,
+            "rho": r.rho,
+        }
+        for r in step["reports"].values()
+    ]
+    print(ascii_table(rows, ["task", "jobs", "attainment", "wilson_lb", "rho"]))
+    print()
+    print("Theorem 6 (linear TUFs, {nu=.3, rho=.9}):"
+          f"  BRH-schedulable={linear['brh_schedulable']}"
+          f"  min attainment={linear['min_attainment']:.3f}")

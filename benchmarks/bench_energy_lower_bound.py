@@ -1,0 +1,61 @@
+"""BOUND1 — distance to the clairvoyant minimum-energy schedule.
+
+The YDS offline optimum (continuous frequencies, perfect knowledge of
+true demands and arrivals) lower-bounds every policy that meets the
+same critical times.  This bench reports how much of the theoretical
+saving each online policy on the 7-level PowerNow! ladder captures at
+underloads — the honest context for the Figure 2 energy numbers.
+"""
+
+import numpy as np
+
+from repro.analysis import jobs_from_trace, yds_energy
+from repro.core import EUAStar
+from repro.experiments import ascii_table, energy_setting, synthesize_taskset
+from repro.sched import LAEDF, EDFStatic
+from repro.sim import Platform, compare, materialize
+
+
+def _run(seeds, horizon):
+    model = energy_setting("E1")
+    platform = Platform(energy_model=model)
+    rows = []
+    for load in (0.4, 0.6, 0.8):
+        acc = {"EUA*": [], "LA-EDF": [], "EDF": [], "YDS": []}
+        for seed in seeds:
+            rng = np.random.default_rng(seed)
+            ts = synthesize_taskset(load, rng, tuf_shape="step", nu=1.0, rho=0.96)
+            trace = materialize(ts, horizon, rng)
+            runs = compare([EUAStar(), LAEDF(), EDFStatic()], trace, platform=platform)
+            bound = yds_energy(jobs_from_trace(trace), model)
+            for name in ("EUA*", "LA-EDF", "EDF"):
+                acc[name].append(runs[name].energy)
+            acc["YDS"].append(bound)
+        edf = float(np.mean(acc["EDF"]))
+        rows.append(
+            {
+                "load": load,
+                "YDS_bound": float(np.mean(acc["YDS"])) / edf,
+                "EUA*": float(np.mean(acc["EUA*"])) / edf,
+                "LA-EDF": float(np.mean(acc["LA-EDF"])) / edf,
+            }
+        )
+    return rows
+
+
+def test_energy_lower_bound(benchmark, bench_seeds, bench_horizon):
+    rows = benchmark.pedantic(_run, args=(bench_seeds, bench_horizon), rounds=1, iterations=1)
+
+    for row in rows:
+        # No online policy beats the clairvoyant bound ...
+        assert row["EUA*"] >= row["YDS_bound"] - 1e-9
+        assert row["LA-EDF"] >= row["YDS_bound"] - 1e-9
+        # ... and EUA* captures a large share of the available saving:
+        # saved(EUA*) / saved(YDS) where saved = 1 - normalised energy.
+        captured = (1.0 - row["EUA*"]) / max(1e-9, 1.0 - row["YDS_bound"])
+        assert captured >= 0.5, row
+
+    print()
+    print("BOUND1 — energy normalised to EDF@f_max (lower is better):")
+    print(ascii_table(rows, ["load", "YDS_bound", "EUA*", "LA-EDF"]))
+    print("(YDS = clairvoyant continuous-frequency optimum)")

@@ -1,0 +1,62 @@
+"""Figure 2(a)+(b) — normalised utility and energy vs load, setting E1.
+
+Regenerates both panels' series (EUA*, LA-EDF, LA-EDF-NA, normalised to
+EDF@f_max) and asserts the paper's shape:
+
+* underload: every scheme accrues the optimal utility; the DVS schemes
+  use a small fraction of EDF's energy, EUA* no worse than LA-EDF;
+* overload: abortion-capable schemes converge to EDF's energy; the
+  no-abort baseline's utility collapses (domino effect) while EUA*
+  accrues at least as much utility as every baseline.
+"""
+
+from repro.experiments import (
+    FIGURE2_SCHEDULERS,
+    ascii_table,
+    run_figure2,
+    series_chart,
+)
+
+ENERGY_SETTING = "E1"
+
+
+def _run(loads, seeds, horizon):
+    return run_figure2(
+        energy_setting_name=ENERGY_SETTING,
+        loads=loads,
+        seeds=seeds,
+        horizon=horizon,
+    )
+
+
+def test_figure2_e1(benchmark, bench_loads, bench_seeds, bench_horizon):
+    result = benchmark.pedantic(
+        _run, args=(bench_loads, bench_seeds, bench_horizon), rounds=1, iterations=1
+    )
+
+    for point in result.points:
+        util = {n: point.utility[n].mean for n in FIGURE2_SCHEDULERS}
+        energy = {n: point.energy[n].mean for n in FIGURE2_SCHEDULERS}
+        if point.load <= 0.8:  # underload
+            for name in FIGURE2_SCHEDULERS:
+                assert util[name] >= 0.97, (point.load, name, util[name])
+            assert energy["EUA*"] <= 0.85
+            assert energy["EUA*"] <= energy["LA-EDF"] * 1.10
+        if point.load >= 1.4:  # overload
+            assert util["EUA*"] >= util["LA-EDF"] - 1e-9
+            assert util["LA-EDF-NA"] <= 0.5 * util["LA-EDF"]  # domino effect
+            for name in ("EUA*", "LA-EDF"):
+                assert energy[name] >= 0.90  # convergence to f_max
+
+    print()
+    print(f"Figure 2(a)+(b) — energy setting {ENERGY_SETTING}:")
+    print(ascii_table(result.rows(), ["load", "scheduler", "norm_utility", "norm_energy"]))
+    print()
+    print(series_chart(
+        {n: result.series("utility", n) for n in FIGURE2_SCHEDULERS},
+        title="panel (a): normalised utility vs load",
+    ))
+    print(series_chart(
+        {n: result.series("energy", n) for n in FIGURE2_SCHEDULERS},
+        title="panel (b): normalised energy vs load",
+    ))

@@ -1,0 +1,45 @@
+"""Figure 2, energy setting E2 — the paper: "Results under E2 are similar".
+
+E2 adds moderate frequency-proportional subsystem power (S1 = 0.1·f²_m),
+which flattens but does not invert the energy curve: scaling down still
+pays, just less than under E1.  The bench checks exactly that ordering:
+E1 savings > E2 savings > (no savings) and the same utility shape.
+"""
+
+from repro.experiments import FIGURE2_SCHEDULERS, ascii_table, run_figure2
+
+
+def _run(loads, seeds, horizon):
+    e2 = run_figure2("E2", loads=loads, seeds=seeds, horizon=horizon)
+    e1 = run_figure2("E1", loads=loads, seeds=seeds, horizon=horizon)
+    return e1, e2
+
+
+def test_figure2_e2_similar(benchmark, bench_loads, bench_seeds, bench_horizon):
+    loads = tuple(l for l in bench_loads if l <= 1.0) or (0.4, 0.8)
+    e1, e2 = benchmark.pedantic(
+        _run, args=(loads, bench_seeds, bench_horizon), rounds=1, iterations=1
+    )
+
+    for p1, p2 in zip(e1.points, e2.points):
+        assert p1.load == p2.load
+        # Same utility story ("similar"): optimal during underloads.
+        assert p2.utility["EUA*"].mean >= 0.97
+        # E2's flatter curve yields smaller (but real) savings than E1.
+        if p1.load <= 0.8:
+            assert p2.energy["EUA*"].mean < 1.0
+            assert p2.energy["EUA*"].mean >= p1.energy["EUA*"].mean - 0.02
+
+    print()
+    print("Figure 2 under E2 (underload section) vs E1:")
+    rows = []
+    for p1, p2 in zip(e1.points, e2.points):
+        rows.append(
+            {
+                "load": p1.load,
+                "EUA*_energy_E1": p1.energy["EUA*"].mean,
+                "EUA*_energy_E2": p2.energy["EUA*"].mean,
+                "EUA*_utility_E2": p2.utility["EUA*"].mean,
+            }
+        )
+    print(ascii_table(rows, ["load", "EUA*_energy_E1", "EUA*_energy_E2", "EUA*_utility_E2"]))

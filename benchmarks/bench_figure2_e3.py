@@ -1,0 +1,58 @@
+"""Figure 2(c)+(d) — normalised utility and energy vs load, setting E3.
+
+E3 adds large frequency-independent system power (S0 = 0.5·f_max³), so
+energy per cycle is minimised strictly inside the frequency ladder.
+The paper's point: an energy-model-oblivious DVS policy (LA-EDF racing
+to f_min) now consumes *more* energy than no-DVS EDF, while EUA*'s
+UER-optimal frequency bound keeps it on the cheap side of the curve.
+"""
+
+from repro.experiments import (
+    FIGURE2_SCHEDULERS,
+    ascii_table,
+    run_figure2,
+    series_chart,
+)
+
+ENERGY_SETTING = "E3"
+
+
+def _run(loads, seeds, horizon):
+    return run_figure2(
+        energy_setting_name=ENERGY_SETTING,
+        loads=loads,
+        seeds=seeds,
+        horizon=horizon,
+    )
+
+
+def test_figure2_e3(benchmark, bench_loads, bench_seeds, bench_horizon):
+    result = benchmark.pedantic(
+        _run, args=(bench_loads, bench_seeds, bench_horizon), rounds=1, iterations=1
+    )
+
+    for point in result.points:
+        util = {n: point.utility[n].mean for n in FIGURE2_SCHEDULERS}
+        energy = {n: point.energy[n].mean for n in FIGURE2_SCHEDULERS}
+        if point.load <= 0.6:  # deep underload: the E3 inversion
+            for name in FIGURE2_SCHEDULERS:
+                assert util[name] >= 0.97
+            assert energy["EUA*"] < 1.0  # EUA* still saves energy ...
+            assert energy["LA-EDF"] > 1.0  # ... while naive DVS wastes it
+            assert energy["EUA*"] < energy["LA-EDF"]
+        if point.load >= 1.4:  # overload: convergence + domino
+            assert util["EUA*"] >= util["LA-EDF"] - 1e-9
+            assert util["LA-EDF-NA"] <= 0.5 * util["LA-EDF"]
+
+    print()
+    print(f"Figure 2(c)+(d) — energy setting {ENERGY_SETTING}:")
+    print(ascii_table(result.rows(), ["load", "scheduler", "norm_utility", "norm_energy"]))
+    print()
+    print(series_chart(
+        {n: result.series("utility", n) for n in FIGURE2_SCHEDULERS},
+        title="panel (c): normalised utility vs load",
+    ))
+    print(series_chart(
+        {n: result.series("energy", n) for n in FIGURE2_SCHEDULERS},
+        title="panel (d): normalised energy vs load",
+    ))

@@ -1,0 +1,41 @@
+"""Table 1 — application/task settings and workload synthesis.
+
+Regenerates the Table 1 rows and validates that synthesised task sets
+honour them: task counts, UAM envelopes, window ranges, the Umax
+ranges, and exact load calibration.
+"""
+
+import numpy as np
+
+from repro.experiments import TABLE1, ascii_table, synthesize_taskset
+
+
+def _synthesize_all(seed: int = 11, load: float = 1.0):
+    rng = np.random.default_rng(seed)
+    return synthesize_taskset(load, rng, tuf_shape="step", nu=1.0, rho=0.96)
+
+
+def test_table1_synthesis(benchmark):
+    taskset = benchmark(_synthesize_all)
+
+    rows = []
+    for app in TABLE1:
+        members = [t for t in taskset if t.name.startswith(app.name + ".")]
+        assert len(members) == app.n_tasks
+        for t in members:
+            assert app.window_range[0] <= t.uam.window <= app.window_range[1]
+            assert app.umax_range[0] <= t.tuf.max_utility <= app.umax_range[1]
+        rows.append(
+            {
+                "app": app.name,
+                "tasks": app.n_tasks,
+                "a": app.max_arrivals,
+                "P_range_s": f"[{app.window_range[0]}, {app.window_range[1]}]",
+                "Umax_range": f"[{app.umax_range[0]}, {app.umax_range[1]}]",
+            }
+        )
+    assert abs(taskset.load(1000.0) - 1.0) < 1e-9  # exact calibration
+
+    print()
+    print("Table 1 — task settings (reconstruction; see DESIGN.md):")
+    print(ascii_table(rows, ["app", "tasks", "a", "P_range_s", "Umax_range"]))

@@ -1,0 +1,45 @@
+"""Table 2 — system-level energy settings E1/E2/E3.
+
+Prints per-cycle energy across the PowerNow! ladder for each setting
+(normalised to E(f_max)) and checks the qualitative properties the
+paper's discussion relies on: E1 is monotone increasing in f (slower is
+always cheaper per cycle), while E3's fixed system power makes the
+curve non-monotone with an interior optimum.
+"""
+
+from repro.cpu import FrequencyScale, energy_optimal_frequency
+from repro.experiments import TABLE2_NAMES, ascii_table, energy_setting
+
+
+def _build_rows():
+    scale = FrequencyScale.powernow_k6()
+    rows = []
+    for name in TABLE2_NAMES:
+        model = energy_setting(name, scale.f_max)
+        base = model.energy_per_cycle(scale.f_max)
+        row = {"setting": name}
+        for f in scale.levels:
+            row[f"E({int(f)})"] = model.energy_per_cycle(f) / base
+        row["optimal_f"] = energy_optimal_frequency(model, scale)
+        rows.append(row)
+    return scale, rows
+
+
+def test_table2_energy_settings(benchmark):
+    scale, rows = benchmark(_build_rows)
+
+    e1, e2, e3 = rows
+    levels = [f"E({int(f)})" for f in scale.levels]
+    # E1: conventional cubic model — strictly increasing per-cycle energy.
+    assert all(e1[a] < e1[b] for a, b in zip(levels, levels[1:]))
+    assert e1["optimal_f"] == scale.f_min
+    # E3: fixed system power — slowest level costs MORE per cycle than
+    # f_max, and the optimum sits strictly inside the ladder.
+    assert e3[levels[0]] > 1.0
+    assert scale.f_min < e3["optimal_f"] < scale.f_max
+    # E2 sits between the two regimes: still monotone but flatter.
+    assert e2[levels[0]] < 1.0
+
+    print()
+    print("Table 2 — E(f) normalised to E(f_max), plus the per-model optimum:")
+    print(ascii_table(rows, ["setting"] + levels + ["optimal_f"]))

@@ -1,0 +1,51 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and prints the
+rows/series it reports.  Scale knobs (environment variables):
+
+* ``REPRO_BENCH_SEEDS``  — comma-separated replication seeds
+  (default ``11``; the paper-quality run uses ``11,13,17``).
+* ``REPRO_BENCH_HORIZON`` — simulated seconds per run (default ``4``).
+* ``REPRO_BENCH_LOADS`` — comma-separated load sweep (default the
+  paper's 0.2..1.8 grid).
+
+Run ``pytest benchmarks/ --benchmark-only`` for the full harness.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+import pytest
+
+from repro.experiments.config import FIGURE2_LOADS
+
+
+def _env_floats(name: str, default: Tuple[float, ...]) -> Tuple[float, ...]:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    return tuple(float(x) for x in raw.split(","))
+
+
+def _env_ints(name: str, default: Tuple[int, ...]) -> Tuple[int, ...]:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    return tuple(int(x) for x in raw.split(","))
+
+
+@pytest.fixture(scope="session")
+def bench_seeds() -> Tuple[int, ...]:
+    return _env_ints("REPRO_BENCH_SEEDS", (11,))
+
+
+@pytest.fixture(scope="session")
+def bench_horizon() -> float:
+    return float(os.environ.get("REPRO_BENCH_HORIZON", "4.0"))
+
+
+@pytest.fixture(scope="session")
+def bench_loads() -> Tuple[float, ...]:
+    return _env_floats("REPRO_BENCH_LOADS", FIGURE2_LOADS)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Battery-powered multimedia player — system-level energy in practice.
+
+The paper's point about Martin's model: on a real mobile device the CPU
+is not the only consumer.  A video player's backlight and memory keep
+drawing power no matter how slowly the CPU runs, so "as slow as
+possible" DVS (optimal under the CPU-only model E1) *wastes* battery
+once fixed system power dominates — the energy-per-cycle curve turns
+back up at low frequencies.
+
+This example decodes a soft-real-time media pipeline (video frames,
+audio chunks, UI events) on the PowerNow! ladder under both energy
+models and reports battery-life multipliers for EUA* versus the
+energy-model-oblivious LA-EDF.  EUA*'s UER-optimal frequency bound is
+what adapts it to the model.
+"""
+
+import numpy as np
+
+from repro import (
+    EDFStatic,
+    EnergyModel,
+    EUAStar,
+    ExponentialDecayTUF,
+    LAEDF,
+    NormalDemand,
+    Platform,
+    StepTUF,
+    Task,
+    TaskSet,
+    UAMSpec,
+    compare,
+    materialize,
+)
+from repro.core import uer_optimal_frequency
+
+
+def build_player(load: float, f_max: float = 1000.0) -> TaskSet:
+    """Video at 30 fps, audio at 50 chunks/s, sporadic-ish UI updates."""
+    video = Task(
+        name="video_30fps",
+        tuf=StepTUF(height=12.0, deadline=1.0 / 30.0),
+        demand=NormalDemand(8.0, 8.0e-6),
+        uam=UAMSpec(1, 1.0 / 30.0),
+        nu=1.0,
+        rho=0.95,
+    )
+    audio = Task(
+        name="audio_50hz",
+        tuf=StepTUF(height=20.0, deadline=0.020),
+        demand=NormalDemand(2.0, 2.0e-6),
+        uam=UAMSpec(1, 0.020),
+        nu=1.0,
+        rho=0.98,  # audio glitches are the most audible failure
+    )
+    ui = Task(
+        name="ui_updates",
+        tuf=ExponentialDecayTUF(max_utility=5.0, tau=0.15, termination=0.5),
+        demand=NormalDemand(4.0, 4.0e-6),
+        uam=UAMSpec(1, 0.5),
+        nu=0.2,  # a late UI repaint is degraded, not worthless
+        rho=0.9,
+    )
+    return TaskSet([video, audio, ui]).scaled_to_load(load, f_max)
+
+
+def main() -> None:
+    load = 0.55  # typical playback: comfortably under capacity
+    rng = np.random.default_rng(7)
+
+    for setting_name, model in [("E1 (CPU only)", EnergyModel.e1()),
+                                ("E3 (CPU + display/system power)", EnergyModel.e3(1000.0))]:
+        platform = Platform.powernow_k6(model)
+        taskset = build_player(load, platform.scale.f_max)
+        trace = materialize(taskset, 30.0, rng)
+        results = compare([EUAStar(), LAEDF(), EDFStatic()], trace, platform=platform)
+        edf = results["EDF"]
+
+        print(f"\n=== energy model {setting_name} ===")
+        for task in taskset:
+            f_opt = uer_optimal_frequency(task, platform.scale, platform.energy_model)
+            print(f"  UER-optimal frequency for {task.name:12s}: {f_opt:.0f} MHz")
+        for name, r in results.items():
+            battery_x = edf.energy / r.energy if r.energy > 0 else float("inf")
+            glitches = sum(
+                tm.released - tm.met_requirement - tm.unfinished
+                for tm in r.metrics.per_task.values()
+            )
+            print(f"  {name:7s} battery life x{battery_x:5.2f} vs EDF,"
+                  f" requirement misses: {glitches}")
+
+    print(
+        "\nUnder E1 both DVS policies stretch the battery equally. Under E3"
+        "\nLA-EDF's race to f_min backfires (fixed system power dominates and"
+        "\nits battery multiplier drops below 1) while EUA* pins the ladder's"
+        "\ntrue energy-optimal operating point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Quickstart: schedule a small TUF task set with EUA* and compare.
+
+Builds four periodic tasks with step TUFs (classical deadlines), runs
+EUA*, the look-ahead RT-DVS baseline and plain EDF at full speed on the
+*same* workload, and prints the utility/energy comparison — a miniature
+of the paper's Figure 2 at one load point.
+
+Run:  python examples/quickstart.py [load]
+"""
+
+import sys
+
+from repro import (
+    EDFStatic,
+    EnergyModel,
+    EUAStar,
+    LAEDF,
+    NormalDemand,
+    Platform,
+    StepTUF,
+    Task,
+    TaskSet,
+    UAMSpec,
+    compare,
+)
+
+
+def build_taskset(load: float) -> TaskSet:
+    """Four periodic tasks with a mix of short and long windows."""
+    tasks = []
+    settings = [
+        # (window seconds, max utility) — non-harmonic windows, the mix
+        # of short and long constraints the paper's Table 1 prescribes
+        (0.047, 60.0),
+        (0.110, 35.0),
+        (0.230, 20.0),
+        (0.430, 10.0),
+    ]
+    for i, (window, umax) in enumerate(settings):
+        mean_mcycles = 40.0 * window * 1000.0 / len(settings) / 10.0
+        tasks.append(
+            Task(
+                name=f"T{i}",
+                tuf=StepTUF(height=umax, deadline=window),
+                demand=NormalDemand(mean_mcycles, mean_mcycles * 1e-6),
+                uam=UAMSpec(1, window),  # periodic = <1, P>
+                nu=1.0,  # accrue the full step utility ...
+                rho=0.96,  # ... with probability >= 0.96
+            )
+        )
+    # One shared constant k rescales all demands to the requested load.
+    return TaskSet(tasks).scaled_to_load(load, 1000.0)
+
+
+def main() -> None:
+    load = float(sys.argv[1]) if len(sys.argv) > 1 else 0.6
+    taskset = build_taskset(load)
+    platform = Platform.powernow_k6(EnergyModel.e1())
+
+    results = compare(
+        [EUAStar(), LAEDF(), EDFStatic()],
+        taskset,
+        platform=platform,
+        horizon=10.0,
+        seed=42,
+    )
+
+    baseline = results["EDF"]
+    print(f"system load rho = {load}")
+    print(f"{'scheduler':<10} {'norm utility':>12} {'norm energy':>12} "
+          f"{'done':>6} {'aborted':>8} {'avg MHz':>8}")
+    for name, r in results.items():
+        print(
+            f"{name:<10} "
+            f"{r.metrics.accrued_utility / max(baseline.metrics.accrued_utility, 1e-9):>12.3f} "
+            f"{r.energy / baseline.energy:>12.3f} "
+            f"{r.metrics.completed:>6} {r.metrics.aborted:>8} "
+            f"{r.processor_stats.average_frequency:>8.0f}"
+        )
+    print(
+        "\nDuring underloads every policy accrues the optimal utility; the DVS"
+        "\npolicies do it at a fraction of the energy. Re-run with a load > 1"
+        "\n(e.g. `python examples/quickstart.py 1.5`) to watch EUA* shed the"
+        "\nleast valuable jobs while EDF thrashes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Utility-accrual curves over time.
+
+The paper reports end-of-run totals; operators often want the
+*trajectory*: how utility accumulated, when the energy was spent, and
+how the two trade against each other during a run.  These helpers build
+step curves from a recorded trace/job population.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..cpu import EnergyModel
+from ..sim.engine import SimulationResult
+from ..sim.job import JobStatus
+
+__all__ = ["StepCurve", "utility_accrual_curve", "energy_spend_curve", "utility_per_joule_curve"]
+
+
+@dataclass(frozen=True)
+class StepCurve:
+    """A right-continuous step function given by jump points.
+
+    ``times`` strictly increasing; ``values[i]`` is the cumulative value
+    from ``times[i]`` (inclusive) onward; before ``times[0]`` the value
+    is 0.
+    """
+
+    times: Tuple[float, ...]
+    values: Tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.times) != len(self.values):
+            raise ValueError("times and values must have equal length")
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise ValueError("times must strictly increase")
+
+    def at(self, t: float) -> float:
+        """Curve value at time ``t``."""
+        i = bisect.bisect_right(self.times, t) - 1
+        return self.values[i] if i >= 0 else 0.0
+
+    @property
+    def final(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def sampled(self, times: Sequence[float]) -> List[float]:
+        return [self.at(t) for t in times]
+
+
+def utility_accrual_curve(result: SimulationResult) -> StepCurve:
+    """Cumulative accrued utility over time (jumps at completions)."""
+    events: List[Tuple[float, float]] = []
+    for job in result.jobs:
+        if job.status is JobStatus.COMPLETED and job.accrued_utility > 0.0:
+            events.append((job.completion_time, job.accrued_utility))
+    events.sort()
+    times: List[float] = []
+    values: List[float] = []
+    total = 0.0
+    for t, u in events:
+        total += u
+        if times and times[-1] == t:
+            values[-1] = total
+        else:
+            times.append(t)
+            values.append(total)
+    return StepCurve(tuple(times), tuple(values))
+
+
+def energy_spend_curve(result: SimulationResult, model: EnergyModel) -> StepCurve:
+    """Cumulative busy energy over time, integrated per trace segment.
+
+    Each segment contributes at its *end* time (a fine-grained step
+    approximation of the continuous spend; segments are short relative
+    to any horizon of interest).
+    """
+    if result.trace is None:
+        raise ValueError("energy curve requires a run with record_trace=True")
+    times: List[float] = []
+    values: List[float] = []
+    total = 0.0
+    for seg in result.trace.busy_segments():
+        total += seg.cycles * model.energy_per_cycle(seg.frequency)
+        if times and times[-1] == seg.end:
+            values[-1] = total
+        else:
+            times.append(seg.end)
+            values.append(total)
+    return StepCurve(tuple(times), tuple(values))
+
+
+def utility_per_joule_curve(
+    result: SimulationResult, model: EnergyModel, samples: int = 64
+) -> List[Tuple[float, float]]:
+    """Sampled trajectory of cumulative utility / cumulative energy.
+
+    The paper's overload objective, observed over time; early in a run
+    the ratio is noisy (division by small energies is clamped to 0
+    until 1% of the final energy is spent).
+    """
+    utility = utility_accrual_curve(result)
+    energy = energy_spend_curve(result, model)
+    if energy.final <= 0.0:
+        return [(0.0, 0.0)]
+    floor = 0.01 * energy.final
+    out: List[Tuple[float, float]] = []
+    for k in range(1, samples + 1):
+        t = result.horizon * k / samples
+        e = energy.at(t)
+        out.append((t, utility.at(t) / e if e > floor else 0.0))
+    return out

@@ -1,0 +1,119 @@
+"""Statistical-assurance verification (paper §2.2, Theorem 5).
+
+A task's requirement ``{ν_i, ρ_i}`` demands ``Pr[accrued >= ν_i·U_max]
+>= ρ_i``.  These helpers evaluate the *empirical* attainment of a
+simulation (or a batch of runs), with binomial confidence bounds so a
+finite simulation can justifiably claim the assurance held.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..sim.engine import SimulationResult
+from ..sim.job import JobStatus
+from ..sim.task import Task, TaskSet
+
+__all__ = [
+    "AssuranceReport",
+    "task_assurance",
+    "verify_assurances",
+    "wilson_lower_bound",
+]
+
+
+def wilson_lower_bound(successes: int, trials: int, confidence: float = 0.95) -> float:
+    """Wilson score lower confidence bound on a binomial proportion.
+
+    Distribution-free in spirit with the Chebyshev theme: we report the
+    assurance as *held with confidence* only when the bound clears ρ.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be > 0")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence!r}")
+    # Normal quantile via inverse error function (avoids a scipy
+    # dependency in the core library).
+    z = math.sqrt(2.0) * _erfinv(2.0 * confidence - 1.0)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = p + z * z / (2.0 * trials)
+    margin = z * math.sqrt(p * (1.0 - p) / trials + z * z / (4.0 * trials * trials))
+    return max(0.0, (centre - margin) / denom)
+
+
+def _erfinv(y: float) -> float:
+    """Inverse error function (Winitzki's approximation, ~1e-4 abs).
+
+    Adequate for confidence-bound z-scores; exact values are not needed
+    because the bound itself is conservative.
+    """
+    if not (-1.0 < y < 1.0):
+        raise ValueError(f"erfinv domain is (-1, 1), got {y!r}")
+    a = 0.147
+    ln_term = math.log(1.0 - y * y)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    inner = first * first - ln_term / a
+    return math.copysign(math.sqrt(math.sqrt(inner) - first), y)
+
+
+@dataclass(frozen=True)
+class AssuranceReport:
+    """Empirical assurance outcome for one task."""
+
+    task_name: str
+    nu: float
+    rho: float
+    jobs_decided: int
+    jobs_satisfied: int
+    attainment: float
+    lower_bound: float
+
+    @property
+    def satisfied_point(self) -> bool:
+        """Point estimate meets ρ."""
+        return self.attainment >= self.rho - 1e-12
+
+    @property
+    def satisfied_with_confidence(self) -> bool:
+        """Wilson lower bound meets ρ (strong claim)."""
+        return self.lower_bound >= self.rho - 1e-12
+
+
+def task_assurance(
+    result: SimulationResult, task: Task, confidence: float = 0.95
+) -> AssuranceReport:
+    """Evaluate ``{ν, ρ}`` attainment for one task in one run.
+
+    Jobs still pending at the horizon are censored (excluded); aborted
+    and expired jobs count as failures, completed jobs count by their
+    accrued utility.
+    """
+    decided = 0
+    satisfied = 0
+    for job in result.jobs:
+        if job.task is not task or job.status is JobStatus.PENDING:
+            continue
+        decided += 1
+        if job.met_statistical_requirement:
+            satisfied += 1
+    attainment = satisfied / decided if decided else 1.0
+    lower = wilson_lower_bound(satisfied, decided, confidence) if decided else 0.0
+    return AssuranceReport(
+        task_name=task.name,
+        nu=task.nu,
+        rho=task.rho,
+        jobs_decided=decided,
+        jobs_satisfied=satisfied,
+        attainment=attainment,
+        lower_bound=lower,
+    )
+
+
+def verify_assurances(
+    result: SimulationResult, taskset: TaskSet, confidence: float = 0.95
+) -> Dict[str, AssuranceReport]:
+    """Per-task assurance reports for a whole run."""
+    return {t.name: task_assurance(result, t, confidence) for t in taskset}

@@ -1,0 +1,76 @@
+"""Lateness / sojourn-time analysis of finished runs.
+
+Corollary 4 claims EUA* minimises the maximum lateness during
+underloads; these helpers extract lateness and sojourn statistics from
+a :class:`~repro.sim.engine.SimulationResult` so the claim (and general
+responsiveness) can be quantified per task and per run.
+
+Lateness of a completed job is ``completion − critical time`` (negative
+when early); tardiness is its positive part.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim.engine import SimulationResult
+from ..sim.job import JobStatus
+from ..sim.task import Task, TaskSet
+
+__all__ = ["LatenessStats", "lateness_stats", "per_task_lateness", "max_lateness"]
+
+
+@dataclass(frozen=True)
+class LatenessStats:
+    """Summary of completed-job lateness for one scope (task or run)."""
+
+    count: int
+    max_lateness: float
+    mean_lateness: float
+    max_tardiness: float
+    tardy_fraction: float
+    mean_sojourn: float
+    max_sojourn: float
+
+    @property
+    def all_on_time(self) -> bool:
+        return self.max_tardiness <= 0.0
+
+
+def _collect(result: SimulationResult, task: Optional[Task]) -> List:
+    return [
+        j
+        for j in result.jobs
+        if j.status is JobStatus.COMPLETED and (task is None or j.task is task)
+    ]
+
+
+def lateness_stats(result: SimulationResult, task: Optional[Task] = None) -> LatenessStats:
+    """Lateness summary over completed jobs (optionally one task's)."""
+    jobs = _collect(result, task)
+    if not jobs:
+        return LatenessStats(0, -math.inf, 0.0, 0.0, 0.0, 0.0, 0.0)
+    lateness = [j.completion_time - j.critical_time for j in jobs]
+    sojourn = [j.completion_time - j.release for j in jobs]
+    tardiness = [max(0.0, l) for l in lateness]
+    return LatenessStats(
+        count=len(jobs),
+        max_lateness=max(lateness),
+        mean_lateness=sum(lateness) / len(lateness),
+        max_tardiness=max(tardiness),
+        tardy_fraction=sum(1 for t in tardiness if t > 0.0) / len(jobs),
+        mean_sojourn=sum(sojourn) / len(sojourn),
+        max_sojourn=max(sojourn),
+    )
+
+
+def per_task_lateness(result: SimulationResult, taskset: TaskSet) -> Dict[str, LatenessStats]:
+    """Lateness summaries keyed by task name."""
+    return {t.name: lateness_stats(result, t) for t in taskset}
+
+
+def max_lateness(result: SimulationResult) -> float:
+    """Corollary 4's objective: the run's maximum lateness."""
+    return lateness_stats(result).max_lateness

@@ -1,0 +1,150 @@
+"""Clairvoyant minimum-energy lower bound (Yao–Demers–Shenker).
+
+How much of the possible energy saving does EUA* actually capture?
+The YDS algorithm computes the *offline optimal* continuous-frequency
+schedule for a job set with release times and deadlines under a convex
+power function: repeatedly find the **critical interval** — the window
+``[a, b]`` maximising intensity ``(Σ demand of jobs contained in it) /
+(b − a)`` — run its jobs at exactly that intensity, remove them,
+collapse the interval, and recurse.
+
+This bound is clairvoyant (it knows true demands and future arrivals)
+and continuous (no ladder), so no online discrete-DVS policy can beat
+it when energy-per-cycle grows with frequency; the gap to it measures
+the cost of running online on a 7-level ladder.
+
+Used by the BOUND1 bench and the efficiency analyses.  Deadlines here
+are the jobs' *critical times* (the constraint EUA* budgets against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..cpu import EnergyModel
+from ..sim.workload import WorkloadTrace
+
+__all__ = ["YDSJob", "YDSSchedule", "yds_schedule", "yds_energy", "jobs_from_trace"]
+
+
+@dataclass(frozen=True)
+class YDSJob:
+    """One job for the offline bound: [release, deadline] and cycles."""
+
+    release: float
+    deadline: float
+    cycles: float
+
+    def __post_init__(self):
+        if self.deadline <= self.release:
+            raise ValueError(f"deadline must exceed release: {self!r}")
+        if self.cycles <= 0.0:
+            raise ValueError(f"cycles must be > 0: {self!r}")
+
+
+@dataclass(frozen=True)
+class YDSSchedule:
+    """The optimal speed profile: (start, end, frequency) pieces."""
+
+    pieces: Tuple[Tuple[float, float, float], ...]
+
+    def energy(self, model: EnergyModel) -> float:
+        """Total energy under a per-cycle energy model."""
+        total = 0.0
+        for start, end, speed in self.pieces:
+            cycles = speed * (end - start)
+            total += model.energy_for(cycles, speed)
+        return total
+
+    @property
+    def peak_frequency(self) -> float:
+        return max((s for _, _, s in self.pieces), default=0.0)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(s * (e - b) for b, e, s in self.pieces)
+
+
+def _critical_interval(jobs: Sequence[YDSJob]) -> Tuple[float, float, float]:
+    """(a, b, intensity) of the maximum-intensity interval.
+
+    The critical interval's endpoints are release/deadline values, so an
+    O(n³) scan over endpoint pairs suffices for analysis-scale inputs.
+    """
+    starts = sorted({j.release for j in jobs})
+    ends = sorted({j.deadline for j in jobs})
+    best = (0.0, 1.0, -1.0)
+    for a in starts:
+        for b in ends:
+            if b <= a:
+                continue
+            work = sum(j.cycles for j in jobs if j.release >= a and j.deadline <= b)
+            if work <= 0.0:
+                continue
+            intensity = work / (b - a)
+            if intensity > best[2]:
+                best = (a, b, intensity)
+    return best
+
+
+def yds_schedule(jobs: Iterable[YDSJob]) -> YDSSchedule:
+    """Optimal (continuous-frequency) speed profile for ``jobs``."""
+    remaining: List[YDSJob] = list(jobs)
+    pieces: List[Tuple[float, float, float]] = []
+    while remaining:
+        a, b, intensity = _critical_interval(remaining)
+        if intensity <= 0.0:
+            break
+        pieces.append((a, b, intensity))
+        length = b - a
+        next_jobs: List[YDSJob] = []
+        for j in remaining:
+            if j.release >= a and j.deadline <= b:
+                continue  # scheduled inside the critical interval
+            # Collapse [a, b]: shift times after b left by its length,
+            # clamp times inside it to a.
+            def collapse(t: float) -> float:
+                if t <= a:
+                    return t
+                if t >= b:
+                    return t - length
+                return a
+
+            next_jobs.append(YDSJob(collapse(j.release), collapse(j.deadline), j.cycles))
+        remaining = next_jobs
+    # Report pieces sorted by intensity (they live on a collapsed
+    # timeline, so absolute positions are not meaningful across rounds).
+    pieces.sort(key=lambda p: -p[2])
+    return YDSSchedule(tuple(pieces))
+
+
+def yds_energy(jobs: Iterable[YDSJob], model: EnergyModel) -> float:
+    """Minimum clairvoyant energy to meet every deadline."""
+    return yds_schedule(jobs).energy(model)
+
+
+def jobs_from_trace(
+    trace: WorkloadTrace,
+    use_budgets: bool = False,
+    deadline: str = "critical",
+) -> List[YDSJob]:
+    """Convert a materialised workload into YDS jobs.
+
+    ``use_budgets=True`` plans with Chebyshev allocations (what an
+    online policy budgets); the default plans with true demands (the
+    clairvoyant bound).  ``deadline`` picks ``"critical"`` times or
+    ``"termination"`` times as the YDS deadlines.
+    """
+    if deadline not in ("critical", "termination"):
+        raise ValueError(f"unknown deadline kind {deadline!r}")
+    out: List[YDSJob] = []
+    for spec in trace:
+        release = spec.release
+        if deadline == "critical":
+            d = release + spec.task.critical_time
+        else:
+            d = release + spec.task.tuf.termination
+        cycles = spec.task.allocation if use_budgets else spec.demand
+        out.append(YDSJob(release, d, cycles))
+    return out

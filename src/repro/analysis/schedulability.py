@@ -1,0 +1,86 @@
+"""Classical schedulability conditions (paper §4 prerequisites).
+
+Theorems 2–5 hold "under the conditions in [9]" — Liu & Layland's EDF
+utilisation bound — and Theorem 6 under the condition of Baruah, Rosier
+and Howell [3] (processor demand).  These tests decide which regime a
+workload is in, i.e. when EUA*'s timeliness assurances apply.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..sim.task import Task, TaskSet
+from .feasibility import uam_cycle_demand
+
+__all__ = [
+    "edf_utilization",
+    "liu_layland_schedulable",
+    "brh_demand",
+    "brh_schedulable",
+    "is_underload_regime",
+]
+
+
+def edf_utilization(taskset: TaskSet, frequency: float) -> float:
+    """EDF utilisation ``Σ C_i / (D_i · f)`` at the given frequency.
+
+    This is the paper's system load ϱ when ``frequency = f_m``.
+    """
+    if frequency <= 0.0:
+        raise ValueError(f"frequency must be > 0, got {frequency!r}")
+    return sum(t.window_cycles / t.critical_time for t in taskset) / frequency
+
+
+def liu_layland_schedulable(taskset: TaskSet, frequency: float) -> bool:
+    """Liu & Layland [9]: EDF meets all deadlines iff utilisation <= 1.
+
+    Exact for periodic tasks with deadline = period; for the UAM
+    generalisation it is the Theorem 1 sufficient bound.
+    """
+    return edf_utilization(taskset, frequency) <= 1.0 + 1e-12
+
+
+def brh_demand(taskset: TaskSet, interval: float) -> float:
+    """Baruah–Rosier–Howell processor demand over ``[0, L]`` (cycles).
+
+    Uses the UAM worst-case demand curve of each task with cycles due
+    by critical times (the paper's Theorem 6 setting: non-increasing
+    TUFs whose critical times precede termination times).
+    """
+    return sum(uam_cycle_demand(t, interval) for t in taskset)
+
+
+def brh_schedulable(taskset: TaskSet, frequency: float, horizon_windows: float = 4.0) -> bool:
+    """BRH condition [3]: ``demand(0, L) <= f·L`` for all ``L > 0``.
+
+    Demand curves are right-continuous step functions jumping only at
+    ``k·P_i + D_i``; checking those points up to a hyper-window bound
+    decides the condition.
+    """
+    if frequency <= 0.0:
+        raise ValueError(f"frequency must be > 0, got {frequency!r}")
+    horizon = horizon_windows * max(t.uam.window for t in taskset) * len(taskset)
+    points: List[float] = []
+    for task in taskset:
+        k = 0
+        while True:
+            p = k * task.uam.window + task.critical_time
+            if p > horizon or k > 10_000:
+                break
+            points.append(p)
+            k += 1
+    for L in sorted(set(points)):
+        if brh_demand(taskset, L) > frequency * L * (1.0 + 1e-12):
+            return False
+    return True
+
+
+def is_underload_regime(taskset: TaskSet, f_max: float) -> bool:
+    """The paper's "condition (2)": absence of CPU overloads.
+
+    True when the worst-case demand fits within ``f_max`` — the regime
+    where Theorems 2–5 guarantee EDF-equivalent (optimal) behaviour.
+    """
+    return liu_layland_schedulable(taskset, f_max)

@@ -1,0 +1,102 @@
+"""Statistics helpers for the experiment harness.
+
+Normalisation against the no-DVS EDF baseline, multi-seed aggregation
+with confidence intervals, and small utilities shared by the benchmark
+drivers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..sim.engine import SimulationResult
+
+__all__ = [
+    "SummaryStat",
+    "summarize",
+    "normalize_energy",
+    "normalize_utility",
+    "normalized_series",
+]
+
+
+@dataclass(frozen=True)
+class SummaryStat:
+    """Mean with a t-free normal-approximation confidence half-width."""
+
+    mean: float
+    std: float
+    n: int
+    half_width: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __format__(self, spec: str) -> str:
+        if not spec:
+            spec = ".3f"
+        return f"{self.mean:{spec}} ± {self.half_width:{spec}}"
+
+
+def summarize(values: Sequence[float], z: float = 1.96) -> SummaryStat:
+    """Mean, std, and a ``z``-sigma/√n half-width over repetitions."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("no values to summarise")
+    n = len(vals)
+    mean = sum(vals) / n
+    if n == 1:
+        return SummaryStat(mean, 0.0, 1, 0.0)
+    var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+    std = math.sqrt(var)
+    return SummaryStat(mean, std, n, z * std / math.sqrt(n))
+
+
+def normalize_energy(result: SimulationResult, baseline: SimulationResult) -> float:
+    """Energy ratio vs the baseline run on the same workload."""
+    if baseline.energy <= 0.0:
+        raise ValueError("baseline consumed no energy; cannot normalise")
+    return result.energy / baseline.energy
+
+
+def normalize_utility(result: SimulationResult, baseline: SimulationResult) -> float:
+    """Accrued-utility ratio vs the baseline run on the same workload.
+
+    The paper normalises to EDF@f_max, which is optimal during
+    underloads, so the ratio is <= 1 there and can exceed 1 during
+    overloads (EUA* beats overloaded EDF).
+    """
+    if baseline.metrics.accrued_utility <= 0.0:
+        # A collapsed baseline (deep overload): report the raw
+        # normalised utility of the candidate instead of dividing by ~0.
+        return result.metrics.normalized_utility
+    return result.metrics.accrued_utility / baseline.metrics.accrued_utility
+
+
+def normalized_series(
+    results_by_seed: Sequence[Dict[str, SimulationResult]],
+    baseline_name: str,
+    metric: str,
+) -> Dict[str, SummaryStat]:
+    """Aggregate normalised metrics over seeds.
+
+    ``metric`` is ``"energy"`` or ``"utility"``.  Each element of
+    ``results_by_seed`` is one :func:`repro.sim.compare` output.
+    """
+    if metric not in ("energy", "utility"):
+        raise ValueError(f"metric must be 'energy' or 'utility', got {metric!r}")
+    norm = normalize_energy if metric == "energy" else normalize_utility
+    names = list(results_by_seed[0].keys())
+    out: Dict[str, List[float]] = {name: [] for name in names}
+    for run in results_by_seed:
+        baseline = run[baseline_name]
+        for name in names:
+            out[name].append(norm(run[name], baseline))
+    return {name: summarize(vals) for name, vals in out.items()}

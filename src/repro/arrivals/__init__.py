@@ -1,0 +1,41 @@
+"""Arrival models — the unimodal arbitrary arrival model (UAM) and generators."""
+
+from .generators import (
+    ArrivalGenerator,
+    BurstUAMArrivals,
+    JitteredPeriodicArrivals,
+    MMPPUAMArrivals,
+    PeriodicArrivals,
+    PoissonUAMArrivals,
+    ScatteredUAMArrivals,
+    SporadicArrivals,
+    TraceArrivals,
+)
+from .uam import (
+    UAMError,
+    UAMSpec,
+    UAMTracker,
+    first_violation,
+    is_uam_compliant,
+    max_count_in_any_window,
+    thin_to_uam,
+)
+
+__all__ = [
+    "UAMSpec",
+    "UAMError",
+    "UAMTracker",
+    "max_count_in_any_window",
+    "is_uam_compliant",
+    "first_violation",
+    "thin_to_uam",
+    "ArrivalGenerator",
+    "PeriodicArrivals",
+    "JitteredPeriodicArrivals",
+    "SporadicArrivals",
+    "BurstUAMArrivals",
+    "ScatteredUAMArrivals",
+    "PoissonUAMArrivals",
+    "MMPPUAMArrivals",
+    "TraceArrivals",
+]

@@ -1,0 +1,337 @@
+"""Command-line interface: ``repro-eua`` (or ``python -m repro.cli``).
+
+Subcommands regenerate the paper's evaluation from a terminal::
+
+    repro-eua figure2 --energy E1 --seeds 11 13 17 [--svg fig2.svg]
+    repro-eua figure3 [--svg fig3.svg]
+    repro-eua theorems
+    repro-eua table1
+    repro-eua table2
+    repro-eua schedulers
+    repro-eua simulate --load 1.2 --schedulers "EUA*" EDF
+    repro-eua bound --load 0.6
+    repro-eua ablate dvs|fopt|dvs-method|dasa
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cpu import FrequencyScale
+from .experiments import (
+    DEFAULT_HORIZON,
+    DEFAULT_SEEDS,
+    FIGURE2_LOADS,
+    TABLE1,
+    TABLE2_NAMES,
+    ascii_table,
+    check_assurances,
+    check_edf_equivalence,
+    energy_setting,
+    run_figure2,
+    run_figure3,
+)
+from .sched import available_schedulers, make_scheduler
+
+__all__ = ["main"]
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    result = run_figure2(
+        energy_setting_name=args.energy,
+        loads=args.loads or FIGURE2_LOADS,
+        seeds=args.seeds or DEFAULT_SEEDS,
+        horizon=args.horizon,
+    )
+    print(f"Figure 2 — energy setting {result.energy_setting}")
+    print(
+        ascii_table(
+            result.rows(),
+            ["load", "scheduler", "norm_utility", "norm_energy"],
+        )
+    )
+    if args.svg:
+        from .viz import render_figure2
+
+        base = args.svg[:-4] if args.svg.endswith(".svg") else args.svg
+        for metric in ("utility", "energy"):
+            path = f"{base}_{metric}.svg"
+            render_figure2(result, metric, path)
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    result = run_figure3(
+        loads=args.loads or FIGURE2_LOADS,
+        seeds=args.seeds or DEFAULT_SEEDS,
+        horizon=args.horizon,
+    )
+    print("Figure 3 — normalised energy of EUA* under UAM <a, P>")
+    print(ascii_table(result.rows(), ["a", "load", "norm_energy"]))
+    if args.svg:
+        from .viz import render_figure3
+
+        render_figure3(result, args.svg)
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_theorems(args: argparse.Namespace) -> int:
+    ev = check_edf_equivalence(load=args.load)
+    print("Theorem 2 / Corollaries 3-4 (underload EDF equivalence):")
+    print(f"  underload regime:        {ev.underload}")
+    print(f"  equal total utility:     {ev.equal_utility}")
+    print(f"  same completion order:   {ev.same_completion_order}")
+    print(f"  all critical times met:  {ev.all_critical_times_met}")
+    print(f"  max lateness EUA*/EDF:   {ev.max_lateness_eua:.6f} / {ev.max_lateness_edf:.6f}")
+    out = check_assurances(load=args.load)
+    print("Theorem 5/6 (statistical assurances, linear TUFs):")
+    print(f"  BRH-schedulable:         {out['brh_schedulable']}")
+    print(f"  all {{nu, rho}} satisfied: {out['all_satisfied']}")
+    print(f"  min attainment:          {out['min_attainment']:.3f}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "app": a.name,
+            "tasks": a.n_tasks,
+            "a": a.max_arrivals,
+            "P_range_s": f"[{a.window_range[0]}, {a.window_range[1]}]",
+            "Umax_range": f"[{a.umax_range[0]}, {a.umax_range[1]}]",
+        }
+        for a in TABLE1
+    ]
+    print("Table 1 — task settings (reconstruction; see DESIGN.md)")
+    print(ascii_table(rows, ["app", "tasks", "a", "P_range_s", "Umax_range"]))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    scale = FrequencyScale.powernow_k6()
+    rows = []
+    for name in TABLE2_NAMES:
+        model = energy_setting(name, scale.f_max)
+        row = {"setting": name, "S3": model.s3, "S2": model.s2, "S1": model.s1, "S0": model.s0}
+        for f in scale.levels:
+            row[f"E({int(f)})"] = model.energy_per_cycle(f) / model.energy_per_cycle(scale.f_max)
+        rows.append(row)
+    cols = ["setting", "S3", "S2", "S1", "S0"] + [f"E({int(f)})" for f in scale.levels]
+    print("Table 2 — energy settings; E(f) columns normalised to E(f_max)")
+    print(ascii_table(rows, cols))
+    return 0
+
+
+def _cmd_schedulers(args: argparse.Namespace) -> int:
+    for name in available_schedulers():
+        print(name)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .experiments import synthesize_taskset
+    from .sim import Platform, compare, materialize
+
+    rng = np.random.default_rng(args.seed)
+    taskset = synthesize_taskset(
+        args.load,
+        rng,
+        tuf_shape=args.tuf,
+        nu=args.nu,
+        rho=args.rho,
+        arrival_mode=args.arrivals,
+    )
+    trace = materialize(taskset, args.horizon, rng)
+    platform = Platform(energy_model=energy_setting(args.energy))
+    runs = compare([make_scheduler(n) for n in args.schedulers], trace, platform=platform)
+    rows = []
+    for name, r in runs.items():
+        rows.append(
+            {
+                "scheduler": name,
+                "norm_utility": r.metrics.normalized_utility,
+                "energy": r.energy,
+                "completed": r.metrics.completed,
+                "aborted": r.metrics.aborted,
+                "expired": r.metrics.expired,
+                "avg_MHz": r.processor_stats.average_frequency,
+            }
+        )
+    print(f"load={args.load} energy={args.energy} jobs={len(trace)} horizon={args.horizon}s")
+    print(ascii_table(rows, ["scheduler", "norm_utility", "energy", "completed",
+                             "aborted", "expired", "avg_MHz"]))
+    return 0
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .analysis import jobs_from_trace, yds_energy
+    from .core import EUAStar
+    from .experiments import synthesize_taskset
+    from .sim import Platform, materialize, simulate
+
+    rng = np.random.default_rng(args.seed)
+    taskset = synthesize_taskset(args.load, rng)
+    trace = materialize(taskset, args.horizon, rng)
+    model = energy_setting(args.energy)
+    result = simulate(trace, EUAStar(), platform=Platform(energy_model=model))
+    bound = yds_energy(jobs_from_trace(trace), model)
+    print(f"clairvoyant YDS bound: {bound:.4e}")
+    print(f"EUA* measured energy:  {result.energy:.4e}")
+    print(f"ratio (>= 1):          {result.energy / bound:.3f}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .experiments import synthesize_taskset
+    from .sim import Platform, materialize, simulate, validate_result
+
+    rng = np.random.default_rng(args.seed)
+    taskset = synthesize_taskset(args.load, rng)
+    trace = materialize(taskset, args.horizon, rng)
+    platform = Platform(energy_model=energy_setting(args.energy))
+    result = simulate(trace, make_scheduler(args.scheduler), platform,
+                      record_trace=True)
+    report = validate_result(result, platform.energy_model)
+    print(f"scheduler={args.scheduler} load={args.load} jobs={len(trace)}")
+    print(f"validation: {report}")
+    return 0 if report.ok else 1
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .experiments import (
+        sweep_ladder_granularity,
+        sweep_rho,
+        sweep_taskset_size,
+    )
+
+    seeds = tuple(args.seeds) if args.seeds else DEFAULT_SEEDS
+    if args.which == "rho":
+        rows = sweep_rho(seeds=seeds, horizon=args.horizon)
+        cols = ["rho", "norm_energy", "utility", "min_attainment"]
+    elif args.which == "size":
+        rows = sweep_taskset_size(seeds=seeds, horizon=args.horizon)
+        cols = ["n_tasks", "norm_energy", "utility", "min_attainment"]
+    else:  # ladder
+        rows = sweep_ladder_granularity(seeds=seeds, horizon=args.horizon)
+        cols = ["levels", "norm_energy", "utility", "min_attainment"]
+    print(f"sensitivity sweep: {args.which}")
+    print(ascii_table(rows, cols))
+    return 0
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    from .experiments import ablate_dasa, ablate_dvs, ablate_dvs_method, ablate_fopt
+
+    seeds = tuple(args.seeds) if args.seeds else DEFAULT_SEEDS
+    if args.which == "dvs":
+        rows = ablate_dvs(seeds=seeds, horizon=args.horizon)
+        cols = ["load", "energy_ratio", "utility_dvs", "utility_fmax"]
+    elif args.which == "fopt":
+        rows = ablate_fopt(seeds=seeds, horizon=args.horizon)
+        cols = ["energy_setting", "with_fopt", "without_fopt"]
+    elif args.which == "dvs-method":
+        rows = ablate_dvs_method(seeds=seeds, horizon=args.horizon)
+        cols = ["a", "lookahead_energy", "demand_energy",
+                "lookahead_utility", "demand_utility"]
+    else:  # dasa
+        rows = ablate_dasa(seeds=seeds, horizon=args.horizon)
+        cols = ["load", "eua_utility", "dasa_utility", "edf_utility", "energy_ratio"]
+    print(f"ablation: {args.which}")
+    print(ascii_table(rows, cols))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eua",
+        description="Reproduce the DATE'05 EUA* evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--loads", type=float, nargs="*", help="load sweep points")
+        p.add_argument("--seeds", type=int, nargs="*", help="replication seeds")
+        p.add_argument("--horizon", type=float, default=DEFAULT_HORIZON)
+
+    p2 = sub.add_parser("figure2", help="normalised utility/energy vs load")
+    p2.add_argument("--energy", default="E1", choices=list(TABLE2_NAMES))
+    p2.add_argument("--svg", help="write SVG charts to <base>_{utility,energy}.svg")
+    common(p2)
+    p2.set_defaults(func=_cmd_figure2)
+
+    p3 = sub.add_parser("figure3", help="EUA* energy vs load per UAM burst size")
+    p3.add_argument("--svg", help="write an SVG chart to this path")
+    common(p3)
+    p3.set_defaults(func=_cmd_figure3)
+
+    ps = sub.add_parser("simulate", help="one comparison run on a synthesised workload")
+    ps.add_argument("--load", type=float, default=1.0)
+    ps.add_argument("--energy", default="E1", choices=list(TABLE2_NAMES))
+    ps.add_argument("--tuf", default="step", choices=["step", "linear"])
+    ps.add_argument("--nu", type=float, default=1.0)
+    ps.add_argument("--rho", type=float, default=0.96)
+    ps.add_argument("--arrivals", default="periodic",
+                    choices=["periodic", "burst", "scattered", "poisson"])
+    ps.add_argument("--horizon", type=float, default=DEFAULT_HORIZON)
+    ps.add_argument("--seed", type=int, default=11)
+    ps.add_argument("--schedulers", nargs="+",
+                    default=["EUA*", "LA-EDF", "EDF"])
+    ps.set_defaults(func=_cmd_simulate)
+
+    pb = sub.add_parser("bound", help="compare EUA* energy to the YDS lower bound")
+    pb.add_argument("--load", type=float, default=0.6)
+    pb.add_argument("--energy", default="E1", choices=list(TABLE2_NAMES))
+    pb.add_argument("--horizon", type=float, default=2.0)
+    pb.add_argument("--seed", type=int, default=11)
+    pb.set_defaults(func=_cmd_bound)
+
+    pa = sub.add_parser("ablate", help="run a named ablation")
+    pa.add_argument("which", choices=["dvs", "fopt", "dvs-method", "dasa"])
+    pa.add_argument("--seeds", type=int, nargs="*")
+    pa.add_argument("--horizon", type=float, default=DEFAULT_HORIZON)
+    pa.set_defaults(func=_cmd_ablate)
+
+    pv = sub.add_parser("validate", help="audit a traced run with the validator")
+    pv.add_argument("--scheduler", default="EUA*")
+    pv.add_argument("--load", type=float, default=0.8)
+    pv.add_argument("--energy", default="E1", choices=list(TABLE2_NAMES))
+    pv.add_argument("--horizon", type=float, default=2.0)
+    pv.add_argument("--seed", type=int, default=11)
+    pv.set_defaults(func=_cmd_validate)
+
+    px = sub.add_parser("sensitivity", help="parameter-sensitivity sweeps")
+    px.add_argument("which", choices=["rho", "size", "ladder"])
+    px.add_argument("--seeds", type=int, nargs="*")
+    px.add_argument("--horizon", type=float, default=DEFAULT_HORIZON)
+    px.set_defaults(func=_cmd_sensitivity)
+
+    pt = sub.add_parser("theorems", help="verify the timeliness theorems")
+    pt.add_argument("--load", type=float, default=0.6)
+    pt.set_defaults(func=_cmd_theorems)
+
+    sub.add_parser("table1", help="print the Table 1 settings").set_defaults(func=_cmd_table1)
+    sub.add_parser("table2", help="print the Table 2 energy models").set_defaults(func=_cmd_table2)
+    sub.add_parser("schedulers", help="list registered policies").set_defaults(
+        func=_cmd_schedulers
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The paper's core contribution: EUA* and its building blocks."""
+
+from .decide_freq import (
+    decide_freq,
+    future_cycles_due,
+    required_rate,
+    required_rate_demand,
+    required_rate_lookahead,
+)
+from .eua import EUAStar, job_uer
+from .feasibility import (
+    insert_by_critical_time,
+    job_feasible,
+    predicted_completions,
+    schedule_feasible,
+)
+from .offline import TaskParams, offline_computing, task_uer, uer_optimal_frequency
+
+__all__ = [
+    "EUAStar",
+    "job_uer",
+    "decide_freq",
+    "required_rate",
+    "required_rate_demand",
+    "required_rate_lookahead",
+    "future_cycles_due",
+    "job_feasible",
+    "schedule_feasible",
+    "insert_by_critical_time",
+    "predicted_completions",
+    "TaskParams",
+    "offline_computing",
+    "task_uer",
+    "uer_optimal_frequency",
+]

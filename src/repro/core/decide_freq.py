@@ -1,0 +1,211 @@
+"""``decideFreq()`` — EUA*'s stochastic DVS step (Algorithm 2).
+
+Two rate computations are provided; both answer "how fast must the CPU
+run *now* so every task can still meet its critical time, budgeting
+each job its Chebyshev allocation?".
+
+:func:`required_rate_lookahead` (the default for EUA*)
+    The literal Algorithm 2 listing — Pillai–Shin-style look-ahead
+    deferral ("similar to [13]", the paper notes): visit tasks in
+    latest-critical-time-first order, defer each task's remaining
+    window cycles past the earliest critical time ``D_n^a`` under the
+    assumption that earlier-critical-time tasks consume their *static*
+    worst-case rate, and run only the residue ``s`` before ``D_n^a``.
+    The static-rate assumption is optimistic when an earlier task's
+    current job is concentrated near its critical time, so pathological
+    phasings (e.g. harmonic windows with equal rates) can leave a job a
+    few cycles short at moderate loads — within the *statistical*
+    tolerance ``1 − ρ`` the requirement model grants, and consistent
+    with the slack-misprediction behaviour the paper's Figure 3
+    discussion describes.  On the paper's Table 1 workloads it meets
+    every critical time during underloads.
+
+:func:`required_rate_demand`
+    The **processor demand approach [3]** the paper's Section 3.3 opens
+    with, evaluated online: for every pending critical-time point ``d``
+    sum the remaining budgets due by ``d`` plus the worst-case cycles
+    the UAM envelopes can still inject with critical times ``<= d``
+    (remaining arrivals of each task's current window plus later
+    windows, released as early as the ``⟨a, P⟩`` constraint admits).
+    The required rate is the max over points of ``demand / (d − t)``.
+    Running at any frequency at or above it preserves feasibility at
+    every re-evaluation — a deterministic guarantee, at the price of
+    hedging against the full UAM adversary (its energy is flat in the
+    burst size ``a`` because the worst-case future is a-independent).
+    Available as ``EUAStar(dvs_method="demand")`` and benchmarked as an
+    ablation; see EXPERIMENTS.md for the measured difference.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cpu import FrequencyScale
+from ..sim.job import Job
+from ..sim.scheduler import SchedulerView
+from ..sim.task import Task
+from .offline import TaskParams
+
+__all__ = [
+    "decide_freq",
+    "required_rate",
+    "required_rate_demand",
+    "required_rate_lookahead",
+    "future_cycles_due",
+]
+
+_EPS = 1e-12
+
+#: Safety cap on the worst-case arrival enumeration (a horizon of this
+#: many windows is far beyond any deferral span that matters).
+_MAX_FUTURE_ARRIVALS = 4096
+
+
+def future_cycles_due(view: SchedulerView, task: Task, until: float) -> float:
+    """Worst-case cycles from *future* releases of ``task`` whose
+    critical times land at or before ``until``.
+
+    Enumerates the earliest-admissible arrival sequence the ``⟨a, P⟩``
+    envelope allows given the releases already observed in the trailing
+    window: each future job is budgeted ``c_i`` and owes it by
+    ``arrival + D_i``.
+    """
+    t = view.time
+    d_rel = task.critical_time
+    if t + d_rel > until + _EPS:
+        return 0.0
+    a = task.uam.max_arrivals
+    window = task.uam.window
+    history: List[float] = view.recent_arrival_times(task)
+    count = 0
+    for _ in range(_MAX_FUTURE_ARRIVALS):
+        if len(history) < a:
+            s = t
+        else:
+            s = max(t, history[-a] + window)
+        if s + d_rel > until + _EPS:
+            break
+        history.append(s)
+        count += 1
+    return count * task.allocation
+
+
+def required_rate_demand(view: SchedulerView) -> float:
+    """Online processor-demand bound (see module docstring).
+
+    Returns the minimum execution rate (MHz) that covers, for every
+    candidate critical-time point, all budgeted work due by it.
+    """
+    t = view.time
+    points: Set[float] = set()
+    for job in view.ready:
+        points.add(job.critical_time)
+    for task in view.taskset:
+        # The earliest future job's critical time can be the binding
+        # point even when nothing of this task is pending.
+        s = view.next_admissible_arrival(task)
+        points.add(s + task.critical_time)
+    rate = 0.0
+    for d in points:
+        horizon = d - t
+        if horizon <= _EPS:
+            # A pending job is at (or past) its critical time: no slack.
+            if any(
+                j.critical_time <= d + _EPS and j.remaining_budget > 0.0
+                for j in view.ready
+            ):
+                return view.scale.f_max
+            continue
+        demand = 0.0
+        for job in view.ready:
+            if job.critical_time <= d + _EPS:
+                demand += job.remaining_budget
+        for task in view.taskset:
+            demand += future_cycles_due(view, task, d)
+        rate = max(rate, demand / horizon)
+    return min(rate, view.scale.f_max)
+
+
+def required_rate_lookahead(view: SchedulerView) -> float:
+    """Literal Algorithm 2, lines 2–9 (look-ahead deferral).
+
+    Tasks with no remaining window cycles are skipped when fixing the
+    deferral anchor ``D_n^a`` (a zero-demand task cannot be the binding
+    earliest critical time).
+    """
+    t = view.time
+    tasks = list(view.taskset)
+    entries: List[Tuple[float, float, Task]] = []
+    for task in tasks:
+        c_r = view.remaining_window_cycles(task)
+        if c_r > 0.0:
+            entries.append((view.earliest_critical_time(task), c_r, task))
+    if not entries:
+        return 0.0
+    f_m = view.scale.f_max
+    # Worst-case aggregate demand rate (Theorem 1 utilisation analysis).
+    util = sum(task.window_cycles / task.critical_time for task in tasks)
+    d_n = min(d for d, _, _ in entries)
+    # Latest-critical-time-first ("reverse EDF order of tasks", line 4).
+    entries.sort(key=lambda e: -e[0])
+    s = 0.0
+    for d_a, c_r, task in entries:
+        util -= task.window_cycles / task.critical_time
+        gap = d_a - d_n
+        if gap <= _EPS:
+            # Same critical time as the earliest: nothing can be
+            # deferred past D_n^a (line 7's special case).
+            x = c_r
+        else:
+            # Cycles that *must* run before D_n^a so the task can still
+            # finish by d_a given that `util` MHz are consumed by
+            # earlier-critical-time tasks after D_n^a (line 6).
+            headroom = max(0.0, f_m - util)
+            x = min(c_r, max(0.0, c_r - headroom * gap))
+            # The deferred work becomes this task's post-D_n demand (line 7).
+            util += (c_r - x) / gap
+        s += x
+    horizon = d_n - t
+    if horizon <= _EPS:
+        return f_m
+    return min(f_m, s / horizon)
+
+
+#: ``required_rate`` is the paper's Algorithm 2 computation (the EUA*
+#: default); ``required_rate_demand`` is the provably safe alternative.
+required_rate = required_rate_lookahead
+
+_RATE_METHODS = {
+    "demand": required_rate_demand,
+    "lookahead": required_rate_lookahead,
+}
+
+
+def decide_freq(
+    view: SchedulerView,
+    exec_job: Job,
+    params: Dict[str, TaskParams],
+    use_fopt_bound: bool = True,
+    method: str = "lookahead",
+) -> float:
+    """Full ``decideFreq()``: the frequency at which to run ``exec_job``.
+
+    The assurance-driven rate (lines 2–9, per ``method``) is quantised
+    up the ladder (``selectFreq``, saturating at ``f_m`` — line 9's
+    overload cap) and finally raised to the UER-optimal frequency
+    ``f°`` of the dispatched job's task (line 11): running below ``f°``
+    would cost more *system* energy per cycle, so EUA* may increase —
+    never decrease — the frequency (``use_fopt_bound=False`` is the AB3
+    ablation knob).
+    """
+    try:
+        rate_fn = _RATE_METHODS[method]
+    except KeyError:
+        raise ValueError(f"unknown DVS method {method!r}; expected {sorted(_RATE_METHODS)}")
+    scale: FrequencyScale = view.scale
+    f_exe = scale.select_capped(rate_fn(view))
+    if use_fopt_bound:
+        f_opt = params[exec_job.task.name].optimal_frequency
+        f_exe = max(f_exe, f_opt)
+    return f_exe

@@ -1,0 +1,149 @@
+"""EUA* — the Energy-efficient Utility Accrual scheduler (Algorithm 1).
+
+At every scheduling event EUA*:
+
+1. updates each job's remaining budget (the engine tracks executed
+   cycles, so budgets are implicit — lines 5–8);
+2. aborts individually infeasible jobs (line 10);
+3. computes each remaining job's **UER** at ``f_m``:
+   ``U_J(t + c/f_m) / (E(f_m) · c)`` with ``c`` the remaining budget
+   (line 11);
+4. builds a critical-time-ordered schedule ``σ`` by inserting jobs in
+   non-increasing UER order, keeping only insertions that leave ``σ``
+   feasible at ``f_m`` (lines 12–18);
+5. dispatches the head of ``σ`` at the frequency chosen by
+   ``decideFreq()`` (lines 19–21).
+
+Design note — the insertion loop's ``else break``: the scanned listing
+is ambiguous about whether an *infeasible insertion* breaks the loop or
+only a non-positive UER does.  Breaking on UER <= 0 is sound (jobs are
+sorted, the rest cannot be positive) while breaking on infeasibility
+would discard all lower-UER jobs whenever one long job fails to fit —
+harmful and not an optimisation — so we skip infeasible insertions and
+continue, matching the behaviour of the authors' companion algorithms
+(GUS / the EMSOFT'04 EUA).  ``strict_insertion_break=True`` restores
+the literal reading for ablation.
+
+Ablation knobs (see DESIGN.md AB1–AB4): ``ordering`` may be ``"uer"``
+(the paper) or ``"utility_density"`` (energy-oblivious UA ordering);
+``use_dvs=False`` pins ``f_m``; ``use_fopt_bound=False`` drops the
+``f°`` raise in ``decideFreq``; ``abort_infeasible=False`` leaves
+infeasible jobs to expire on their own.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.scheduler import Decision, Scheduler, SchedulerView
+from ..sim.job import Job
+from ..sim.task import TaskSet
+from ..cpu import EnergyModel, FrequencyScale
+from .decide_freq import decide_freq
+from .feasibility import insert_by_critical_time, job_feasible, schedule_feasible
+from .offline import MIN_UER_CYCLES, TaskParams, offline_computing
+
+__all__ = ["EUAStar", "job_uer"]
+
+
+def job_uer(job: Job, now: float, f_max: float, model: EnergyModel) -> float:
+    """Line 11: the job's utility-and-energy ratio at ``f_m``.
+
+    Uses the *remaining* budget: a nearly finished job is nearly free,
+    so its UER rises as it executes.
+    """
+    c = max(job.remaining_budget, MIN_UER_CYCLES)
+    utility = job.utility_at(now + c / f_max)
+    return utility / (model.energy_per_cycle(f_max) * c)
+
+
+class EUAStar(Scheduler):
+    """The paper's contribution. See module docstring."""
+
+    def __init__(
+        self,
+        name: str = "EUA*",
+        use_dvs: bool = True,
+        use_fopt_bound: bool = True,
+        abort_infeasible: bool = True,
+        ordering: str = "uer",
+        strict_insertion_break: bool = False,
+        dvs_method: str = "lookahead",
+    ):
+        if ordering not in ("uer", "utility_density"):
+            raise ValueError(f"unknown ordering {ordering!r}")
+        if dvs_method not in ("demand", "lookahead"):
+            raise ValueError(f"unknown dvs_method {dvs_method!r}")
+        self.name = name
+        self.use_dvs = bool(use_dvs)
+        self.use_fopt_bound = bool(use_fopt_bound)
+        self.abort_infeasible = bool(abort_infeasible)
+        self.ordering = ordering
+        self.strict_insertion_break = bool(strict_insertion_break)
+        self.dvs_method = dvs_method
+        self._params: Dict[str, TaskParams] = {}
+
+    # ------------------------------------------------------------------
+    def setup(self, taskset: TaskSet, scale: FrequencyScale, energy_model: EnergyModel) -> None:
+        """``offlineComputing(T)`` (line 3)."""
+        self._params = offline_computing(taskset, scale, energy_model)
+
+    @property
+    def params(self) -> Dict[str, TaskParams]:
+        """Per-task offline parameters (read-only use by analyses)."""
+        return dict(self._params)
+
+    # ------------------------------------------------------------------
+    def decide(self, view: SchedulerView) -> Decision:
+        t = view.time
+        f_m = view.scale.f_max
+        model = view.energy_model
+
+        aborts: List[Job] = []
+        ranked: List[Tuple[float, float, Job]] = []
+        for job in view.ready:
+            if not job_feasible(job, t, f_m):
+                if self.abort_infeasible and job.task.abortable:
+                    aborts.append(job)
+                continue
+            metric = self._metric(job, t, f_m, model)
+            ranked.append((metric, job.critical_time, job))
+
+        # Non-increasing metric; ties resolved by earlier critical time,
+        # then release order for determinism.
+        ranked.sort(key=lambda e: (-e[0], e[1], e[2].release, e[2].index))
+
+        sigma: List[Job] = []
+        for metric, _, job in ranked:
+            if metric <= 0.0:
+                break  # sorted: no later job can have positive UER
+            tentative = insert_by_critical_time(sigma, job)
+            if schedule_feasible(tentative, t, f_m):
+                sigma = tentative
+            elif self.strict_insertion_break:
+                break
+
+        if not sigma:
+            return Decision(job=None, frequency=f_m, aborts=tuple(aborts))
+
+        head = sigma[0]
+        if self.use_dvs:
+            working_view = view.without(aborts) if aborts else view
+            f_exe = decide_freq(
+                working_view,
+                head,
+                self._params,
+                use_fopt_bound=self.use_fopt_bound,
+                method=self.dvs_method,
+            )
+        else:
+            f_exe = f_m
+        return Decision(job=head, frequency=f_exe, aborts=tuple(aborts))
+
+    # ------------------------------------------------------------------
+    def _metric(self, job: Job, t: float, f_m: float, model: EnergyModel) -> float:
+        if self.ordering == "uer":
+            return job_uer(job, t, f_m, model)
+        # Energy-oblivious utility density (AB1 ablation).
+        c = max(job.remaining_budget, MIN_UER_CYCLES)
+        return job.utility_at(t + c / f_m) / c

@@ -1,0 +1,77 @@
+"""Schedule feasibility at ``f_max`` (paper §3.2, ``feasible()``).
+
+A schedule ``σ`` (ordered job list) is feasible when the *predicted*
+completion time of every job — executing the schedule in order at the
+highest frequency ``f_m`` and budgeting each job's remaining Chebyshev
+allocation — does not exceed the job's termination time.
+
+Prediction uses scheduler-visible budgets (``remaining_budget``), never
+true demands.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sim.job import Job
+
+__all__ = [
+    "job_feasible",
+    "schedule_feasible",
+    "insert_by_critical_time",
+    "predicted_completions",
+]
+
+#: Completion-vs-termination comparisons tolerate this much slack so a
+#: job predicted to finish exactly at its termination counts as feasible
+#: only if strictly earlier (completing *at* X accrues zero utility).
+_EPS = 1e-12
+
+
+def job_feasible(job: Job, now: float, f_max: float) -> bool:
+    """Can ``job`` alone finish its remaining budget before termination?
+
+    Algorithm 1 line 10: individually infeasible jobs are aborted.
+    """
+    predicted = now + job.remaining_budget / f_max
+    return predicted < job.termination - _EPS * max(1.0, abs(job.termination))
+
+
+def predicted_completions(sigma: Sequence[Job], now: float, f_max: float) -> List[float]:
+    """Back-to-back predicted completion times of ``σ`` at ``f_max``."""
+    t = now
+    out: List[float] = []
+    for job in sigma:
+        t += job.remaining_budget / f_max
+        out.append(t)
+    return out
+
+
+def schedule_feasible(sigma: Sequence[Job], now: float, f_max: float) -> bool:
+    """``feasible(σ)``: every predicted completion precedes termination."""
+    t = now
+    for job in sigma:
+        t += job.remaining_budget / f_max
+        if t >= job.termination - _EPS * max(1.0, abs(job.termination)):
+            return False
+    return True
+
+
+def insert_by_critical_time(sigma: Sequence[Job], job: Job) -> List[Job]:
+    """``insert(J, σ, J.D)`` — new list with ``job`` placed by critical time.
+
+    Jobs already in ``σ`` with the *same* critical time precede the new
+    job (the paper: "if there are already entries in σ at the index I,
+    T is inserted after them").  Returns a fresh list; ``σ`` is
+    unmodified so callers can keep the pre-insertion schedule (Algorithm
+    1's ``σ_tent`` copy).
+    """
+    out: List[Job] = list(sigma)
+    d = job.critical_time
+    pos = len(out)
+    for i, existing in enumerate(out):
+        if existing.critical_time > d:
+            pos = i
+            break
+    out.insert(pos, job)
+    return out

@@ -1,0 +1,93 @@
+"""``offlineComputing()`` — per-task derived parameters (paper §3.1–3.2).
+
+At ``t = 0`` EUA* computes, for each task ``T_i``:
+
+* the Chebyshev cycle allocation ``c_i`` with ``Pr[Y_i < c_i] >= ρ_i``;
+* the critical time ``D_i`` with ``ν_i = U_i(D_i) / U_i^max``;
+* the **UER-optimal frequency** ``f°_i`` — the ladder level maximising
+  the task's Utility-and-Energy Ratio
+
+      UER_i(f) = U_i(c_i / f) / (c_i · E(f)),
+
+  i.e. utility per unit of *system* energy when a job runs alone from
+  its release.  Equation 1's fixed-power term ``S0/f`` makes ``f°`` "not
+  necessarily the lowest" frequency: under heavy system power the
+  energy-per-cycle curve turns upward at low ``f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..cpu import EnergyModel, FrequencyScale
+from ..sim.task import Task, TaskSet
+
+__all__ = ["TaskParams", "task_uer", "uer_optimal_frequency", "offline_computing"]
+
+#: Floor applied to cycle counts in UER denominators: a job whose budget
+#: is exhausted (actual demand overran ``c_i``) would otherwise divide by
+#: zero.  Near-zero remaining budget means near-free completion, so the
+#: UER legitimately explodes; the floor merely keeps it finite.
+MIN_UER_CYCLES = 1e-9
+
+
+def task_uer(task: Task, frequency: float, model: EnergyModel, start: float = 0.0) -> float:
+    """``UER_i(f)`` at relative time ``start`` (paper §3.2).
+
+    Utility of completing ``c_i`` cycles at ``f`` starting from
+    ``start`` after release, per unit of system energy spent.
+    """
+    c = max(task.allocation, MIN_UER_CYCLES)
+    completion = start + c / frequency
+    return task.tuf.utility(completion) / (c * model.energy_per_cycle(frequency))
+
+
+def uer_optimal_frequency(task: Task, scale: FrequencyScale, model: EnergyModel) -> float:
+    """``f°_i`` — the ladder level maximising :func:`task_uer`.
+
+    Ties favour the level with lower energy per cycle, then the higher
+    frequency (finishing earlier never hurts a non-increasing TUF).
+    If every level yields zero UER (the allocation cannot finish inside
+    the termination window even at ``f_max``), returns ``f_max`` — the
+    task is hopeless at any speed, so don't slow others down.
+    """
+    best_f = scale.f_max
+    best = (-1.0, 0.0, 0.0)
+    for f in scale.levels:
+        uer = task_uer(task, f, model)
+        key = (uer, -model.energy_per_cycle(f), f)
+        if key > best:
+            best = key
+            best_f = f
+    if best[0] <= 0.0:
+        return scale.f_max
+    return best_f
+
+
+@dataclass(frozen=True)
+class TaskParams:
+    """Frozen per-task outputs of ``offlineComputing()``."""
+
+    allocation: float  # c_i (Mcycles)
+    critical_time: float  # D_i (seconds, relative)
+    optimal_frequency: float  # f°_i (MHz, a ladder level)
+
+    @property
+    def window_rate(self) -> float:
+        """``c_i / D_i`` — per-invocation demand rate (MHz)."""
+        return self.allocation / self.critical_time
+
+
+def offline_computing(
+    taskset: TaskSet, scale: FrequencyScale, model: EnergyModel
+) -> Dict[str, TaskParams]:
+    """Compute ``{c_i, D_i, f°_i}`` for every task (Algorithm 1, line 3)."""
+    params: Dict[str, TaskParams] = {}
+    for task in taskset:
+        params[task.name] = TaskParams(
+            allocation=task.allocation,
+            critical_time=task.critical_time,
+            optimal_frequency=uer_optimal_frequency(task, scale, model),
+        )
+    return params

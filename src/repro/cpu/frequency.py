@@ -1,0 +1,133 @@
+"""Discrete DVS frequency scales.
+
+The paper's target is a variable-voltage processor with ``m`` discrete
+operating frequencies ``{f_1 < … < f_m}``; the experiments use the AMD
+K6-2+ with the PowerNow! ladder.  Units are **MHz = Mcycles/second**,
+pairing with demands in Mcycles.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["FrequencyScale", "FrequencyError", "POWERNOW_K6_MHZ"]
+
+#: AMD K6-2+ PowerNow! operating points (MHz), paper Section 5.  The scan
+#: shows "{36, 55, 64, 73, 82, 91, 1 MHz}" with trailing zeros lost; the
+#: physical part steps 360..1000 MHz (see DESIGN.md, substitution notes).
+POWERNOW_K6_MHZ: Tuple[float, ...] = (360.0, 550.0, 640.0, 730.0, 820.0, 910.0, 1000.0)
+
+
+class FrequencyError(ValueError):
+    """Raised for ill-formed frequency scales or out-of-scale requests."""
+
+
+class FrequencyScale:
+    """An ordered set of discrete CPU frequencies.
+
+    Implements the paper's ``selectFreq(x)``: the lowest level ``f_i`` with
+    ``x <= f_i`` (returns ``None`` when ``x`` exceeds ``f_max``, the
+    overload case Algorithm 2 guards against by capping at ``f_m``).
+    """
+
+    def __init__(self, levels: Iterable[float]):
+        lv = sorted(float(f) for f in levels)
+        if not lv:
+            raise FrequencyError("need at least one frequency level")
+        for f in lv:
+            if f <= 0.0 or not math.isfinite(f):
+                raise FrequencyError(f"frequencies must be finite and > 0, got {f!r}")
+        for a, b in zip(lv, lv[1:]):
+            if b == a:
+                raise FrequencyError(f"duplicate frequency level {a!r}")
+        self._levels: Tuple[float, ...] = tuple(lv)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def powernow_k6(cls) -> "FrequencyScale":
+        """The AMD K6-2+ PowerNow! scale used in the paper's simulations."""
+        return cls(POWERNOW_K6_MHZ)
+
+    @classmethod
+    def single(cls, frequency: float) -> "FrequencyScale":
+        """A fixed-frequency processor (no DVS)."""
+        return cls([frequency])
+
+    @classmethod
+    def uniform(cls, f_min: float, f_max: float, levels: int) -> "FrequencyScale":
+        """``levels`` equally spaced frequencies in ``[f_min, f_max]``."""
+        if levels < 1:
+            raise FrequencyError(f"need >= 1 level, got {levels!r}")
+        if levels == 1:
+            return cls([f_max])
+        if not (0.0 < f_min < f_max):
+            raise FrequencyError(f"need 0 < f_min < f_max, got ({f_min!r}, {f_max!r})")
+        step = (f_max - f_min) / (levels - 1)
+        return cls(f_min + step * k for k in range(levels))
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> Tuple[float, ...]:
+        return self._levels
+
+    @property
+    def f_min(self) -> float:
+        return self._levels[0]
+
+    @property
+    def f_max(self) -> float:
+        return self._levels[-1]
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __iter__(self):
+        return iter(self._levels)
+
+    def __contains__(self, f: float) -> bool:
+        i = bisect_left(self._levels, f)
+        return i < len(self._levels) and math.isclose(self._levels[i], f, rel_tol=1e-12)
+
+    # ------------------------------------------------------------------
+    def select(self, demand: float) -> Optional[float]:
+        """``selectFreq(x)``: lowest level ``>= demand``, else ``None``.
+
+        ``demand`` is a required execution rate in Mcycles/second.  A
+        non-positive demand selects the lowest level (the CPU must still
+        run to execute the head job).
+        """
+        if demand <= 0.0:
+            return self.f_min
+        i = bisect_left(self._levels, demand)
+        # bisect_left can land just past an exact match due to float noise.
+        if i > 0 and math.isclose(self._levels[i - 1], demand, rel_tol=1e-12):
+            return self._levels[i - 1]
+        if i == len(self._levels):
+            return None
+        return self._levels[i]
+
+    def select_capped(self, demand: float) -> float:
+        """Like :meth:`select` but saturating at ``f_max`` (Algorithm 2
+        line 9: during overload the required frequency is capped)."""
+        chosen = self.select(demand)
+        return self.f_max if chosen is None else chosen
+
+    def floor(self, frequency: float) -> float:
+        """Highest level ``<= frequency`` (lowest level if none)."""
+        i = bisect_left(self._levels, frequency)
+        if i < len(self._levels) and math.isclose(self._levels[i], frequency, rel_tol=1e-12):
+            return self._levels[i]
+        return self._levels[max(0, i - 1)]
+
+    def at_least(self, frequency: float) -> float:
+        """Lowest level ``>= frequency``, saturating at ``f_max``."""
+        return self.select_capped(frequency)
+
+    def normalized(self) -> List[float]:
+        """Levels divided by ``f_max`` (handy for reporting)."""
+        return [f / self.f_max for f in self._levels]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FrequencyScale({list(self._levels)!r})"

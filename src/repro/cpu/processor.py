@@ -1,0 +1,161 @@
+"""Simulated DVS processor — cycle and energy accounting.
+
+The :class:`Processor` is a passive state machine driven by the
+simulation engine: the engine tells it "run at frequency f for Δt
+seconds" or "idle for Δt seconds" and it integrates executed cycles and
+consumed energy under a :class:`~repro.cpu.energy.EnergyModel`.
+
+Frequency-switch overhead (time and energy) is modelled optionally; the
+paper ignores it (as do the RT-DVS baselines it compares against), so
+the default is zero, but the knob enables the AB6-style sensitivity
+ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .energy import EnergyError, EnergyModel
+from .frequency import FrequencyError, FrequencyScale
+
+__all__ = ["Processor", "ProcessorStats"]
+
+
+@dataclass
+class ProcessorStats:
+    """Cumulative processor accounting."""
+
+    energy: float = 0.0
+    cycles_executed: float = 0.0
+    busy_time: float = 0.0
+    idle_time: float = 0.0
+    idle_energy: float = 0.0
+    switch_count: int = 0
+    switch_energy: float = 0.0
+    #: (frequency, seconds) residency pairs accumulated per level.
+    residency: dict = field(default_factory=dict)
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy + self.idle_energy + self.switch_energy
+
+    @property
+    def total_time(self) -> float:
+        return self.busy_time + self.idle_time
+
+    @property
+    def average_frequency(self) -> float:
+        """Cycle-weighted mean operating frequency while busy."""
+        if self.busy_time == 0.0:
+            return 0.0
+        return self.cycles_executed / self.busy_time
+
+
+class Processor:
+    """A DVS-capable uniprocessor with energy integration.
+
+    Parameters
+    ----------
+    scale:
+        The discrete frequency ladder.
+    model:
+        Per-cycle energy model.
+    idle_power:
+        Power drawn while idle (default 0, matching the paper's
+        formulation; see DESIGN.md).
+    switch_time, switch_energy:
+        Optional per-transition DVS overheads.
+    """
+
+    def __init__(
+        self,
+        scale: FrequencyScale,
+        model: EnergyModel,
+        idle_power: float = 0.0,
+        switch_time: float = 0.0,
+        switch_energy: float = 0.0,
+    ):
+        if idle_power < 0.0:
+            raise EnergyError(f"idle_power must be >= 0, got {idle_power!r}")
+        if switch_time < 0.0 or switch_energy < 0.0:
+            raise EnergyError("switch overheads must be >= 0")
+        self.scale = scale
+        self.model = model
+        self.idle_power = float(idle_power)
+        self.switch_time = float(switch_time)
+        self.switch_energy = float(switch_energy)
+        self._frequency = scale.f_max
+        self.stats = ProcessorStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def frequency(self) -> float:
+        """Current operating frequency (MHz)."""
+        return self._frequency
+
+    def set_frequency(self, frequency: float) -> float:
+        """Switch operating point; returns the switch *time* overhead.
+
+        ``frequency`` must be a level of the ladder.  Setting the current
+        frequency is a no-op with zero overhead.
+        """
+        if frequency not in self.scale:
+            raise FrequencyError(f"{frequency!r} is not a level of {self.scale!r}")
+        if math.isclose(frequency, self._frequency, rel_tol=1e-12):
+            return 0.0
+        self._frequency = frequency
+        self.stats.switch_count += 1
+        self.stats.switch_energy += self.switch_energy
+        return self.switch_time
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> float:
+        """Execute at the current frequency for ``duration`` seconds.
+
+        Returns the number of (M)cycles executed and accrues energy.
+        """
+        self._check_duration(duration)
+        if duration == 0.0:
+            return 0.0
+        cycles = self._frequency * duration
+        self.stats.cycles_executed += cycles
+        self.stats.busy_time += duration
+        self.stats.energy += self.model.energy_for(cycles, self._frequency)
+        self.stats.residency[self._frequency] = (
+            self.stats.residency.get(self._frequency, 0.0) + duration
+        )
+        return cycles
+
+    def run_cycles(self, cycles: float) -> float:
+        """Execute ``cycles`` at the current frequency; returns seconds."""
+        if cycles < 0.0:
+            raise EnergyError(f"cycles must be >= 0, got {cycles!r}")
+        duration = cycles / self._frequency
+        self.run(duration)
+        return duration
+
+    def idle(self, duration: float) -> None:
+        """Idle for ``duration`` seconds (charges ``idle_power``)."""
+        self._check_duration(duration)
+        self.stats.idle_time += duration
+        self.stats.idle_energy += self.idle_power * duration
+
+    def time_for_cycles(self, cycles: float, frequency: Optional[float] = None) -> float:
+        """Seconds needed to execute ``cycles`` at ``frequency`` (current
+        frequency if omitted)."""
+        f = self._frequency if frequency is None else frequency
+        if f <= 0.0:
+            raise FrequencyError(f"frequency must be > 0, got {f!r}")
+        return cycles / f
+
+    @staticmethod
+    def _check_duration(duration: float) -> None:
+        if duration < 0.0 or not math.isfinite(duration):
+            raise EnergyError(f"duration must be finite and >= 0, got {duration!r}")
+
+    def reset(self) -> None:
+        """Clear accumulated statistics and return to ``f_max``."""
+        self._frequency = self.scale.f_max
+        self.stats = ProcessorStats()

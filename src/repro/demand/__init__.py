@@ -1,0 +1,38 @@
+"""Stochastic cycle demand: distributions, Chebyshev allocation, profiling."""
+
+from .allocation import (
+    allocate_cycles,
+    chebyshev_allocation,
+    chebyshev_assurance,
+    empirical_assurance,
+)
+from .distributions import (
+    DemandDistribution,
+    DemandError,
+    DeterministicDemand,
+    EmpiricalDemand,
+    ExponentialDemand,
+    GammaDemand,
+    NormalDemand,
+    UniformDemand,
+)
+from .estimator import DemandProfiler, WelfordEstimator
+from .markov import MarkovModulatedDemand
+
+__all__ = [
+    "DemandDistribution",
+    "DemandError",
+    "DeterministicDemand",
+    "NormalDemand",
+    "UniformDemand",
+    "ExponentialDemand",
+    "GammaDemand",
+    "EmpiricalDemand",
+    "chebyshev_allocation",
+    "chebyshev_assurance",
+    "allocate_cycles",
+    "empirical_assurance",
+    "WelfordEstimator",
+    "DemandProfiler",
+    "MarkovModulatedDemand",
+]

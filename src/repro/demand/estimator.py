@@ -1,0 +1,129 @@
+"""On-line / off-line demand profiling (paper Section 2.3).
+
+The paper assumes ``E(Y_i)`` and ``Var(Y_i)`` are "determined through
+either online or off-line profiling".  :class:`WelfordEstimator` is the
+numerically stable streaming estimator (online path);
+:class:`DemandProfiler` aggregates per-task observations and can freeze
+them into :class:`~repro.demand.distributions.EmpiricalDemand`
+distributions (offline path).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List
+
+from .distributions import DemandError, EmpiricalDemand
+
+__all__ = ["WelfordEstimator", "DemandProfiler"]
+
+
+class WelfordEstimator:
+    """Streaming mean/variance via Welford's algorithm.
+
+    Exposes both the population variance (``variance``) — the quantity
+    the Chebyshev allocation needs when the stream *is* the population —
+    and the unbiased sample variance (``sample_variance``).
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold one observation into the running moments."""
+        if not math.isfinite(value):
+            raise DemandError(f"observation must be finite, got {value!r}")
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+
+    def update_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.update(v)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise DemandError("no observations yet")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Population variance (M2 / n)."""
+        if self._n == 0:
+            raise DemandError("no observations yet")
+        return self._m2 / self._n
+
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased sample variance (M2 / (n − 1))."""
+        if self._n < 2:
+            raise DemandError("need at least two observations")
+        return self._m2 / (self._n - 1)
+
+    def merge(self, other: "WelfordEstimator") -> "WelfordEstimator":
+        """Combine two streams (Chan et al. parallel update); returns self."""
+        if other._n == 0:
+            return self
+        if self._n == 0:
+            self._n, self._mean, self._m2 = other._n, other._mean, other._m2
+            return self
+        n = self._n + other._n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self._n * other._n / n
+        self._mean += delta * other._n / n
+        self._n = n
+        return self
+
+
+class DemandProfiler:
+    """Collects per-task cycle observations and summarises them.
+
+    The simulator can attach one of these to record *actual* executed
+    cycles per completed job, closing the profiling loop the paper
+    sketches: simulate → profile → re-derive ``c_i`` → re-simulate.
+    """
+
+    def __init__(self) -> None:
+        self._streams: Dict[Hashable, WelfordEstimator] = {}
+        self._raw: Dict[Hashable, List[float]] = {}
+
+    def record(self, task_id: Hashable, cycles: float) -> None:
+        if cycles <= 0.0:
+            raise DemandError(f"cycles must be > 0, got {cycles!r}")
+        self._streams.setdefault(task_id, WelfordEstimator()).update(cycles)
+        self._raw.setdefault(task_id, []).append(float(cycles))
+
+    def tasks(self) -> List[Hashable]:
+        return list(self._streams)
+
+    def count(self, task_id: Hashable) -> int:
+        return self._streams[task_id].count if task_id in self._streams else 0
+
+    def mean(self, task_id: Hashable) -> float:
+        self._require(task_id)
+        return self._streams[task_id].mean
+
+    def variance(self, task_id: Hashable) -> float:
+        self._require(task_id)
+        return self._streams[task_id].variance
+
+    def empirical_distribution(self, task_id: Hashable) -> EmpiricalDemand:
+        """Freeze a task's observations into a resampling distribution."""
+        self._require(task_id)
+        return EmpiricalDemand(self._raw[task_id])
+
+    def observations(self, task_id: Hashable) -> List[float]:
+        self._require(task_id)
+        return list(self._raw[task_id])
+
+    def _require(self, task_id: Hashable) -> None:
+        if task_id not in self._streams:
+            raise DemandError(f"no observations for task {task_id!r}")

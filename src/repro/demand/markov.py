@@ -1,0 +1,121 @@
+"""Markov-modulated cycle demands.
+
+The paper motivates stochastic demands with "transient and sustained
+overloads on the CPU (due to **context dependent execution times**)"
+(§1).  A Markov-modulated demand captures exactly that: the task's
+execution cost depends on a hidden operating mode (e.g. a tracking
+filter in *search* vs *locked* mode) that evolves between jobs, so
+demand is *correlated* across consecutive jobs — unlike the i.i.d.
+draws of the basic distributions.
+
+The declared moments are the stationary ones, which is what the
+Chebyshev allocation needs (the bound is distribution-free and holds
+marginally under the stationary law); correlation affects *when*
+overruns cluster, not how often, which is precisely the behaviour worth
+stress-testing schedulers against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .distributions import DemandDistribution, DemandError
+
+__all__ = ["MarkovModulatedDemand"]
+
+
+class MarkovModulatedDemand(DemandDistribution):
+    """Per-mode demand distributions driven by a Markov chain.
+
+    Parameters
+    ----------
+    transition:
+        Row-stochastic mode transition matrix ``P[i][j]``.
+    mode_demands:
+        One base :class:`DemandDistribution` per mode.
+
+    Sampling is stateful: each draw advances the chain one step (vector
+    draws advance it ``size`` steps), modelling consecutive jobs of the
+    same task.  The initial mode is drawn from the stationary law.
+    """
+
+    def __init__(
+        self,
+        transition: Sequence[Sequence[float]],
+        mode_demands: Sequence[DemandDistribution],
+    ):
+        P = np.asarray(transition, dtype=float)
+        if P.ndim != 2 or P.shape[0] != P.shape[1]:
+            raise DemandError(f"transition matrix must be square, got {P.shape}")
+        if P.shape[0] != len(mode_demands):
+            raise DemandError("one demand distribution per mode required")
+        if len(mode_demands) < 1:
+            raise DemandError("need at least one mode")
+        if np.any(P < 0.0) or not np.allclose(P.sum(axis=1), 1.0, atol=1e-9):
+            raise DemandError("transition matrix must be row-stochastic")
+        self._P = P
+        self._modes: List[DemandDistribution] = list(mode_demands)
+        self._pi = self._stationary(P)
+        self._state: Optional[int] = None
+
+    @staticmethod
+    def _stationary(P: np.ndarray) -> np.ndarray:
+        """Stationary distribution via the left-eigenvector of P."""
+        vals, vecs = np.linalg.eig(P.T)
+        idx = int(np.argmin(np.abs(vals - 1.0)))
+        pi = np.real(vecs[:, idx])
+        pi = np.abs(pi)
+        total = pi.sum()
+        if total <= 0.0:
+            raise DemandError("could not derive a stationary distribution")
+        return pi / total
+
+    # ------------------------------------------------------------------
+    @property
+    def stationary_distribution(self) -> np.ndarray:
+        return self._pi.copy()
+
+    @property
+    def current_mode(self) -> Optional[int]:
+        """The chain's current mode (None before the first draw)."""
+        return self._state
+
+    @property
+    def mean(self) -> float:
+        """Stationary mean: Σ_i π_i E(Y | mode i)."""
+        return float(sum(p * d.mean for p, d in zip(self._pi, self._modes)))
+
+    @property
+    def variance(self) -> float:
+        """Stationary variance via the law of total variance."""
+        mean = self.mean
+        within = sum(p * d.variance for p, d in zip(self._pi, self._modes))
+        between = sum(p * (d.mean - mean) ** 2 for p, d in zip(self._pi, self._modes))
+        return float(within + between)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget the chain state (next draw starts from stationarity)."""
+        self._state = None
+
+    def _step(self, rng: np.random.Generator) -> int:
+        if self._state is None:
+            self._state = int(rng.choice(len(self._modes), p=self._pi))
+        else:
+            self._state = int(rng.choice(len(self._modes), p=self._P[self._state]))
+        return self._state
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        if size is None:
+            return self._modes[self._step(rng)].sample(rng)
+        out = np.empty(size, dtype=float)
+        for k in range(size):
+            out[k] = self._modes[self._step(rng)].sample(rng)
+        return out
+
+    def scaled(self, k: float) -> "MarkovModulatedDemand":
+        k = self._check_scale(k)
+        clone = MarkovModulatedDemand(self._P, [d.scaled(k) for d in self._modes])
+        return clone

@@ -1,0 +1,68 @@
+"""The paper's experimental evaluation, reproducible end to end."""
+
+from .ablations import (
+    ablate_dasa,
+    ablate_dvs,
+    ablate_dvs_method,
+    ablate_fopt,
+    run_policy_grid,
+)
+from .config import (
+    DEFAULT_HORIZON,
+    DEFAULT_SEEDS,
+    FIGURE2_LOADS,
+    FIGURE2_REQUIREMENT,
+    FIGURE3_BURSTS,
+    FIGURE3_LOADS,
+    FIGURE3_REQUIREMENT,
+    TABLE1,
+    TABLE2_NAMES,
+    AppSetting,
+    energy_setting,
+)
+from .figure2 import FIGURE2_SCHEDULERS, Figure2Point, Figure2Result, run_figure2
+from .figure3 import Figure3Result, run_figure3
+from .persistence import from_json, load_result, save_result, to_json
+from .reporting import ascii_table, rows_to_csv, series_chart
+from .sensitivity import sweep_ladder_granularity, sweep_rho, sweep_taskset_size
+from .theorems import TheoremEvidence, check_assurances, check_edf_equivalence
+from .workload import synthesize_taskset
+
+__all__ = [
+    "AppSetting",
+    "TABLE1",
+    "TABLE2_NAMES",
+    "energy_setting",
+    "FIGURE2_LOADS",
+    "FIGURE2_REQUIREMENT",
+    "FIGURE2_SCHEDULERS",
+    "FIGURE3_LOADS",
+    "FIGURE3_REQUIREMENT",
+    "FIGURE3_BURSTS",
+    "DEFAULT_SEEDS",
+    "DEFAULT_HORIZON",
+    "synthesize_taskset",
+    "Figure2Point",
+    "Figure2Result",
+    "run_figure2",
+    "Figure3Result",
+    "run_figure3",
+    "TheoremEvidence",
+    "check_edf_equivalence",
+    "check_assurances",
+    "ascii_table",
+    "series_chart",
+    "rows_to_csv",
+    "run_policy_grid",
+    "ablate_dvs",
+    "ablate_fopt",
+    "ablate_dvs_method",
+    "ablate_dasa",
+    "sweep_rho",
+    "sweep_taskset_size",
+    "sweep_ladder_granularity",
+    "to_json",
+    "from_json",
+    "save_result",
+    "load_result",
+]

@@ -1,0 +1,98 @@
+"""Experimental configuration — the paper's Tables 1 and 2.
+
+The scanned tables are OCR-damaged (trailing digits lost); DESIGN.md
+records the reconstruction.  What the text does state unambiguously:
+
+* three applications A1/A2/A3 whose windows "simulate the varied mix of
+  short and long time windows", with ``U_max`` uniform in (per-app)
+  ranges and UAM parameters ``⟨a, P⟩`` per app;
+* the AMD K6-2+ PowerNow! frequency ladder;
+* three energy settings E1–E3, E1 being the conventional CPU-only cubic
+  model;
+* Figure 2: loads ϱ from 0.2 to 1.8, ``{ν=1, ρ=0.96}``, periodic task
+  sets, step TUFs;
+* Figure 3: linear TUFs, ``{ν=0.3, ρ=0.9}``, E1, ``a ∈ {1, 2, 3}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..cpu import EnergyModel, FrequencyScale
+
+__all__ = [
+    "AppSetting",
+    "TABLE1",
+    "energy_setting",
+    "TABLE2_NAMES",
+    "FIGURE2_LOADS",
+    "FIGURE2_REQUIREMENT",
+    "FIGURE3_LOADS",
+    "FIGURE3_REQUIREMENT",
+    "FIGURE3_BURSTS",
+    "DEFAULT_SEEDS",
+    "DEFAULT_HORIZON",
+]
+
+
+@dataclass(frozen=True)
+class AppSetting:
+    """One application row of Table 1.
+
+    ``window_range`` bounds the uniformly drawn UAM window ``P``
+    (seconds); ``umax_range`` bounds the uniformly drawn TUF maximum
+    utility; ``max_arrivals`` is the UAM ``a``.
+    """
+
+    name: str
+    n_tasks: int
+    max_arrivals: int
+    window_range: Tuple[float, float]
+    umax_range: Tuple[float, float]
+
+
+#: Table 1 reconstruction (see DESIGN.md): a short-window bursty
+#: application, a long-window modest one, and a wide-spread one.
+TABLE1: Tuple[AppSetting, ...] = (
+    AppSetting("A1", n_tasks=4, max_arrivals=5, window_range=(0.050, 0.100), umax_range=(50.0, 70.0)),
+    AppSetting("A2", n_tasks=6, max_arrivals=2, window_range=(0.500, 0.700), umax_range=(30.0, 40.0)),
+    AppSetting("A3", n_tasks=8, max_arrivals=3, window_range=(0.100, 1.000), umax_range=(10.0, 100.0)),
+)
+
+TABLE2_NAMES: Tuple[str, ...] = ("E1", "E2", "E3")
+
+
+def energy_setting(name: str, f_max: float = 1000.0) -> EnergyModel:
+    """Instantiate a Table 2 energy setting for the given ``f_max``."""
+    key = name.upper()
+    if key == "E1":
+        return EnergyModel.e1()
+    if key == "E2":
+        return EnergyModel.e2(f_max)
+    if key == "E3":
+        return EnergyModel.e3(f_max)
+    raise KeyError(f"unknown energy setting {name!r}; expected one of {TABLE2_NAMES}")
+
+
+#: Figure 2 sweeps the load from 0.2 to 1.8 in steps of 0.2.
+FIGURE2_LOADS: Tuple[float, ...] = tuple(round(0.2 * k, 1) for k in range(1, 10))
+
+#: Figure 2 statistical requirement {ν=1, ρ=0.96} (step TUFs).
+FIGURE2_REQUIREMENT: Tuple[float, float] = (1.0, 0.96)
+
+#: Figure 3 uses the same load axis.
+FIGURE3_LOADS: Tuple[float, ...] = FIGURE2_LOADS
+
+#: Figure 3 statistical requirement {ν=0.3, ρ=0.9} (linear TUFs).
+FIGURE3_REQUIREMENT: Tuple[float, float] = (0.3, 0.9)
+
+#: Figure 3 varies the UAM burst parameter a from 1 to 3.
+FIGURE3_BURSTS: Tuple[int, ...] = (1, 2, 3)
+
+#: Default replication seeds for every experiment driver.
+DEFAULT_SEEDS: Tuple[int, ...] = (11, 13, 17)
+
+#: Default simulated horizon (seconds) — a few hundred jobs per task
+#: for the shortest Table 1 windows.
+DEFAULT_HORIZON: float = 8.0

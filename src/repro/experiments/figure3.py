@@ -1,0 +1,100 @@
+"""Figure 3 — EUA*'s energy vs load under different UAM burst sizes.
+
+Section 5.2: every task gets a **linear** TUF (slope ``U_max / P``),
+requirement ``{ν=0.3, ρ=0.9}``, energy setting E1.  The UAM parameter
+``a`` sweeps 1→3 while the load ϱ sweeps 0.2→1.8; reported energy is
+normalised to **EUA\\* without DVS** (always ``f_m``) on the same
+workload.
+
+Expected shape (paper): during overloads energy is insensitive to
+``a``; during underloads energy *rises* with ``a`` because burstier
+arrivals spoil slack estimation (at ϱ=0.5 the paper reads ≈0.26 for
+⟨1,P⟩ and ≈0.61 for ⟨3,P⟩).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.stats import SummaryStat, summarize
+from ..core import EUAStar
+from ..sim import Platform, compare, materialize
+from .config import (
+    DEFAULT_HORIZON,
+    DEFAULT_SEEDS,
+    FIGURE3_BURSTS,
+    FIGURE3_LOADS,
+    FIGURE3_REQUIREMENT,
+    TABLE1,
+    energy_setting,
+)
+from .workload import synthesize_taskset
+
+__all__ = ["Figure3Result", "run_figure3"]
+
+
+@dataclass
+class Figure3Result:
+    """Normalised EUA* energy per (burst size, load)."""
+
+    #: energy[a][load] = normalised energy (vs EUA* pinned at f_max).
+    energy: Dict[int, Dict[float, SummaryStat]] = field(default_factory=dict)
+
+    def series(self, a: int) -> List[Tuple[float, float]]:
+        return [(load, stat.mean) for load, stat in sorted(self.energy[a].items())]
+
+    def rows(self) -> List[Dict[str, object]]:
+        out: List[Dict[str, object]] = []
+        for a, by_load in sorted(self.energy.items()):
+            for load, stat in sorted(by_load.items()):
+                out.append({"a": a, "load": load, "norm_energy": stat.mean})
+        return out
+
+
+def run_figure3(
+    bursts: Sequence[int] = FIGURE3_BURSTS,
+    loads: Sequence[float] = FIGURE3_LOADS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    horizon: float = DEFAULT_HORIZON,
+    apps=TABLE1,
+    f_max: float = 1000.0,
+    energy_setting_name: str = "E1",
+) -> Figure3Result:
+    """Run the Figure 3 experiment."""
+    nu, rho = FIGURE3_REQUIREMENT
+    platform = Platform.powernow_k6(energy_setting(energy_setting_name, f_max))
+    result = Figure3Result()
+    for a in bursts:
+        by_load: Dict[float, SummaryStat] = {}
+        for load in loads:
+            ratios: List[float] = []
+            for seed in seeds:
+                rng = np.random.default_rng(seed)
+                taskset = synthesize_taskset(
+                    target_load=load,
+                    rng=rng,
+                    apps=apps,
+                    tuf_shape="linear",
+                    nu=nu,
+                    rho=rho,
+                    f_max=f_max,
+                    arrival_mode="poisson",
+                    burst_override=a,
+                )
+                trace = materialize(taskset, horizon, rng)
+                runs = compare(
+                    [
+                        EUAStar(name="EUA*"),
+                        EUAStar(name="EUA*-noDVS", use_dvs=False),
+                    ],
+                    trace,
+                    platform=platform,
+                )
+                denom = runs["EUA*-noDVS"].energy
+                ratios.append(runs["EUA*"].energy / denom if denom > 0 else 1.0)
+            by_load[load] = summarize(ratios)
+        result.energy[a] = by_load
+    return result

@@ -1,0 +1,89 @@
+"""JSON persistence for experiment results.
+
+Figure sweeps are minutes of compute; these helpers serialise their
+results so analysis/plotting can iterate without re-running, and so CI
+can archive the reproduced curves next to ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Union
+
+from ..analysis.stats import SummaryStat
+from .figure2 import Figure2Point, Figure2Result
+from .figure3 import Figure3Result
+
+__all__ = ["to_json", "from_json", "save_result", "load_result"]
+
+
+def _stat_to_dict(stat: SummaryStat) -> Dict[str, float]:
+    return {"mean": stat.mean, "std": stat.std, "n": stat.n,
+            "half_width": stat.half_width}
+
+
+def _stat_from_dict(d: Dict[str, float]) -> SummaryStat:
+    return SummaryStat(d["mean"], d["std"], int(d["n"]), d["half_width"])
+
+
+def to_json(result: Union[Figure2Result, Figure3Result]) -> str:
+    """Serialise a figure result to a JSON string."""
+    if isinstance(result, Figure2Result):
+        payload = {
+            "kind": "figure2",
+            "energy_setting": result.energy_setting,
+            "points": [
+                {
+                    "load": p.load,
+                    "utility": {k: _stat_to_dict(v) for k, v in p.utility.items()},
+                    "energy": {k: _stat_to_dict(v) for k, v in p.energy.items()},
+                }
+                for p in result.points
+            ],
+        }
+    elif isinstance(result, Figure3Result):
+        payload = {
+            "kind": "figure3",
+            "energy": {
+                str(a): {str(load): _stat_to_dict(stat) for load, stat in by_load.items()}
+                for a, by_load in result.energy.items()
+            },
+        }
+    else:
+        raise TypeError(f"unsupported result type {type(result).__name__}")
+    return json.dumps(payload, indent=2)
+
+
+def from_json(text: str) -> Union[Figure2Result, Figure3Result]:
+    """Deserialise a figure result from :func:`to_json` output."""
+    payload = json.loads(text)
+    kind = payload.get("kind")
+    if kind == "figure2":
+        result = Figure2Result(energy_setting=payload["energy_setting"])
+        for p in payload["points"]:
+            result.points.append(
+                Figure2Point(
+                    load=float(p["load"]),
+                    utility={k: _stat_from_dict(v) for k, v in p["utility"].items()},
+                    energy={k: _stat_from_dict(v) for k, v in p["energy"].items()},
+                )
+            )
+        return result
+    if kind == "figure3":
+        result = Figure3Result()
+        for a, by_load in payload["energy"].items():
+            result.energy[int(a)] = {
+                float(load): _stat_from_dict(stat) for load, stat in by_load.items()
+            }
+        return result
+    raise ValueError(f"unknown result kind {kind!r}")
+
+
+def save_result(result: Union[Figure2Result, Figure3Result], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_json(result))
+
+
+def load_result(path: str) -> Union[Figure2Result, Figure3Result]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return from_json(fh.read())

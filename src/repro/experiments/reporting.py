@@ -1,0 +1,75 @@
+"""Plain-text and CSV reporting for experiment results.
+
+The benchmarks print the same rows/series the paper's figures plot, so
+a reader can eyeball the reproduction without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["ascii_table", "series_chart", "rows_to_csv"]
+
+
+def ascii_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str]) -> str:
+    """Fixed-width table from dict rows."""
+    if not rows:
+        return "(no rows)"
+    widths = {c: len(c) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for c in columns:
+            v = row.get(c, "")
+            text = f"{v:.3f}" if isinstance(v, float) else str(v)
+            widths[c] = max(widths[c], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    rule = "  ".join("-" * widths[c] for c in columns)
+    body = "\n".join(
+        "  ".join(cell.ljust(widths[c]) for cell, c in zip(cells, columns))
+        for cells in rendered
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def series_chart(
+    series: Mapping[str, Sequence[tuple]],
+    width: int = 48,
+    y_max: float = None,
+    title: str = "",
+) -> str:
+    """Minimal horizontal-bar chart: one block per (x, y) sample.
+
+    Suits the figures' normalised metrics (0..~1.2); bars are scaled to
+    ``y_max`` (auto when omitted).
+    """
+    if y_max is None:
+        y_max = max(
+            (y for points in series.values() for _, y in points), default=1.0
+        )
+        y_max = max(y_max, 1e-9)
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    for name, points in series.items():
+        out.write(f"[{name}]\n")
+        for x, y in points:
+            bar = "#" * max(0, int(round(width * min(y, y_max) / y_max)))
+            out.write(f"  x={x:<6g} {y:7.3f} |{bar}\n")
+    return out.getvalue().rstrip("\n")
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]], columns: Sequence[str]) -> str:
+    """CSV text from dict rows (no file side effects)."""
+    out = io.StringIO()
+    out.write(",".join(columns) + "\n")
+    for row in rows:
+        cells = []
+        for c in columns:
+            v = row.get(c, "")
+            cells.append(f"{v:.6g}" if isinstance(v, float) else str(v))
+        out.write(",".join(cells) + "\n")
+    return out.getvalue()

@@ -1,0 +1,130 @@
+"""Parameter-sensitivity sweeps.
+
+Beyond the paper's two figures, these drivers answer the questions a
+deployment engineer asks before trusting the numbers: how do the
+results move with the assurance level ρ, the task-set size, the window
+spread, and the frequency-ladder granularity?  Each returns plain row
+dicts for :func:`~repro.experiments.reporting.ascii_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis import verify_assurances
+from ..core import EUAStar
+from ..cpu import FrequencyScale
+from ..sched import EDFStatic
+from ..sim import Platform, compare, materialize
+from .config import DEFAULT_HORIZON, DEFAULT_SEEDS, AppSetting, TABLE1, energy_setting
+from .workload import synthesize_taskset
+
+__all__ = [
+    "sweep_rho",
+    "sweep_taskset_size",
+    "sweep_ladder_granularity",
+]
+
+
+def _normalised_energy(
+    taskset_factory,
+    seeds: Sequence[int],
+    horizon: float,
+    platform: Platform,
+):
+    energies, utils, attain = [], [], []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        taskset = taskset_factory(rng)
+        trace = materialize(taskset, horizon, rng)
+        runs = compare([EUAStar(), EDFStatic()], trace, platform=platform)
+        energies.append(runs["EUA*"].energy / runs["EDF"].energy)
+        utils.append(runs["EUA*"].metrics.normalized_utility)
+        reports = verify_assurances(runs["EUA*"], taskset)
+        attain.append(min(r.attainment for r in reports.values()))
+    return (
+        float(np.mean(energies)),
+        float(np.mean(utils)),
+        float(np.mean(attain)),
+    )
+
+
+def sweep_rho(
+    rhos: Sequence[float] = (0.5, 0.9, 0.96, 0.99),
+    load: float = 0.7,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    horizon: float = DEFAULT_HORIZON,
+) -> List[Dict[str, float]]:
+    """Assurance level vs energy: stronger ρ ⇒ fatter budgets ⇒ higher
+    frequencies.  (The workload keeps significant demand variance so ρ
+    actually moves the allocation.)"""
+    platform = Platform(energy_model=energy_setting("E1"))
+    rows = []
+    for rho in rhos:
+        def factory(rng, rho=rho):
+            ts = synthesize_taskset(load, rng, tuf_shape="linear", nu=0.3, rho=rho)
+            return ts
+
+        energy, util, attain = _normalised_energy(factory, seeds, horizon, platform)
+        rows.append({"rho": rho, "norm_energy": energy, "utility": util,
+                     "min_attainment": attain})
+    return rows
+
+
+def sweep_taskset_size(
+    multipliers: Sequence[int] = (1, 2, 3),
+    load: float = 0.7,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    horizon: float = DEFAULT_HORIZON,
+) -> List[Dict[str, float]]:
+    """Task-set size at constant load: more, smaller tasks give the
+    deferral more interleaving opportunities but cost more scheduling
+    events."""
+    platform = Platform(energy_model=energy_setting("E1"))
+    rows = []
+    for mult in multipliers:
+        apps = tuple(
+            AppSetting(a.name, a.n_tasks * mult, a.max_arrivals,
+                       a.window_range, a.umax_range)
+            for a in TABLE1
+        )
+
+        def factory(rng, apps=apps):
+            return synthesize_taskset(load, rng, apps=apps)
+
+        energy, util, attain = _normalised_energy(factory, seeds, horizon, platform)
+        rows.append({
+            "n_tasks": sum(a.n_tasks for a in apps),
+            "norm_energy": energy,
+            "utility": util,
+            "min_attainment": attain,
+        })
+    return rows
+
+
+def sweep_ladder_granularity(
+    level_counts: Sequence[int] = (2, 4, 7, 14),
+    load: float = 0.6,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    horizon: float = DEFAULT_HORIZON,
+) -> List[Dict[str, float]]:
+    """Frequency-ladder granularity: with only {f_min, f_max} DVS can
+    barely modulate; finer ladders approach the continuous optimum.
+    The 7-level row is the PowerNow! part itself."""
+    rows = []
+    for m in level_counts:
+        if m == 7:
+            scale = FrequencyScale.powernow_k6()
+        else:
+            scale = FrequencyScale.uniform(360.0, 1000.0, m)
+        platform = Platform(scale=scale, energy_model=energy_setting("E1"))
+
+        def factory(rng):
+            return synthesize_taskset(load, rng)
+
+        energy, util, attain = _normalised_energy(factory, seeds, horizon, platform)
+        rows.append({"levels": m, "norm_energy": energy, "utility": util,
+                     "min_attainment": attain})
+    return rows

@@ -1,0 +1,109 @@
+"""Workload synthesis (paper §5).
+
+Builds randomized task sets from the Table 1 application settings:
+windows and ``U_max`` drawn uniformly from per-application ranges, TUF
+shape per experiment (step for Figure 2, linear for Figure 3), demands
+normally distributed with ``Var(Y) ≈ E(Y)`` *in raw cycles* (in the
+library's Mcycle unit that is ``variance = mean × 1e-6``), and finally
+a single scale constant ``k`` applied to all means (``k²`` to all
+variances) so the system load ``ϱ = (1/f_m) Σ C_i/D_i`` matches the
+requested sweep point — exactly the paper's procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..arrivals import (
+    BurstUAMArrivals,
+    PeriodicArrivals,
+    PoissonUAMArrivals,
+    ScatteredUAMArrivals,
+    UAMSpec,
+)
+from ..demand import NormalDemand
+from ..sim.task import Task, TaskSet
+from ..tuf import TUF, LinearTUF, StepTUF
+from .config import TABLE1, AppSetting
+
+__all__ = ["synthesize_taskset", "VAR_PER_MEAN"]
+
+#: ``Var(Y) = E(Y)`` in raw cycles ⇒ this factor in Mcycles².
+VAR_PER_MEAN = 1e-6
+
+
+def _make_tuf(shape: str, umax: float, window: float) -> TUF:
+    if shape == "step":
+        return StepTUF(height=umax, deadline=window)
+    if shape == "linear":
+        # Section 5.2: slope = U_max / P, decaying to zero at the window.
+        return LinearTUF(max_utility=umax, termination=window)
+    raise ValueError(f"unknown TUF shape {shape!r} (expected 'step' or 'linear')")
+
+
+def synthesize_taskset(
+    target_load: float,
+    rng: np.random.Generator,
+    apps: Sequence[AppSetting] = TABLE1,
+    tuf_shape: str = "step",
+    nu: float = 1.0,
+    rho: float = 0.96,
+    f_max: float = 1000.0,
+    arrival_mode: str = "periodic",
+    burst_override: Optional[int] = None,
+) -> TaskSet:
+    """One randomized task set at system load ``target_load``.
+
+    Parameters
+    ----------
+    arrival_mode:
+        ``"periodic"`` releases one job per window (Figure 2's periodic
+        task sets — the UAM special case ``⟨1, P⟩``); ``"burst"``
+        releases UAM-adversarial bursts of ``a`` simultaneous jobs at
+        window starts (predictable worst case); ``"scattered"`` places
+        up to ``a`` arrivals per window at uniform random instants;
+        ``"poisson"`` admits a Poisson stream through the UAM envelope
+        (maximally unpredictable — used for Figure 3, whose effect is
+        precisely that unpredictable UAM arrivals spoil slack
+        estimation).
+    burst_override:
+        Replace every application's ``a`` with this value (Figure 3
+        sweeps ``a ∈ {1, 2, 3}`` over the same task set shape).
+    """
+    if arrival_mode not in ("periodic", "burst", "scattered", "poisson"):
+        raise ValueError(f"unknown arrival mode {arrival_mode!r}")
+    tasks: List[Task] = []
+    for app in apps:
+        for j in range(app.n_tasks):
+            window = float(rng.uniform(*app.window_range))
+            umax = float(rng.uniform(*app.umax_range))
+            a = burst_override if burst_override is not None else app.max_arrivals
+            if arrival_mode == "periodic":
+                spec = UAMSpec(1, window)
+                arrivals = PeriodicArrivals(window)
+            else:
+                spec = UAMSpec(a, window)
+                if arrival_mode == "burst":
+                    arrivals = BurstUAMArrivals(spec)
+                elif arrival_mode == "scattered":
+                    arrivals = ScatteredUAMArrivals(spec)
+                else:  # poisson
+                    arrivals = PoissonUAMArrivals(spec, rate=2.0 * a / window)
+            # Base mean before load scaling: equal per-task load shares
+            # (the common k rescales everything afterwards).
+            mean = 0.2 * window * f_max / spec.max_arrivals
+            demand = NormalDemand(mean, mean * VAR_PER_MEAN)
+            tasks.append(
+                Task(
+                    name=f"{app.name}.{j}",
+                    tuf=_make_tuf(tuf_shape, umax, window),
+                    demand=demand,
+                    uam=spec,
+                    arrivals=arrivals,
+                    nu=nu,
+                    rho=rho,
+                )
+            )
+    return TaskSet(tasks).scaled_to_load(target_load, f_max)

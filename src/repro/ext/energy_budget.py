@@ -1,0 +1,126 @@
+"""Scheduling under a finite energy budget (paper §6 future work).
+
+"Future work includes scheduling under finite energy budgets" — this
+module implements that extension: :class:`BudgetedEUA` runs EUA* while
+tracking cumulative system energy, and adapts as the battery drains:
+
+* **green zone** (plenty of budget): behave exactly like EUA*;
+* **yellow zone** (projected depletion before the mission horizon):
+  become selective — only admit jobs into ``σ`` whose UER clears an
+  adaptive threshold, spending the scarce joules on the most valuable
+  work per joule (the paper's overload rationale, applied to energy);
+* **red zone** (budget exhausted): stop dispatching entirely.
+
+The admission threshold scales with scarcity: with fraction ``r`` of
+the budget left versus fraction ``h`` of the mission horizon left, the
+policy keeps only jobs whose UER is at least ``(1 − r/h)`` of the best
+pending UER when energy is running behind schedule (``r < h``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.decide_freq import decide_freq
+from ..core.eua import job_uer
+from ..core.feasibility import insert_by_critical_time, job_feasible, schedule_feasible
+from ..core.offline import TaskParams, offline_computing
+from ..cpu import EnergyModel, FrequencyScale
+from ..sim.job import Job
+from ..sim.scheduler import Decision, Scheduler, SchedulerView
+from ..sim.task import TaskSet
+
+__all__ = ["BudgetedEUA"]
+
+
+class BudgetedEUA(Scheduler):
+    """EUA* with a finite energy budget over a mission horizon.
+
+    Parameters
+    ----------
+    budget:
+        Total system energy available (same units as the platform's
+        :class:`~repro.cpu.EnergyModel` integrates).
+    mission_horizon:
+        Time by which the budget must last (seconds).  Scarcity is
+        judged against proportional drain: at time ``t`` the policy
+        wants at least ``(1 − t/horizon)`` of the budget left.
+    """
+
+    def __init__(
+        self,
+        budget: float,
+        mission_horizon: float,
+        name: str = "EUA*-budget",
+        use_fopt_bound: bool = True,
+    ):
+        if budget <= 0.0:
+            raise ValueError(f"budget must be > 0, got {budget!r}")
+        if mission_horizon <= 0.0:
+            raise ValueError(f"mission horizon must be > 0, got {mission_horizon!r}")
+        self.name = name
+        self.budget = float(budget)
+        self.mission_horizon = float(mission_horizon)
+        self.use_fopt_bound = bool(use_fopt_bound)
+        self._params: Dict[str, TaskParams] = {}
+        #: Exposed for tests/benches: count of jobs rejected for energy.
+        self.energy_rejections = 0
+
+    def setup(self, taskset: TaskSet, scale: FrequencyScale, energy_model: EnergyModel) -> None:
+        self._params = offline_computing(taskset, scale, energy_model)
+        self.energy_rejections = 0
+
+    # ------------------------------------------------------------------
+    def remaining_budget_fraction(self, view: SchedulerView) -> float:
+        """Fraction of the energy budget still available."""
+        return max(0.0, 1.0 - view.energy_consumed / self.budget)
+
+    def _admission_floor(self, view: SchedulerView) -> float:
+        """Fraction of the best pending UER a job must reach (0 = all)."""
+        r = self.remaining_budget_fraction(view)
+        if r <= 0.0:
+            return float("inf")  # red zone: admit nothing
+        h = max(1e-9, 1.0 - view.time / self.mission_horizon)
+        if r >= h:
+            return 0.0  # green zone: energy ahead of schedule
+        return 1.0 - r / h  # yellow zone: selectivity grows with deficit
+
+    # ------------------------------------------------------------------
+    def decide(self, view: SchedulerView) -> Decision:
+        t = view.time
+        f_m = view.scale.f_max
+        model = view.energy_model
+
+        floor = self._admission_floor(view)
+        aborts: List[Job] = []
+        ranked: List[Tuple[float, Job]] = []
+        for job in view.ready:
+            if not job_feasible(job, t, f_m):
+                if job.task.abortable:
+                    aborts.append(job)
+                continue
+            ranked.append((job_uer(job, t, f_m, model), job))
+        ranked.sort(key=lambda e: (-e[0], e[1].critical_time, e[1].release))
+
+        if floor == float("inf") or not ranked:
+            return Decision(job=None, frequency=f_m, aborts=tuple(aborts))
+        best_uer = ranked[0][0]
+        threshold = floor * best_uer
+
+        sigma: List[Job] = []
+        for uer, job in ranked:
+            if uer <= 0.0:
+                break
+            if uer < threshold:
+                self.energy_rejections += 1
+                continue
+            tentative = insert_by_critical_time(sigma, job)
+            if schedule_feasible(tentative, t, f_m):
+                sigma = tentative
+
+        if not sigma:
+            return Decision(job=None, frequency=f_m, aborts=tuple(aborts))
+        head = sigma[0]
+        working_view = view.without(aborts) if aborts else view
+        f_exe = decide_freq(working_view, head, self._params, self.use_fopt_bound)
+        return Decision(job=head, frequency=f_exe, aborts=tuple(aborts))

@@ -1,0 +1,197 @@
+"""Energy-harvesting scheduling (rechargeable systems).
+
+The paper's related work cites Rusu–Melhem–Mossé's rechargeable
+energy-aware scheduling [14]; its own future work asks for "scheduling
+under finite energy budgets".  :class:`HarvestingEUA` combines the two:
+the battery *replenishes* at a (piecewise-constant) harvest rate while
+the system runs, and the scheduler adapts EUA* to the current state of
+charge:
+
+* **surplus** (charge above the comfort band): plain EUA*;
+* **conserving** (inside the band): raise selectivity like
+  :class:`~repro.ext.energy_budget.BudgetedEUA`, and never run below
+  the energy-optimal frequency (wasting scarce joules per cycle is
+  worse when they trickle in);
+* **depleted** (empty battery): idle until the harvest restores the
+  reserve threshold.
+
+The battery model is deliberately simple — capacity, charge, constant
+harvest segments — because the scheduling question (what to run, how
+fast, given the charge trajectory) is the interesting part.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.decide_freq import decide_freq
+from ..core.eua import job_uer
+from ..core.feasibility import insert_by_critical_time, job_feasible, schedule_feasible
+from ..core.offline import TaskParams, offline_computing
+from ..cpu import EnergyModel, FrequencyScale, energy_optimal_frequency
+from ..sim.job import Job
+from ..sim.scheduler import Decision, Scheduler, SchedulerView
+from ..sim.task import TaskSet
+
+__all__ = ["HarvestProfile", "HarvestingEUA"]
+
+
+class HarvestProfile:
+    """Piecewise-constant harvest power over time.
+
+    ``segments`` is a list of ``(start_time, power)`` with increasing
+    start times; the first segment should start at 0.  Energy harvested
+    over ``[0, t]`` is the integral of the step function.
+    """
+
+    def __init__(self, segments: Sequence[Tuple[float, float]]):
+        if not segments:
+            raise ValueError("need at least one harvest segment")
+        starts = [s for s, _ in segments]
+        if starts[0] != 0.0:
+            raise ValueError("first harvest segment must start at t=0")
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ValueError("segment start times must strictly increase")
+        if any(p < 0.0 for _, p in segments):
+            raise ValueError("harvest power must be >= 0")
+        self._starts = starts
+        self._powers = [p for _, p in segments]
+
+    @classmethod
+    def constant(cls, power: float) -> "HarvestProfile":
+        return cls([(0.0, power)])
+
+    def power_at(self, t: float) -> float:
+        i = bisect.bisect_right(self._starts, t) - 1
+        return self._powers[max(0, i)]
+
+    def harvested(self, until: float) -> float:
+        """Total energy harvested over ``[0, until]``."""
+        if until <= 0.0:
+            return 0.0
+        total = 0.0
+        for i, start in enumerate(self._starts):
+            end = self._starts[i + 1] if i + 1 < len(self._starts) else float("inf")
+            lo, hi = start, min(end, until)
+            if hi > lo:
+                total += self._powers[i] * (hi - lo)
+            if end >= until:
+                break
+        return total
+
+
+class HarvestingEUA(Scheduler):
+    """EUA* on a rechargeable battery.
+
+    Parameters
+    ----------
+    capacity:
+        Battery capacity (energy units of the platform's model).
+    initial_charge:
+        State of charge at t = 0 (defaults to full).
+    harvest:
+        The replenishment profile.
+    reserve_fraction:
+        Below this state of charge the scheduler idles to recover
+        ("depleted" zone).
+    comfort_fraction:
+        Above this state of charge it behaves as plain EUA*
+        ("surplus" zone); in between it is selective.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        harvest: HarvestProfile,
+        initial_charge: Optional[float] = None,
+        reserve_fraction: float = 0.05,
+        comfort_fraction: float = 0.5,
+        name: str = "EUA*-harvest",
+    ):
+        if capacity <= 0.0:
+            raise ValueError(f"capacity must be > 0, got {capacity!r}")
+        if not (0.0 <= reserve_fraction < comfort_fraction <= 1.0):
+            raise ValueError("need 0 <= reserve < comfort <= 1")
+        self.name = name
+        self.capacity = float(capacity)
+        self.harvest = harvest
+        self.initial_charge = capacity if initial_charge is None else float(initial_charge)
+        if not (0.0 <= self.initial_charge <= capacity):
+            raise ValueError("initial charge must lie within capacity")
+        self.reserve_fraction = float(reserve_fraction)
+        self.comfort_fraction = float(comfort_fraction)
+        self._params: Dict[str, TaskParams] = {}
+        self._f_energy_opt: Optional[float] = None
+        #: Diagnostics for benches/tests.
+        self.depleted_decisions = 0
+
+    def setup(self, taskset: TaskSet, scale: FrequencyScale, energy_model: EnergyModel) -> None:
+        self._params = offline_computing(taskset, scale, energy_model)
+        self._f_energy_opt = energy_optimal_frequency(energy_model, scale)
+        self.depleted_decisions = 0
+
+    # ------------------------------------------------------------------
+    def state_of_charge(self, view: SchedulerView) -> float:
+        """Current charge: initial + harvested − consumed, clamped."""
+        charge = (
+            self.initial_charge
+            + self.harvest.harvested(view.time)
+            - view.energy_consumed
+        )
+        return max(0.0, min(self.capacity, charge))
+
+    def _zone(self, soc: float) -> str:
+        frac = soc / self.capacity
+        if frac <= self.reserve_fraction:
+            return "depleted"
+        if frac >= self.comfort_fraction:
+            return "surplus"
+        return "conserving"
+
+    # ------------------------------------------------------------------
+    def decide(self, view: SchedulerView) -> Decision:
+        t = view.time
+        f_m = view.scale.f_max
+        model = view.energy_model
+        soc = self.state_of_charge(view)
+        zone = self._zone(soc)
+
+        if zone == "depleted":
+            self.depleted_decisions += 1
+            return Decision(job=None, frequency=f_m)
+
+        aborts: List[Job] = []
+        ranked: List[Tuple[float, Job]] = []
+        for job in view.ready:
+            if not job_feasible(job, t, f_m):
+                if job.task.abortable:
+                    aborts.append(job)
+                continue
+            ranked.append((job_uer(job, t, f_m, model), job))
+        ranked.sort(key=lambda e: (-e[0], e[1].critical_time, e[1].release))
+
+        if zone == "conserving" and ranked:
+            # Selectivity grows as the charge sinks toward the reserve.
+            span = self.comfort_fraction - self.reserve_fraction
+            deficit = (self.comfort_fraction - soc / self.capacity) / span
+            threshold = deficit * ranked[0][0]
+            ranked = [(u, j) for u, j in ranked if u >= threshold]
+
+        sigma: List[Job] = []
+        for uer, job in ranked:
+            if uer <= 0.0:
+                break
+            tentative = insert_by_critical_time(sigma, job)
+            if schedule_feasible(tentative, t, f_m):
+                sigma = tentative
+
+        if not sigma:
+            return Decision(job=None, frequency=f_m, aborts=tuple(aborts))
+        head = sigma[0]
+        working = view.without(aborts) if aborts else view
+        f_exe = decide_freq(working, head, self._params, use_fopt_bound=True)
+        if zone == "conserving" and self._f_energy_opt is not None:
+            # Never burn scarce joules below the per-cycle optimum.
+            f_exe = max(f_exe, self._f_energy_opt)
+        return Decision(job=head, frequency=f_exe, aborts=tuple(aborts))

@@ -1,0 +1,101 @@
+"""Progress-based utility accrual (paper §6 future work).
+
+"…considering activity models where activities accrue utility as a
+function of their progress."  Here an activity that executed a fraction
+``p`` of its cycles by time ``t`` accrues ``p · U(t)`` even when it was
+aborted or expired — the anytime-algorithm model (e.g. iterative
+refinement loops whose partial output is still useful).
+
+Two pieces:
+
+* :func:`progress_utility` — the per-job accounting rule;
+* :class:`ProgressMetrics` — re-scores a finished simulation under the
+  progress model, so any scheduler's run can be compared under both
+  accounting rules without re-simulating;
+* :class:`ProgressAwareEUA` — an EUA* variant whose ranking metric
+  weighs the *marginal* utility of the remaining cycles (a job near
+  completion has almost all of its utility already banked, so finishing
+  it buys little under the progress model — the opposite of the step
+  model where unfinished work is worthless).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.eua import EUAStar
+from ..core.offline import MIN_UER_CYCLES
+from ..cpu import EnergyModel
+from ..sim.engine import SimulationResult
+from ..sim.job import Job, JobStatus
+from ..sim.task import TaskSet
+
+__all__ = ["progress_utility", "ProgressMetrics", "ProgressAwareEUA"]
+
+
+def progress_utility(job: Job) -> float:
+    """Utility under the progress-accrual model.
+
+    * completed: full ``U(completion)`` — progress is 1;
+    * aborted/expired at time ``T`` with fraction ``p`` executed:
+      ``p · U(T)`` (zero past the termination time, as ``U`` is);
+    * still pending: 0 (nothing banked until the activity yields).
+    """
+    if job.status is JobStatus.COMPLETED:
+        return job.accrued_utility
+    if job.status in (JobStatus.ABORTED, JobStatus.EXPIRED):
+        if job.abort_time is None:
+            return 0.0
+        p = min(1.0, job.executed / job.demand)
+        return p * job.utility_at(job.abort_time)
+    return 0.0
+
+
+class ProgressMetrics:
+    """Re-scored utilities for a finished run under progress accrual."""
+
+    def __init__(self, result: SimulationResult, taskset: TaskSet):
+        self.result = result
+        self.taskset = taskset
+        self.per_task: Dict[str, float] = {t.name: 0.0 for t in taskset}
+        self.max_per_task: Dict[str, float] = {t.name: 0.0 for t in taskset}
+        for job in result.jobs:
+            self.per_task[job.task.name] += progress_utility(job)
+            self.max_per_task[job.task.name] += job.max_utility
+
+    @property
+    def accrued_utility(self) -> float:
+        return sum(self.per_task.values())
+
+    @property
+    def normalized_utility(self) -> float:
+        denom = sum(self.max_per_task.values())
+        return self.accrued_utility / denom if denom > 0 else 0.0
+
+    @property
+    def uplift_vs_completion_model(self) -> float:
+        """Extra utility the progress model credits for partial work."""
+        return self.accrued_utility - self.result.metrics.accrued_utility
+
+
+class ProgressAwareEUA(EUAStar):
+    """EUA* ranking by *marginal* UER under progress accrual.
+
+    Under progress accrual a job that is fraction ``p`` complete has
+    banked ``p`` of its utility; executing its remaining cycles earns
+    only ``(1 − p) · U``.  The marginal UER is therefore
+
+        (1 − p) · U(t + c_r/f_m) / (E(f_m) · c_r)
+
+    which deprioritises almost-finished jobs relative to classic EUA*
+    (whose UER *rises* as ``c_r`` shrinks).
+    """
+
+    def __init__(self, name: str = "EUA*-progress", **kwargs):
+        super().__init__(name=name, **kwargs)
+
+    def _metric(self, job: Job, t: float, f_m: float, model: EnergyModel) -> float:
+        c = max(job.remaining_budget, MIN_UER_CYCLES)
+        progress = min(1.0, job.executed / max(job.allocated, MIN_UER_CYCLES))
+        marginal = (1.0 - progress) * job.utility_at(t + c / f_m)
+        return marginal / (model.energy_per_cycle(f_m) * c)

@@ -1,0 +1,95 @@
+"""Mutual-exclusion auditing from recorded execution traces.
+
+Since the engine is resource-agnostic, a resource-aware policy's
+correctness is verified *post hoc*: replay the trace and check that,
+for every resource, the execution segments of distinct holding jobs
+never interleave inside their holding spans.
+
+With whole-job critical sections a job holds its resources from its
+first executed instant to its completion/abort instant; interleaving
+means another job of the same resource executed inside that span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.engine import SimulationResult
+from ..sim.job import JobStatus
+from .model import ResourceMap
+
+__all__ = ["ExclusionViolation", "audit_mutual_exclusion"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ExclusionViolation:
+    """One detected overlap on a resource."""
+
+    resource: str
+    holder: str
+    intruder: str
+    time: float
+
+
+def _holding_spans(result: SimulationResult, resources: ResourceMap) -> Dict[str, List[Tuple[float, float, str]]]:
+    """Per resource: (start, end, job_key) holding intervals."""
+    trace = result.trace
+    if trace is None:
+        raise ValueError("audit requires a run with record_trace=True")
+    first_exec: Dict[str, float] = {}
+    for seg in trace.busy_segments():
+        if seg.job_key not in first_exec:
+            first_exec[seg.job_key] = seg.start
+    spans: Dict[str, List[Tuple[float, float, str]]] = {}
+    for job in result.jobs:
+        if job.key not in first_exec:
+            continue  # never ran: never held anything
+        needs = resources.resources_of(job.task.name)
+        if not needs:
+            continue
+        start = first_exec[job.key]
+        if job.status is JobStatus.COMPLETED:
+            end = job.completion_time
+        elif job.abort_time is not None:
+            end = job.abort_time
+        else:  # still pending at the horizon: held to the end
+            end = result.horizon
+        for r in needs:
+            spans.setdefault(r, []).append((start, end, job.key))
+    return spans
+
+
+def audit_mutual_exclusion(
+    result: SimulationResult, resources: ResourceMap
+) -> List[ExclusionViolation]:
+    """All mutual-exclusion violations in a recorded run (empty = clean).
+
+    A violation is an execution segment of job B inside job A's holding
+    span of a resource both need.
+    """
+    trace = result.trace
+    spans = _holding_spans(result, resources)
+    violations: List[ExclusionViolation] = []
+    job_resources = {j.key: resources.resources_of(j.task.name) for j in result.jobs}
+    for resource, intervals in spans.items():
+        for start, end, holder in intervals:
+            for seg in trace.busy_segments():
+                if seg.job_key == holder:
+                    continue
+                if resource not in job_resources.get(seg.job_key, frozenset()):
+                    continue
+                overlap_start = max(seg.start, start)
+                overlap_end = min(seg.end, end)
+                if overlap_end > overlap_start + _EPS:
+                    violations.append(
+                        ExclusionViolation(
+                            resource=resource,
+                            holder=holder,
+                            intruder=seg.job_key,
+                            time=overlap_start,
+                        )
+                    )
+    return violations

@@ -1,0 +1,25 @@
+"""Scheduling policies: the EUA* contribution and all comparison baselines."""
+
+from ..core.eua import EUAStar
+from .base import Decision, Scheduler, SchedulerView, SchedulingEvent
+from .dasa import DASA
+from .edf import EDFStatic, edf_pick
+from .pillai_shin import CCEDF, LAEDF, StaticEDF
+from .registry import available_schedulers, make_scheduler, register_scheduler
+
+__all__ = [
+    "Scheduler",
+    "SchedulerView",
+    "SchedulingEvent",
+    "Decision",
+    "EDFStatic",
+    "edf_pick",
+    "DASA",
+    "StaticEDF",
+    "CCEDF",
+    "LAEDF",
+    "EUAStar",
+    "make_scheduler",
+    "available_schedulers",
+    "register_scheduler",
+]

@@ -1,0 +1,11 @@
+"""Scheduler interface — re-exported from :mod:`repro.sim.scheduler`.
+
+The interface lives inside the ``sim`` package (it only depends on sim
+types) so that the engine and the policies can both import it without a
+package cycle; this module preserves the public ``repro.sched.base``
+import path.
+"""
+
+from ..sim.scheduler import Decision, Scheduler, SchedulerView, SchedulingEvent
+
+__all__ = ["Scheduler", "SchedulerView", "Decision", "SchedulingEvent"]

@@ -1,0 +1,56 @@
+"""EDF scheduling policies.
+
+:class:`EDFStatic` is the paper's normaliser: "EDF that always uses the
+highest frequency" — every reported utility and energy in Figure 2 is a
+ratio against this policy's run on the same workload.
+
+Job selection orders by absolute critical time (for the step TUFs of
+the Figure 2 experiments the critical time *is* the deadline, so this
+is textbook EDF; Horn's rule makes it optimal during underloads).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.scheduler import Decision, Scheduler, SchedulerView
+from ..sim.job import Job
+
+__all__ = ["edf_pick", "EDFStatic"]
+
+
+def edf_pick(view: SchedulerView) -> Optional[Job]:
+    """Earliest-critical-time pending job (ties: release, then index).
+
+    Expired jobs that a no-abort policy left pending keep their old
+    critical times and therefore sort first — the cause of the domino
+    effect the paper attributes to `-NA` during overloads.
+    """
+    if not view.ready:
+        return None
+    return min(view.ready, key=lambda j: (j.critical_time, j.release, j.index))
+
+
+class EDFStatic(Scheduler):
+    """EDF at a pinned frequency (default ``f_max``): the normaliser.
+
+    ``abort_expired=True`` gives the abortion-capable variant used as
+    the baseline denominator; ``abort_expired=False`` is plain EDF-NA.
+    """
+
+    def __init__(
+        self,
+        name: str = "EDF",
+        frequency: Optional[float] = None,
+        abort_expired: bool = True,
+    ):
+        self.name = name
+        self._frequency = frequency
+        self.abort_expired = bool(abort_expired)
+
+    def decide(self, view: SchedulerView) -> Decision:
+        f = self._frequency if self._frequency is not None else view.scale.f_max
+        if f not in view.scale:
+            f = view.scale.at_least(f)
+        job = edf_pick(view)
+        return Decision(job=job, frequency=f)

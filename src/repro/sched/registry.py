@@ -1,0 +1,64 @@
+"""Named scheduler factory.
+
+The experiments and the CLI refer to policies by the names the paper's
+figures use; this registry maps those names to constructors.  Each call
+returns a *fresh* scheduler instance (policies are stateful).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.eua import EUAStar
+from .base import Scheduler
+from .dasa import DASA
+from .edf import EDFStatic
+from .pillai_shin import CCEDF, LAEDF, StaticEDF
+
+__all__ = ["make_scheduler", "available_schedulers", "register_scheduler"]
+
+_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
+    # The paper's figures.
+    "EUA*": lambda: EUAStar(name="EUA*"),
+    "EDF": lambda: EDFStatic(name="EDF"),  # no-DVS normaliser
+    "LA-EDF": lambda: LAEDF(name="LA-EDF"),
+    "LA-EDF-NA": lambda: LAEDF(name="LA-EDF-NA", abort_expired=False),
+    # Supplementary Pillai-Shin variants.
+    "Static-EDF": lambda: StaticEDF(name="Static-EDF"),
+    "Static-EDF-NA": lambda: StaticEDF(name="Static-EDF-NA", abort_expired=False),
+    "ccEDF": lambda: CCEDF(name="ccEDF"),
+    "ccEDF-NA": lambda: CCEDF(name="ccEDF-NA", abort_expired=False),
+    "EDF-NA": lambda: EDFStatic(name="EDF-NA", abort_expired=False),
+    # Classical energy-oblivious utility accrual (Locke / DASA).
+    "DASA": lambda: DASA(name="DASA"),
+    "DASA-NA": lambda: DASA(name="DASA-NA", abort_infeasible=False),
+    # Ablation variants of EUA*.
+    "EUA*-noDVS": lambda: EUAStar(name="EUA*-noDVS", use_dvs=False),
+    "EUA*-noFopt": lambda: EUAStar(name="EUA*-noFopt", use_fopt_bound=False),
+    "EUA*-noAbort": lambda: EUAStar(name="EUA*-noAbort", abort_infeasible=False),
+    "EUA*-UD": lambda: EUAStar(name="EUA*-UD", ordering="utility_density"),
+    "EUA*-strict": lambda: EUAStar(name="EUA*-strict", strict_insertion_break=True),
+    "EUA*-demand": lambda: EUAStar(name="EUA*-demand", dvs_method="demand"),
+}
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a registered policy by figure/legend name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def available_schedulers() -> List[str]:
+    return sorted(_FACTORIES)
+
+
+def register_scheduler(name: str, factory: Callable[[], Scheduler]) -> None:
+    """Register a custom policy (e.g. from :mod:`repro.ext`)."""
+    if name in _FACTORIES:
+        raise ValueError(f"scheduler {name!r} already registered")
+    _FACTORIES[name] = factory

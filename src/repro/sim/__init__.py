@@ -1,0 +1,35 @@
+"""Discrete-event simulation of a preemptive DVS uniprocessor."""
+
+from .engine import Engine, SimulationError, SimulationResult
+from .job import Job, JobStatus
+from .metrics import Metrics, TaskMetrics
+from .runner import Platform, compare, simulate
+from .task import Task, TaskModelError, TaskSet
+from .trace import Segment, Trace, TraceEvent, TraceEventKind
+from .validation import ValidationReport, validate_result
+from .workload import JobSpec, WorkloadTrace, materialize
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "TaskModelError",
+    "Job",
+    "JobStatus",
+    "JobSpec",
+    "WorkloadTrace",
+    "materialize",
+    "Engine",
+    "SimulationResult",
+    "SimulationError",
+    "Metrics",
+    "TaskMetrics",
+    "Trace",
+    "TraceEvent",
+    "TraceEventKind",
+    "Segment",
+    "Platform",
+    "simulate",
+    "compare",
+    "ValidationReport",
+    "validate_result",
+]

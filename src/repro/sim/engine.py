@@ -1,0 +1,278 @@
+"""Discrete-event simulation engine.
+
+A preemptive uniprocessor with DVS, driven by any
+:class:`~repro.sched.base.Scheduler`.  The engine owns ground truth
+(true job demands); the scheduler sees only budgets and executed cycles.
+
+Event model
+-----------
+The scheduler is (re-)invoked at exactly the paper's scheduling events:
+
+* **arrival** of a job,
+* **completion** of a job,
+* **expiration of a time constraint** (a TUF termination time).
+
+Between events the chosen job runs at the chosen frequency.  The engine
+advances time to the earliest of: next arrival, next relevant
+termination, predicted completion of the running job, or the horizon —
+then applies state changes and re-invokes the scheduler.
+
+Abortion semantics (paper Section 2.2): when a pending job's
+termination time is reached, an exception is raised which aborts the job
+(status ``EXPIRED``).  Policies with ``abort_expired = False`` (the
+`-NA` baselines) suppress this, so stale jobs keep executing and accrue
+zero utility — the domino-effect regime of the evaluation.  Exception
+handlers are modelled as zero-cost (the paper does not charge them).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from ..cpu import Processor, ProcessorStats
+from ..demand import DemandProfiler
+from .scheduler import Decision, Scheduler, SchedulerView, SchedulingEvent
+from .job import Job, JobStatus
+from .metrics import Metrics
+from .task import TaskSet
+from .trace import Trace, TraceEventKind
+from .workload import WorkloadTrace
+
+__all__ = ["Engine", "SimulationResult", "SimulationError"]
+
+#: Cycle tolerance: a job with fewer remaining Mcycles is complete.
+EPS_CYCLES = 1e-9
+#: Time tolerance for event coincidence.
+EPS_TIME = 1e-12
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine detects an inconsistent run."""
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces."""
+
+    scheduler_name: str
+    metrics: Metrics
+    processor_stats: ProcessorStats
+    jobs: List[Job]
+    horizon: float
+    trace: Optional[Trace] = None
+
+    @property
+    def normalized_utility(self) -> float:
+        return self.metrics.normalized_utility
+
+    @property
+    def energy(self) -> float:
+        return self.metrics.energy
+
+
+class Engine:
+    """One simulation run binding a workload, a scheduler and a CPU."""
+
+    def __init__(
+        self,
+        workload: WorkloadTrace,
+        scheduler: Scheduler,
+        processor: Processor,
+        record_trace: bool = False,
+        profiler: Optional[DemandProfiler] = None,
+    ):
+        self.workload = workload
+        self.scheduler = scheduler
+        self.processor = processor
+        self.record_trace = bool(record_trace)
+        self.profiler = profiler
+        self.trace: Optional[Trace] = Trace() if record_trace else None
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        taskset: TaskSet = self.workload.taskset
+        horizon = self.workload.horizon
+        scheduler = self.scheduler
+        cpu = self.processor
+
+        scheduler.setup(taskset, cpu.scale, cpu.model)
+
+        jobs: List[Job] = [
+            Job(spec.task, spec.index, spec.release, spec.demand) for spec in self.workload
+        ]
+        n_jobs = len(jobs)
+        arrival_idx = 0
+        ready: List[Job] = []
+        recent_arrivals: Dict[str, Deque[float]] = {t.name: deque() for t in taskset}
+
+        t = 0.0
+        event = SchedulingEvent.START
+        # Progress guard: every iteration must either advance time or
+        # change the job population; bound the zero-progress streak.
+        stall_guard = 0
+        max_stall = 4 * n_jobs + 64
+
+        while True:
+            advanced = False
+
+            # --- release arrivals due now -----------------------------
+            while arrival_idx < n_jobs and jobs[arrival_idx].release <= t + EPS_TIME:
+                job = jobs[arrival_idx]
+                ready.append(job)
+                recent_arrivals[job.task.name].append(job.release)
+                if self.trace is not None:
+                    self.trace.add_event(t, TraceEventKind.RELEASE, job.key)
+                arrival_idx += 1
+                event = SchedulingEvent.ARRIVAL
+                advanced = True
+
+            # --- raise termination exceptions -------------------------
+            if scheduler.abort_expired:
+                expired = [
+                    j
+                    for j in ready
+                    if j.task.abortable and j.termination <= t + EPS_TIME
+                ]
+                for job in expired:
+                    job.status = JobStatus.EXPIRED
+                    job.abort_time = t
+                    ready.remove(job)
+                    if self.trace is not None:
+                        self.trace.add_event(t, TraceEventKind.EXPIRE, job.key)
+                    event = SchedulingEvent.EXPIRY
+                    advanced = True
+
+            if t >= horizon - EPS_TIME:
+                break
+
+            # --- consult the scheduler ---------------------------------
+            view = self._build_view(t, ready, taskset, recent_arrivals, event)
+            decision = scheduler.decide(view)
+            for job in decision.aborts:
+                if job.is_finished:
+                    raise SimulationError(f"scheduler aborted finished job {job.key}")
+                job.status = JobStatus.ABORTED
+                job.abort_time = t
+                if job in ready:
+                    ready.remove(job)
+                if self.trace is not None:
+                    self.trace.add_event(t, TraceEventKind.ABORT, job.key)
+                advanced = True
+
+            running = decision.job
+            if running is not None:
+                if running not in ready:
+                    raise SimulationError(
+                        f"scheduler selected non-ready job {running.key}"
+                    )
+                switch_overhead = cpu.set_frequency(decision.frequency)
+                if switch_overhead > 0.0:
+                    # Charge the DVS transition as stalled (non-executing) time.
+                    cpu.idle(switch_overhead)
+                    t = min(horizon, t + switch_overhead)
+                if self.trace is not None and switch_overhead >= 0.0:
+                    self.trace.add_event(t, TraceEventKind.FREQ, value=cpu.frequency)
+
+            # --- find the next event -----------------------------------
+            t_arrival = jobs[arrival_idx].release if arrival_idx < n_jobs else math.inf
+            t_term = math.inf
+            if scheduler.abort_expired:
+                for j in ready:
+                    if j.task.abortable and j.termination > t + EPS_TIME:
+                        t_term = min(t_term, j.termination)
+            if running is not None:
+                t_complete = t + running.remaining_demand / cpu.frequency
+            else:
+                t_complete = math.inf
+            t_next = min(horizon, t_arrival, t_term, t_complete)
+            if t_next < t:
+                t_next = t  # coincident events; process without moving
+
+            # --- advance ------------------------------------------------
+            dt = t_next - t
+            if running is not None:
+                executed = cpu.run(dt)
+                running.executed += executed
+                if self.trace is not None:
+                    self.trace.add_segment(t, t_next, running.key, cpu.frequency)
+            else:
+                cpu.idle(dt)
+                if self.trace is not None:
+                    self.trace.add_segment(t, t_next, None, cpu.frequency)
+            if dt > 0.0:
+                advanced = True
+            t = t_next
+
+            # --- completion --------------------------------------------
+            if running is not None and running.remaining_demand <= EPS_CYCLES:
+                running.status = JobStatus.COMPLETED
+                running.completion_time = t
+                running.accrued_utility = running.utility_at(t)
+                ready.remove(running)
+                scheduler.on_completion(running, t)
+                if self.profiler is not None:
+                    self.profiler.record(running.task.name, running.executed)
+                if self.trace is not None:
+                    self.trace.add_event(
+                        t, TraceEventKind.COMPLETE, running.key, running.accrued_utility
+                    )
+                event = SchedulingEvent.COMPLETION
+                advanced = True
+
+            if not advanced:
+                stall_guard += 1
+                if stall_guard > max_stall:
+                    raise SimulationError(
+                        f"no progress at t={t} (scheduler {scheduler.name!r} idles "
+                        f"with {len(ready)} ready jobs and no future events)"
+                    )
+                # Nothing happened and nothing will: if no future events
+                # exist and the scheduler idles, we are done early.
+                if (
+                    running is None
+                    and arrival_idx >= n_jobs
+                    and (t_term is math.inf)
+                ):
+                    break
+            else:
+                stall_guard = 0
+
+        metrics = Metrics(taskset, jobs, cpu.stats, horizon)
+        return SimulationResult(
+            scheduler_name=scheduler.name,
+            metrics=metrics,
+            processor_stats=cpu.stats,
+            jobs=jobs,
+            horizon=horizon,
+            trace=self.trace,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_view(
+        self,
+        t: float,
+        ready: List[Job],
+        taskset: TaskSet,
+        recent_arrivals: Dict[str, Deque[float]],
+        event: SchedulingEvent,
+    ) -> SchedulerView:
+        counts: Dict[str, List[float]] = {}
+        for task in taskset:
+            dq = recent_arrivals[task.name]
+            cutoff = t - task.uam.window
+            while dq and dq[0] <= cutoff + EPS_TIME:
+                dq.popleft()
+            counts[task.name] = list(dq)
+        return SchedulerView(
+            time=t,
+            ready=ready,
+            taskset=taskset,
+            scale=self.processor.scale,
+            energy_model=self.processor.model,
+            event=event,
+            arrivals_in_window=counts,
+            energy_consumed=self.processor.stats.total_energy,
+        )

@@ -1,0 +1,145 @@
+"""Jobs — the basic scheduling entity (paper Section 2.1).
+
+A :class:`Job` ``J_{i,j}`` is one invocation of a task.  Its *true*
+cycle demand is drawn from the task's demand distribution when the
+workload is materialised; schedulers never see it — they budget with the
+Chebyshev allocation ``c_i`` and observe only executed cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Optional
+
+from .task import Task
+
+__all__ = ["Job", "JobStatus"]
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of a job inside the simulator."""
+
+    PENDING = "pending"  # released, not yet completed/aborted
+    COMPLETED = "completed"  # finished all demanded cycles
+    ABORTED = "aborted"  # dropped by the scheduler (infeasible)
+    EXPIRED = "expired"  # termination time reached mid-execution
+
+
+class Job:
+    """One released invocation ``J_{i,j}`` of a task.
+
+    Attributes
+    ----------
+    task:
+        The owning :class:`~repro.sim.task.Task`.
+    index:
+        ``j`` — the invocation number within its task (0-based).
+    release:
+        Absolute release time ``I_{i,j}`` (the TUF initial time).
+    demand:
+        True cycle demand (Mcycles) — hidden from schedulers.
+    executed:
+        Cycles executed so far.
+    """
+
+    __slots__ = (
+        "task",
+        "index",
+        "release",
+        "demand",
+        "executed",
+        "status",
+        "completion_time",
+        "accrued_utility",
+        "abort_time",
+    )
+
+    def __init__(self, task: Task, index: int, release: float, demand: float):
+        if release < 0.0 or not math.isfinite(release):
+            raise ValueError(f"release must be finite and >= 0, got {release!r}")
+        if demand <= 0.0 or not math.isfinite(demand):
+            raise ValueError(f"demand must be finite and > 0, got {demand!r}")
+        self.task = task
+        self.index = int(index)
+        self.release = float(release)
+        self.demand = float(demand)
+        self.executed = 0.0
+        self.status = JobStatus.PENDING
+        self.completion_time: Optional[float] = None
+        self.accrued_utility = 0.0
+        self.abort_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Absolute time constraints
+    # ------------------------------------------------------------------
+    @property
+    def termination(self) -> float:
+        """Absolute termination time ``X_{i,j} = release + X``."""
+        return self.release + self.task.tuf.termination
+
+    @property
+    def critical_time(self) -> float:
+        """Absolute critical time ``D^a = release + D_i``."""
+        return self.release + self.task.critical_time
+
+    def utility_at(self, t: float) -> float:
+        """Utility accrued if the job completes at absolute time ``t``."""
+        return self.task.tuf.utility(t - self.release)
+
+    @property
+    def max_utility(self) -> float:
+        return self.task.tuf.max_utility
+
+    # ------------------------------------------------------------------
+    # Scheduler-visible budget
+    # ------------------------------------------------------------------
+    @property
+    def allocated(self) -> float:
+        """The Chebyshev budget ``c_i`` for this job."""
+        return self.task.allocation
+
+    @property
+    def remaining_budget(self) -> float:
+        """``c^r`` — unexecuted part of the allocation (never negative).
+
+        When the true demand overruns the allocation this reaches zero
+        while the job is still pending — exactly the information gap the
+        statistical model admits with probability ``1 − ρ``.
+        """
+        return max(0.0, self.allocated - self.executed)
+
+    # ------------------------------------------------------------------
+    # True progress (engine-only)
+    # ------------------------------------------------------------------
+    @property
+    def remaining_demand(self) -> float:
+        """True unexecuted cycles (engine bookkeeping only)."""
+        return max(0.0, self.demand - self.executed)
+
+    @property
+    def is_finished(self) -> bool:
+        return self.status is not JobStatus.PENDING
+
+    @property
+    def met_statistical_requirement(self) -> bool:
+        """Whether this job accrued ``>= ν_i`` of its maximum utility."""
+        return self.accrued_utility >= self.task.nu * self.max_utility - 1e-12
+
+    @property
+    def sojourn_time(self) -> Optional[float]:
+        """Completion latency, if completed."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.release
+
+    @property
+    def key(self) -> str:
+        """Stable identifier ``task:index``."""
+        return f"{self.task.name}:{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Job({self.key}, release={self.release:.4f}, demand={self.demand:.3f}, "
+            f"executed={self.executed:.3f}, {self.status.value})"
+        )

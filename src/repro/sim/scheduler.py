@@ -1,0 +1,212 @@
+"""Scheduler interface.
+
+A scheduler is invoked by the engine at every scheduling event — job
+arrival, job completion, and expiration of a time constraint (paper
+Section 3.2) — and returns a :class:`Decision`: which pending job to
+execute, at which frequency, and which pending jobs to abort.
+
+Schedulers see only the statistical budget (the Chebyshev allocation
+``c_i`` and executed cycles), never a job's true remaining demand.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cpu import EnergyModel, FrequencyScale
+from .job import Job
+from .task import Task, TaskSet
+
+__all__ = ["Scheduler", "SchedulerView", "Decision", "SchedulingEvent"]
+
+
+class SchedulingEvent(enum.Enum):
+    """What triggered the scheduler invocation."""
+
+    START = "start"
+    ARRIVAL = "arrival"
+    COMPLETION = "completion"
+    EXPIRY = "expiry"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one scheduler invocation.
+
+    ``job is None`` means idle until the next event.  ``frequency`` must
+    be a level of the platform's frequency scale (ignored when idling).
+    ``aborts`` are pending jobs the scheduler drops (EUA* line 10).
+    """
+
+    job: Optional[Job]
+    frequency: float
+    aborts: Tuple[Job, ...] = ()
+
+
+class SchedulerView:
+    """Snapshot of scheduler-visible state at a decision point."""
+
+    def __init__(
+        self,
+        time: float,
+        ready: Sequence[Job],
+        taskset: TaskSet,
+        scale: FrequencyScale,
+        energy_model: EnergyModel,
+        event: SchedulingEvent,
+        arrivals_in_window: Dict[str, List[float]],
+        energy_consumed: float = 0.0,
+    ):
+        #: Current simulation time ``t_cur``.
+        self.time = time
+        #: Pending jobs (may include expired jobs for no-abort policies).
+        self.ready: List[Job] = list(ready)
+        self.taskset = taskset
+        self.scale = scale
+        self.energy_model = energy_model
+        #: The triggering event kind.
+        self.event = event
+        #: Per task name: release *times* within the trailing UAM window.
+        self._arrivals_in_window = arrivals_in_window
+        #: Total system energy consumed so far (busy + idle + switches).
+        #: Used by energy-budget-aware extensions (repro.ext).
+        self.energy_consumed = energy_consumed
+
+    # ------------------------------------------------------------------
+    def pending_of(self, task: Task) -> List[Job]:
+        """Pending jobs of ``task`` ordered by absolute critical time."""
+        jobs = [j for j in self.ready if j.task is task]
+        jobs.sort(key=lambda j: (j.critical_time, j.release, j.index))
+        return jobs
+
+    def head_job_of(self, task: Task) -> Optional[Job]:
+        """Earliest-critical-time pending job of ``task``."""
+        jobs = self.pending_of(task)
+        return jobs[0] if jobs else None
+
+    def arrivals_in_window(self, task: Task) -> int:
+        """Releases of ``task`` within its trailing UAM window ``P_i``."""
+        return len(self._arrivals_in_window.get(task.name, ()))
+
+    def recent_arrival_times(self, task: Task) -> List[float]:
+        """Release times of ``task`` within its trailing UAM window."""
+        return list(self._arrivals_in_window.get(task.name, ()))
+
+    def next_admissible_arrival(self, task: Task) -> float:
+        """Earliest instant the UAM envelope admits another release.
+
+        With fewer than ``a`` releases in the trailing window a new job
+        may arrive *now*; otherwise not before the a-th most recent
+        release plus ``P``.
+        """
+        recent = self._arrivals_in_window.get(task.name, ())
+        a = task.uam.max_arrivals
+        if len(recent) < a:
+            return self.time
+        return max(self.time, recent[-a] + task.uam.window)
+
+    def remaining_window_cycles(self, task: Task) -> float:
+        """``C_i^r`` — remaining budgeted cycles of the current window.
+
+        Paper Section 3.3: EUA* "keeps track of the remaining
+        computation cycles ``C_i^r``" per UAM window, considering at
+        most ``a_i`` instances even when leftover jobs from the
+        previous window inflate the actual count ``a\'_i``.  Two parts:
+
+        * **pending work** — ``(min(a_i, a\'_i) − 1)·c_i + c^r`` with
+          ``c^r`` the earliest pending job\'s remaining budget;
+        * **arrival hedge** — the UAM envelope still admits
+          ``a_i − (arrivals seen in the trailing window)`` further
+          releases *at any instant*; each must be budgeted ``c_i``.
+          This is the slack-estimation term the paper\'s Figure 3
+          discussion turns on: for periodic tasks (``⟨1, P⟩``) the
+          trailing window always holds exactly one arrival, so the
+          hedge vanishes and deferral is maximally aggressive, while
+          bursty specs (``a > 1``) with unspent arrival budget force
+          conservative (higher-frequency) operating points.
+
+        The sum is capped at the window total ``C_i = a_i·c_i``.
+        """
+        a = task.uam.max_arrivals
+        c = task.allocation
+        pending = self.pending_of(task)
+        if pending:
+            head_remaining = pending[0].remaining_budget
+            count = min(a, len(pending))
+            work = (count - 1) * c + head_remaining
+        else:
+            work = 0.0
+        unseen = max(0, a - self.arrivals_in_window(task))
+        return min(work + unseen * c, a * c)
+
+    def without(self, jobs: Sequence[Job]) -> "SchedulerView":
+        """A copy of the view with ``jobs`` removed from the ready set.
+
+        Used by policies that decide to abort jobs and then reason about
+        the remaining workload (e.g. EUA*'s DVS step must not budget
+        cycles for jobs it just dropped).
+        """
+        dropped = set(id(j) for j in jobs)
+        return SchedulerView(
+            time=self.time,
+            ready=[j for j in self.ready if id(j) not in dropped],
+            taskset=self.taskset,
+            scale=self.scale,
+            energy_model=self.energy_model,
+            event=self.event,
+            arrivals_in_window=self._arrivals_in_window,
+            energy_consumed=self.energy_consumed,
+        )
+
+    def earliest_critical_time(self, task: Task) -> float:
+        """``D_i^a`` — the earliest pending invocation's absolute critical
+        time, or ``t + D_i`` for a task with nothing pending (a new UAM
+        window may open now)."""
+        head = self.head_job_of(task)
+        if head is not None:
+            return head.critical_time
+        return self.time + task.critical_time
+
+
+class Scheduler(ABC):
+    """Base class for all scheduling policies.
+
+    Attributes
+    ----------
+    name:
+        Display name used in reports and the registry.
+    abort_expired:
+        Whether the engine should abort a pending job when its
+        termination time passes (the exception-handler semantics of
+        Section 2.2).  ``False`` reproduces the `-NA` (no-abort)
+        comparison policies, which keep executing stale jobs.
+    """
+
+    name: str = "scheduler"
+    abort_expired: bool = True
+
+    def setup(self, taskset: TaskSet, scale: FrequencyScale, energy_model: EnergyModel) -> None:
+        """One-time initialisation before the simulation starts.
+
+        Corresponds to the paper's ``offlineComputing()`` hook; the
+        default does nothing.
+        """
+
+    @abstractmethod
+    def decide(self, view: SchedulerView) -> Decision:
+        """Pick the job to execute and the operating frequency."""
+
+    def on_completion(self, job: Job, time: float) -> None:
+        """Engine callback after a job completes.
+
+        ``job.executed`` now holds the *actual* cycles consumed —
+        cycle-conserving policies use this to reclaim over-provisioned
+        budget.  Default: ignore.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

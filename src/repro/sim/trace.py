@@ -1,0 +1,147 @@
+"""Execution traces — optional per-segment recording.
+
+A :class:`Trace` records every contiguous stretch of processor activity
+(which job ran, at which frequency) plus the discrete events (releases,
+completions, aborts, expiries, frequency switches).  Traces back the
+energy/cycle conservation property tests and the Theorem 2 (EDF
+equivalence) checks, and make simulations debuggable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["Trace", "Segment", "TraceEvent", "TraceEventKind"]
+
+
+class TraceEventKind(enum.Enum):
+    RELEASE = "release"
+    COMPLETE = "complete"
+    ABORT = "abort"
+    EXPIRE = "expire"
+    FREQ = "freq"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal interval with constant (job, frequency) state.
+
+    ``job_key`` is ``None`` for idle intervals; ``frequency`` is the
+    operating point during the interval (idle intervals keep the last
+    set frequency for reference).
+    """
+
+    start: float
+    end: float
+    job_key: Optional[str]
+    frequency: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def cycles(self) -> float:
+        """Cycles executed during the segment (0 when idle)."""
+        return 0.0 if self.job_key is None else self.duration * self.frequency
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    kind: TraceEventKind
+    job_key: Optional[str] = None
+    value: float = 0.0
+
+
+class Trace:
+    """Chronological record of segments and events."""
+
+    def __init__(self) -> None:
+        self.segments: List[Segment] = []
+        self.events: List[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    def add_segment(self, start: float, end: float, job_key: Optional[str], frequency: float):
+        if end < start:
+            raise ValueError(f"segment must not run backwards: [{start}, {end}]")
+        if end == start:
+            return
+        # Coalesce with the previous segment when state is unchanged.
+        if self.segments:
+            last = self.segments[-1]
+            if (
+                last.end == start
+                and last.job_key == job_key
+                and last.frequency == frequency
+            ):
+                self.segments[-1] = Segment(last.start, end, job_key, frequency)
+                return
+        self.segments.append(Segment(start, end, job_key, frequency))
+
+    def add_event(self, time: float, kind: TraceEventKind, job_key: Optional[str] = None,
+                  value: float = 0.0) -> None:
+        self.events.append(TraceEvent(time, kind, job_key, value))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def busy_segments(self) -> List[Segment]:
+        return [s for s in self.segments if s.job_key is not None]
+
+    def executed_cycles(self, job_key: Optional[str] = None) -> float:
+        """Total cycles, optionally restricted to one job."""
+        return sum(
+            s.cycles
+            for s in self.segments
+            if s.job_key is not None and (job_key is None or s.job_key == job_key)
+        )
+
+    def busy_time(self) -> float:
+        return sum(s.duration for s in self.busy_segments())
+
+    def idle_time(self) -> float:
+        return sum(s.duration for s in self.segments if s.job_key is None)
+
+    def job_order(self) -> List[str]:
+        """Distinct job keys in first-execution order (Theorem 2 checks)."""
+        seen: List[str] = []
+        for s in self.busy_segments():
+            if s.job_key not in seen:
+                seen.append(s.job_key)
+        return seen
+
+    def events_of(self, kind: TraceEventKind) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def is_contiguous(self) -> bool:
+        """Segments tile the timeline with no gaps or overlaps."""
+        for a, b in zip(self.segments, self.segments[1:]):
+            if abs(a.end - b.start) > 1e-9:
+                return False
+        return True
+
+    def preemption_count(self) -> int:
+        """Busy→busy transitions that switch to a *different* job while
+        the previous one had not completed at the boundary."""
+        completions = {
+            (e.job_key, e.time) for e in self.events if e.kind is TraceEventKind.COMPLETE
+        }
+        count = 0
+        busy = self.busy_segments()
+        for a, b in zip(busy, busy[1:]):
+            if a.job_key != b.job_key and abs(a.end - b.start) <= 1e-9:
+                if (a.job_key, a.end) not in completions:
+                    # Also not aborted/expired at that instant?  Treat any
+                    # non-completion switch as a preemption.
+                    ended = any(
+                        e.kind in (TraceEventKind.ABORT, TraceEventKind.EXPIRE)
+                        and e.job_key == a.job_key
+                        and abs(e.time - a.end) <= 1e-9
+                        for e in self.events
+                    )
+                    if not ended:
+                        count += 1
+        return count

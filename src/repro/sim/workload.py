@@ -1,0 +1,112 @@
+"""Materialised workloads.
+
+A :class:`WorkloadTrace` fixes every random choice of a simulation run —
+arrival times and true per-job cycle demands — so different schedulers
+can be compared on the *identical* workload (the paper's normalised
+comparisons require this: the "no-DVS" EDF run and the EUA* run must see
+the same jobs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arrivals import is_uam_compliant
+from .task import Task, TaskSet
+
+__all__ = ["JobSpec", "WorkloadTrace", "materialize"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One planned job release: task, invocation index, time, true demand."""
+
+    task: Task
+    index: int
+    release: float
+    demand: float
+
+
+class WorkloadTrace:
+    """A fixed, replayable sequence of job releases over a horizon."""
+
+    def __init__(self, taskset: TaskSet, horizon: float, jobs: Sequence[JobSpec]):
+        if horizon <= 0.0:
+            raise ValueError(f"horizon must be > 0, got {horizon!r}")
+        self.taskset = taskset
+        self.horizon = float(horizon)
+        self._jobs: List[JobSpec] = sorted(jobs, key=lambda j: (j.release, j.task.name, j.index))
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        return iter(self._jobs)
+
+    @property
+    def jobs(self) -> List[JobSpec]:
+        return list(self._jobs)
+
+    def jobs_of(self, task: Task) -> List[JobSpec]:
+        return [j for j in self._jobs if j.task is task]
+
+    @property
+    def total_demand(self) -> float:
+        """Sum of true demands (Mcycles) over the horizon."""
+        return sum(j.demand for j in self._jobs)
+
+    @property
+    def max_possible_utility(self) -> float:
+        """Σ U_max over all released jobs — the utility denominator."""
+        return sum(j.task.tuf.max_utility for j in self._jobs)
+
+    def demand_rate(self) -> float:
+        """Average true demand per second (Mcycles/s = MHz equivalent)."""
+        return self.total_demand / self.horizon
+
+    def verify_uam(self) -> None:
+        """Assert every task's releases satisfy its UAM envelope."""
+        for task in self.taskset:
+            times = [j.release for j in self.jobs_of(task)]
+            if not is_uam_compliant(times, task.uam):
+                raise ValueError(f"trace violates UAM envelope of task {task.name!r}")
+
+
+def materialize(
+    taskset: TaskSet,
+    horizon: float,
+    rng: Optional[np.random.Generator] = None,
+    verify: bool = True,
+    include_boundary: bool = False,
+) -> WorkloadTrace:
+    """Draw arrivals and demands for every task over ``[0, horizon)``.
+
+    Each task consumes an independent child generator spawned from
+    ``rng`` so adding a task never perturbs the draws of the others
+    (variance reduction across experimental arms).
+
+    By default jobs whose TUF window would outlive the horizon are not
+    released (``include_boundary=False``): such jobs are censored — no
+    scheduler can be charged for them fairly, and DVS policies that
+    legitimately defer work would otherwise look like they lost utility
+    at the simulation edge.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    specs: List[JobSpec] = []
+    children = rng.spawn(len(taskset))
+    for task, child in zip(taskset, children):
+        times = task.arrivals.generate(horizon, child)
+        if not include_boundary:
+            cutoff = horizon - task.tuf.termination
+            times = [t for t in times if t <= cutoff]
+        if times:
+            demands = task.demand.sample(child, size=len(times))
+            for idx, (t, y) in enumerate(zip(times, np.atleast_1d(demands))):
+                specs.append(JobSpec(task=task, index=idx, release=float(t), demand=float(y)))
+    trace = WorkloadTrace(taskset, horizon, specs)
+    if verify:
+        trace.verify_uam()
+    return trace

@@ -1,0 +1,128 @@
+"""Time/utility function (TUF) abstraction.
+
+A TUF specifies the utility accrued by completing a job as a function of
+its completion time (Jensen, Locke, Tokuda 1985).  The DATE'05 EUA* paper
+restricts attention to *non-increasing, unimodal* TUFs: utility never
+increases as time advances past the release.
+
+Conventions
+-----------
+* A TUF is expressed **relative to the job's release** (its *initial
+  time*): ``utility(0.0)`` is the utility of completing immediately.
+* Every TUF has a **termination time** ``X`` (relative).  Completing at or
+  after ``X`` accrues zero utility and, in the simulator, raises the
+  termination exception which aborts the job.
+* ``utility(t)`` is defined for all real ``t``; it returns 0 outside
+  ``[0, X)`` so callers never need to range-check.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterable, List
+
+__all__ = ["TUF", "TUFError"]
+
+
+class TUFError(ValueError):
+    """Raised for ill-formed TUF parameters (e.g. increasing segments)."""
+
+
+class TUF(ABC):
+    """Abstract non-increasing unimodal time/utility function.
+
+    Subclasses implement :meth:`_utility` over ``[0, termination)`` and
+    expose :attr:`termination`.  ``max_utility`` defaults to the utility at
+    the release instant, which is the maximum for a non-increasing TUF.
+    """
+
+    #: Relative termination time ``X`` (seconds).  Must be positive.
+    termination: float
+
+    def __init__(self, termination: float):
+        if not (termination > 0.0) or not math.isfinite(termination):
+            raise TUFError(f"termination time must be finite and > 0, got {termination!r}")
+        self.termination = float(termination)
+
+    # ------------------------------------------------------------------
+    # Core evaluation
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _utility(self, t: float) -> float:
+        """Utility at relative time ``t`` with ``0 <= t < termination``."""
+
+    def utility(self, t: float) -> float:
+        """Utility of completing at relative time ``t``.
+
+        Returns 0 for ``t < 0`` (cannot complete before release) and for
+        ``t >= termination`` (the constraint has expired).
+        """
+        if t < 0.0 or t >= self.termination:
+            return 0.0
+        return self._utility(float(t))
+
+    def utilities(self, times: Iterable[float]) -> List[float]:
+        """Vector form of :meth:`utility` (plain-list convenience)."""
+        return [self.utility(t) for t in times]
+
+    @property
+    def max_utility(self) -> float:
+        """Maximum attainable utility (= utility at release for these TUFs)."""
+        return self._utility(0.0)
+
+    # ------------------------------------------------------------------
+    # Critical time (inversion)
+    # ------------------------------------------------------------------
+    def critical_time(self, nu: float) -> float:
+        """Latest completion time still accruing ``>= nu * max_utility``.
+
+        This is the task *critical time* ``D`` of the paper, defined by
+        ``nu = U(D) / U_max`` (Section 3.1).  For ``nu == 0`` it is the
+        termination time.  Subclasses with closed forms override this;
+        the default performs a bisection that is correct for any
+        non-increasing TUF.
+        """
+        nu = self._check_nu(nu)
+        if nu == 0.0:
+            return self.termination
+        target = nu * self.max_utility
+        if self.utility(0.0) < target:
+            raise TUFError(f"utility bound nu={nu} unattainable even at release")
+        # Bisect for sup{t : U(t) >= target} on the non-increasing curve.
+        lo, hi = 0.0, self.termination
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self.utility(mid) >= target:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    @staticmethod
+    def _check_nu(nu: float) -> float:
+        if not (0.0 <= nu <= 1.0):
+            raise TUFError(f"nu must lie in [0, 1], got {nu!r}")
+        return float(nu)
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def is_non_increasing(self, samples: int = 257) -> bool:
+        """Check the non-increasing restriction by dense sampling.
+
+        Exact shapes override this with an analytic answer; the sampled
+        default is used by the validation utilities and property tests.
+        """
+        step = self.termination / (samples + 1)
+        prev = self.utility(0.0)
+        tol = 1e-9 * max(1.0, abs(prev))
+        for k in range(1, samples + 1):
+            cur = self.utility(k * step)
+            if cur > prev + tol:
+                return False
+            prev = cur
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(termination={self.termination!r}, max_utility={self.max_utility!r})"

@@ -1,0 +1,94 @@
+"""Named TUFs from the paper's Figure 1.
+
+Ready-made constructors for the motivating application time constraints
+(AWACS surveillance [4], coastal air defense [12]), parameterised the
+way the applications parameterise them.
+
+Note on Fig. 1(c) (missile control): its launch/mid-course/intercept
+curve *rises* toward the intercept point before collapsing — it is not
+non-increasing, so it falls outside the model this paper restricts
+itself to (§2.2: "we restrict our focus to non-increasing, unimodal
+TUFs").  :func:`missile_intercept_window` provides the standard
+non-increasing treatment: scheduling *within the intercept window*,
+where the constraint is the step-with-decay window around the predicted
+intercept.
+"""
+
+from __future__ import annotations
+
+from .base import TUF, TUFError
+from .shapes import MultiStepTUF, PiecewiseLinearTUF, StepTUF
+
+__all__ = [
+    "track_association",
+    "plot_correlation",
+    "missile_intercept_window",
+    "classic_deadline",
+]
+
+
+def track_association(max_utility: float, revisit_time: float) -> TUF:
+    """Fig. 1(a) — AWACS track association [4].
+
+    Associating a sensor plot with a track retains full utility until
+    the sensor revisit time ``t_c`` (the track has not moved beyond the
+    gate yet); afterwards utility decays linearly to zero at ``2·t_c``
+    as the track position prediction degrades.
+    """
+    if revisit_time <= 0.0:
+        raise TUFError(f"revisit time must be > 0, got {revisit_time!r}")
+    return PiecewiseLinearTUF(
+        [(0.0, max_utility), (revisit_time, max_utility), (2.0 * revisit_time, 0.0)]
+    )
+
+
+def plot_correlation(
+    correlation_utility: float,
+    maintenance_utility: float,
+    freshness_window: float,
+) -> TUF:
+    """Fig. 1(b) — coastal air defense plot correlation & track
+    maintenance [12].
+
+    Completing within ``t_f`` earns the full correlation utility
+    ``Uc_max``; within ``2·t_f`` only the lower track-maintenance
+    utility ``Um_max``; later, nothing.
+    """
+    if not (0.0 < maintenance_utility < correlation_utility):
+        raise TUFError(
+            "need 0 < maintenance utility < correlation utility, got "
+            f"({maintenance_utility!r}, {correlation_utility!r})"
+        )
+    if freshness_window <= 0.0:
+        raise TUFError(f"freshness window must be > 0, got {freshness_window!r}")
+    return MultiStepTUF(
+        [(freshness_window, correlation_utility),
+         (2.0 * freshness_window, maintenance_utility)]
+    )
+
+
+def missile_intercept_window(
+    max_utility: float,
+    window: float,
+    commit_fraction: float = 0.6,
+) -> TUF:
+    """Fig. 1(c), non-increasing treatment — the intercept window.
+
+    Within the engagement window the guidance update keeps full utility
+    until the commit point (``commit_fraction`` of the window), then
+    falls linearly: a late update still steers the interceptor, with
+    shrinking effect, until the window closes.
+    """
+    if not (0.0 < commit_fraction < 1.0):
+        raise TUFError(f"commit fraction must lie in (0, 1), got {commit_fraction!r}")
+    if window <= 0.0:
+        raise TUFError(f"window must be > 0, got {window!r}")
+    commit = commit_fraction * window
+    return PiecewiseLinearTUF(
+        [(0.0, max_utility), (commit, max_utility), (window, 0.0)]
+    )
+
+
+def classic_deadline(max_utility: float, deadline: float) -> TUF:
+    """Fig. 1(d) — the binary downward step (hard/firm deadline)."""
+    return StepTUF(height=max_utility, deadline=deadline)

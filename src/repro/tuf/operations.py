@@ -1,0 +1,133 @@
+"""Transformations and queries over TUFs.
+
+These operate on any :class:`~repro.tuf.base.TUF` without knowing its
+concrete shape, which keeps scheduler code shape-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import TUF, TUFError
+
+__all__ = [
+    "ScaledTUF",
+    "ShiftedTUF",
+    "ClampedTUF",
+    "scale",
+    "shift",
+    "clamp",
+    "validate",
+    "utility_density",
+]
+
+
+class _DerivedTUF(TUF):
+    """A TUF computed from an inner TUF via a pointwise transform."""
+
+    def __init__(self, inner: TUF, termination: float):
+        super().__init__(termination=termination)
+        self.inner = inner
+
+    def _utility(self, t: float) -> float:  # pragma: no cover - abstract-ish
+        raise NotImplementedError
+
+
+class ScaledTUF(_DerivedTUF):
+    """Multiply utilities by a positive factor (time axis unchanged)."""
+
+    def __init__(self, inner: TUF, factor: float):
+        if factor <= 0.0:
+            raise TUFError(f"scale factor must be > 0, got {factor!r}")
+        super().__init__(inner, termination=inner.termination)
+        self.factor = float(factor)
+
+    def _utility(self, t: float) -> float:
+        return self.factor * self.inner.utility(t)
+
+    def critical_time(self, nu: float) -> float:
+        # Uniform scaling preserves the U(D)/U_max ratio.
+        return self.inner.critical_time(nu)
+
+
+class ShiftedTUF(_DerivedTUF):
+    """Stretch (or compress) the time axis by a positive factor.
+
+    ``ShiftedTUF(u, 2.0)`` takes twice as long to decay; termination time
+    doubles.  Utility magnitudes are unchanged.
+    """
+
+    def __init__(self, inner: TUF, time_factor: float):
+        if time_factor <= 0.0:
+            raise TUFError(f"time factor must be > 0, got {time_factor!r}")
+        super().__init__(inner, termination=inner.termination * time_factor)
+        self.time_factor = float(time_factor)
+
+    def _utility(self, t: float) -> float:
+        return self.inner.utility(t / self.time_factor)
+
+    def critical_time(self, nu: float) -> float:
+        return self.inner.critical_time(nu) * self.time_factor
+
+
+class ClampedTUF(_DerivedTUF):
+    """Truncate a TUF at an earlier termination time.
+
+    Models tightening a time constraint without reshaping the curve
+    (e.g. an operator-imposed cutoff earlier than the natural expiry).
+    """
+
+    def __init__(self, inner: TUF, termination: float):
+        if termination > inner.termination:
+            raise TUFError(
+                f"clamp must tighten: {termination!r} > inner termination {inner.termination!r}"
+            )
+        super().__init__(inner, termination=termination)
+
+    def _utility(self, t: float) -> float:
+        return self.inner.utility(t)
+
+    def critical_time(self, nu: float) -> float:
+        return min(self.inner.critical_time(nu), self.termination)
+
+
+def scale(tuf: TUF, factor: float) -> TUF:
+    """Return ``tuf`` with utilities multiplied by ``factor``."""
+    return ScaledTUF(tuf, factor)
+
+
+def shift(tuf: TUF, time_factor: float) -> TUF:
+    """Return ``tuf`` with its time axis stretched by ``time_factor``."""
+    return ShiftedTUF(tuf, time_factor)
+
+
+def clamp(tuf: TUF, termination: float) -> TUF:
+    """Return ``tuf`` truncated at the earlier ``termination``."""
+    return ClampedTUF(tuf, termination)
+
+
+def validate(tuf: TUF, samples: int = 513) -> None:
+    """Raise :class:`TUFError` unless ``tuf`` satisfies the paper's model.
+
+    Checks: positive max utility, finite positive termination, and the
+    non-increasing restriction (Section 2.2).
+    """
+    if tuf.max_utility <= 0.0:
+        raise TUFError(f"max utility must be > 0, got {tuf.max_utility!r}")
+    if not tuf.is_non_increasing(samples=samples):
+        raise TUFError(f"{tuf!r} is not non-increasing")
+
+
+def utility_density(tuf: TUF, completion_time: float, cycles: float) -> float:
+    """Classical utility density: utility per cycle, ignoring energy.
+
+    This is the ordering metric of energy-oblivious UA schedulers (e.g.
+    Locke's best-effort / DASA); EUA* replaces it with UER.  Exposed here
+    for the AB1 ablation.
+    """
+    if cycles <= 0.0:
+        raise TUFError(f"cycles must be > 0, got {cycles!r}")
+    return tuf.utility(completion_time) / cycles
+
+
+Transform = Callable[[TUF], TUF]

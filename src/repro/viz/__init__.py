@@ -1,0 +1,5 @@
+"""Dependency-free visualisation (SVG figure rendering)."""
+
+from .svg import LineChart, render_figure2, render_figure3
+
+__all__ = ["LineChart", "render_figure2", "render_figure3"]

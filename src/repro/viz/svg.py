@@ -1,0 +1,214 @@
+"""Dependency-free SVG line charts for experiment results.
+
+The benchmarks print ASCII series; this module renders the same data as
+standalone ``.svg`` files (no matplotlib required — the environment is
+offline), so the reproduced Figures 2 and 3 can be viewed side by side
+with the paper's.
+
+Only the features the figures need are implemented: multiple named
+series, axis ticks, a legend, and an optional reference line at y=1
+(the normalisation baseline).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["LineChart", "render_figure2", "render_figure3"]
+
+#: Distinguishable stroke colours (colour-blind-safe Okabe–Ito palette).
+_PALETTE = (
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#009E73",  # green
+    "#CC79A7",  # pink
+    "#E69F00",  # orange
+    "#56B4E9",  # sky
+    "#F0E442",  # yellow
+    "#000000",  # black
+)
+
+_DASHES = ("", "6,3", "2,2", "8,3,2,3")
+
+
+class LineChart:
+    """A minimal multi-series line chart."""
+
+    def __init__(
+        self,
+        title: str,
+        x_label: str,
+        y_label: str,
+        width: int = 560,
+        height: int = 360,
+        y_max: Optional[float] = None,
+        baseline: Optional[float] = None,
+    ):
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.width = int(width)
+        self.height = int(height)
+        self.y_max = y_max
+        self.baseline = baseline
+        self._series: List[Tuple[str, List[Tuple[float, float]]]] = []
+
+    def add_series(self, name: str, points: Sequence[Tuple[float, float]]) -> "LineChart":
+        pts = sorted((float(x), float(y)) for x, y in points)
+        if len(pts) < 1:
+            raise ValueError(f"series {name!r} has no points")
+        self._series.append((name, pts))
+        return self
+
+    # ------------------------------------------------------------------
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [x for _, pts in self._series for x, _ in pts]
+        ys = [y for _, pts in self._series for _, y in pts]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo = 0.0
+        y_hi = self.y_max if self.y_max is not None else max(ys + [self.baseline or 0.0])
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi <= y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi * 1.05
+
+    def to_svg(self) -> str:
+        if not self._series:
+            raise ValueError("no series added")
+        margin_l, margin_r, margin_t, margin_b = 60, 140, 40, 50
+        plot_w = self.width - margin_l - margin_r
+        plot_h = self.height - margin_t - margin_b
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+
+        def sx(x: float) -> float:
+            return margin_l + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+        def sy(y: float) -> float:
+            return margin_t + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+        out: List[str] = []
+        out.append(
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            f'font-family="sans-serif" font-size="11">'
+        )
+        out.append(f'<rect width="{self.width}" height="{self.height}" fill="white"/>')
+        out.append(
+            f'<text x="{self.width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14">{html.escape(self.title)}</text>'
+        )
+        # Axes.
+        out.append(
+            f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" height="{plot_h}" '
+            f'fill="none" stroke="#444"/>'
+        )
+        # Ticks: 5 on each axis.
+        for k in range(6):
+            xv = x_lo + k * (x_hi - x_lo) / 5
+            yv = y_lo + k * (y_hi - y_lo) / 5
+            out.append(
+                f'<line x1="{sx(xv):.1f}" y1="{margin_t + plot_h}" '
+                f'x2="{sx(xv):.1f}" y2="{margin_t + plot_h + 4}" stroke="#444"/>'
+            )
+            out.append(
+                f'<text x="{sx(xv):.1f}" y="{margin_t + plot_h + 16}" '
+                f'text-anchor="middle">{xv:.2g}</text>'
+            )
+            out.append(
+                f'<line x1="{margin_l - 4}" y1="{sy(yv):.1f}" '
+                f'x2="{margin_l}" y2="{sy(yv):.1f}" stroke="#444"/>'
+            )
+            out.append(
+                f'<text x="{margin_l - 8}" y="{sy(yv) + 3:.1f}" '
+                f'text-anchor="end">{yv:.2g}</text>'
+            )
+        out.append(
+            f'<text x="{margin_l + plot_w / 2}" y="{self.height - 10}" '
+            f'text-anchor="middle">{html.escape(self.x_label)}</text>'
+        )
+        out.append(
+            f'<text x="16" y="{margin_t + plot_h / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {margin_t + plot_h / 2})">'
+            f"{html.escape(self.y_label)}</text>"
+        )
+        # Baseline reference.
+        if self.baseline is not None and y_lo <= self.baseline <= y_hi:
+            out.append(
+                f'<line x1="{margin_l}" y1="{sy(self.baseline):.1f}" '
+                f'x2="{margin_l + plot_w}" y2="{sy(self.baseline):.1f}" '
+                f'stroke="#999" stroke-dasharray="3,3"/>'
+            )
+        # Series.
+        for i, (name, pts) in enumerate(self._series):
+            colour = _PALETTE[i % len(_PALETTE)]
+            dash = _DASHES[(i // len(_PALETTE)) % len(_DASHES)]
+            path = " ".join(
+                f"{'M' if k == 0 else 'L'} {sx(x):.1f} {sy(y):.1f}"
+                for k, (x, y) in enumerate(pts)
+            )
+            dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+            out.append(
+                f'<path d="{path}" fill="none" stroke="{colour}" '
+                f'stroke-width="1.8"{dash_attr}/>'
+            )
+            for x, y in pts:
+                out.append(
+                    f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2.4" '
+                    f'fill="{colour}"/>'
+                )
+            # Legend entry.
+            ly = margin_t + 14 + i * 16
+            lx = margin_l + plot_w + 10
+            out.append(
+                f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 18}" y2="{ly - 4}" '
+                f'stroke="{colour}" stroke-width="1.8"{dash_attr}/>'
+            )
+            out.append(
+                f'<text x="{lx + 24}" y="{ly}">{html.escape(name)}</text>'
+            )
+        out.append("</svg>")
+        return "\n".join(out)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_svg())
+
+
+def render_figure2(result, metric: str, path: Optional[str] = None) -> str:
+    """Render one Figure 2 panel from a
+    :class:`~repro.experiments.figure2.Figure2Result`; returns the SVG
+    text (and writes it when ``path`` is given)."""
+    if metric not in ("utility", "energy"):
+        raise ValueError(f"metric must be 'utility' or 'energy', got {metric!r}")
+    chart = LineChart(
+        title=f"Figure 2 — normalised {metric} vs load ({result.energy_setting})",
+        x_label="system load ϱ",
+        y_label=f"normalised {metric}",
+        baseline=1.0,
+    )
+    names = list(result.points[0].utility) if result.points else []
+    for name in names:
+        chart.add_series(name, result.series(metric, name))
+    svg = chart.to_svg()
+    if path:
+        chart.save(path)
+    return svg
+
+
+def render_figure3(result, path: Optional[str] = None) -> str:
+    """Render Figure 3 from a
+    :class:`~repro.experiments.figure3.Figure3Result`."""
+    chart = LineChart(
+        title="Figure 3 — EUA* energy per UAM burst size",
+        x_label="system load ϱ",
+        y_label="normalised energy",
+        baseline=1.0,
+    )
+    for a in sorted(result.energy):
+        chart.add_series(f"<{a},P>", result.series(a))
+    svg = chart.to_svg()
+    if path:
+        chart.save(path)
+    return svg

@@ -1,0 +1,83 @@
+"""Tests for accrual curves (repro.analysis.accrual)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    StepCurve,
+    energy_spend_curve,
+    utility_accrual_curve,
+    utility_per_joule_curve,
+)
+from repro.core import EUAStar
+from repro.experiments import energy_setting, synthesize_taskset
+from repro.sim import Platform, materialize, simulate
+
+
+class TestStepCurve:
+    def test_at(self):
+        c = StepCurve((1.0, 2.0), (5.0, 8.0))
+        assert c.at(0.5) == 0.0
+        assert c.at(1.0) == 5.0
+        assert c.at(1.5) == 5.0
+        assert c.at(3.0) == 8.0
+
+    def test_final(self):
+        assert StepCurve((1.0,), (5.0,)).final == 5.0
+        assert StepCurve((), ()).final == 0.0
+
+    def test_sampled(self):
+        c = StepCurve((1.0,), (5.0,))
+        assert c.sampled([0.0, 1.0, 2.0]) == [0.0, 5.0, 5.0]
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            StepCurve((1.0,), (1.0, 2.0))
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            StepCurve((2.0, 1.0), (1.0, 2.0))
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    rng = np.random.default_rng(101)
+    ts = synthesize_taskset(0.7, rng)
+    trace = materialize(ts, 2.0, rng)
+    platform = Platform(energy_model=energy_setting("E1"))
+    return simulate(trace, EUAStar(), platform=platform, record_trace=True), platform
+
+
+class TestRunCurves:
+    def test_utility_curve_reaches_total(self, traced_run):
+        result, _ = traced_run
+        curve = utility_accrual_curve(result)
+        assert curve.final == pytest.approx(result.metrics.accrued_utility)
+
+    def test_utility_curve_monotone(self, traced_run):
+        result, _ = traced_run
+        curve = utility_accrual_curve(result)
+        assert all(a <= b for a, b in zip(curve.values, curve.values[1:]))
+
+    def test_energy_curve_reaches_busy_energy(self, traced_run):
+        result, platform = traced_run
+        curve = energy_spend_curve(result, platform.energy_model)
+        assert curve.final == pytest.approx(result.processor_stats.energy, rel=1e-9)
+
+    def test_energy_curve_requires_trace(self, traced_run):
+        result, platform = traced_run
+        import dataclasses
+
+        bare = dataclasses.replace(result, trace=None)
+        with pytest.raises(ValueError):
+            energy_spend_curve(bare, platform.energy_model)
+
+    def test_utility_per_joule_samples(self, traced_run):
+        result, platform = traced_run
+        samples = utility_per_joule_curve(result, platform.energy_model, samples=16)
+        assert len(samples) == 16
+        assert samples[-1][0] == pytest.approx(result.horizon)
+        final_ratio = samples[-1][1]
+        assert final_ratio == pytest.approx(
+            result.metrics.accrued_utility / result.processor_stats.energy, rel=0.02
+        )

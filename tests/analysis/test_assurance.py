@@ -1,0 +1,109 @@
+"""Tests for assurance verification (repro.analysis.assurance)."""
+
+import pytest
+
+from repro.analysis import (
+    task_assurance,
+    verify_assurances,
+    wilson_lower_bound,
+)
+from repro.arrivals import UAMSpec
+from repro.cpu import ProcessorStats
+from repro.demand import DeterministicDemand
+from repro.sim import Job, JobStatus, Metrics, Task, TaskSet
+from repro.sim.engine import SimulationResult
+from repro.tuf import StepTUF
+
+
+def _result(satisfied: int, failed: int, pending: int = 0):
+    task = Task("T", StepTUF(10.0, 1.0), DeterministicDemand(5.0), UAMSpec(1, 1.0),
+                nu=1.0, rho=0.9)
+    ts = TaskSet([task])
+    jobs = []
+    idx = 0
+    for _ in range(satisfied):
+        j = Job(task, idx, float(idx), 5.0)
+        j.status = JobStatus.COMPLETED
+        j.completion_time = float(idx) + 0.5
+        j.accrued_utility = 10.0
+        jobs.append(j)
+        idx += 1
+    for _ in range(failed):
+        j = Job(task, idx, float(idx), 5.0)
+        j.status = JobStatus.EXPIRED
+        j.abort_time = float(idx) + 1.0
+        jobs.append(j)
+        idx += 1
+    for _ in range(pending):
+        jobs.append(Job(task, idx, float(idx), 5.0))
+        idx += 1
+    metrics = Metrics(ts, jobs, ProcessorStats(), horizon=float(idx + 1))
+    return (
+        SimulationResult("test", metrics, ProcessorStats(), jobs, float(idx + 1)),
+        ts,
+    )
+
+
+class TestWilsonBound:
+    def test_below_point_estimate(self):
+        assert wilson_lower_bound(90, 100) < 0.9
+
+    def test_tightens_with_samples(self):
+        lb_small = wilson_lower_bound(9, 10)
+        lb_large = wilson_lower_bound(900, 1000)
+        assert lb_large > lb_small
+
+    def test_all_failures(self):
+        assert wilson_lower_bound(0, 50) == pytest.approx(0.0, abs=0.1)
+
+    def test_bounds_in_unit_interval(self):
+        for k in (0, 1, 5, 10):
+            lb = wilson_lower_bound(k, 10)
+            assert 0.0 <= lb <= 1.0
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            wilson_lower_bound(0, 0)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            wilson_lower_bound(5, 10, confidence=1.0)
+
+
+class TestTaskAssurance:
+    def test_attainment(self):
+        result, ts = _result(satisfied=9, failed=1)
+        rep = task_assurance(result, ts[0])
+        assert rep.jobs_decided == 10
+        assert rep.attainment == pytest.approx(0.9)
+
+    def test_pending_jobs_censored(self):
+        result, ts = _result(satisfied=5, failed=0, pending=3)
+        rep = task_assurance(result, ts[0])
+        assert rep.jobs_decided == 5
+        assert rep.attainment == 1.0
+
+    def test_satisfied_point_vs_confidence(self):
+        result, ts = _result(satisfied=9, failed=1)
+        rep = task_assurance(result, ts[0])
+        assert rep.satisfied_point  # 0.9 >= rho = 0.9
+        assert not rep.satisfied_with_confidence  # Wilson LB < 0.9
+
+    def test_confidence_claim_with_many_jobs(self):
+        result, ts = _result(satisfied=500, failed=2)
+        rep = task_assurance(result, ts[0])
+        assert rep.satisfied_with_confidence
+
+    def test_no_jobs_vacuous(self):
+        result, ts = _result(satisfied=0, failed=0)
+        rep = task_assurance(result, ts[0])
+        assert rep.attainment == 1.0
+        assert rep.jobs_decided == 0
+
+
+class TestVerifyAssurances:
+    def test_per_task_reports(self):
+        result, ts = _result(satisfied=10, failed=0)
+        reports = verify_assurances(result, ts)
+        assert set(reports) == {"T"}
+        assert reports["T"].satisfied_point

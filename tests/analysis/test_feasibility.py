@@ -1,0 +1,93 @@
+"""Tests for Theorem 1 feasibility analysis (repro.analysis.feasibility)."""
+
+import pytest
+
+from repro.analysis import (
+    demand_bound_satisfied,
+    feasible_at,
+    min_feasible_frequency,
+    taskset_min_frequency,
+    uam_cycle_demand,
+)
+from repro.arrivals import BurstUAMArrivals, UAMSpec
+from repro.demand import DeterministicDemand
+from repro.sim import Task, TaskSet
+from repro.tuf import LinearTUF, StepTUF
+
+
+def _task(name="T", window=1.0, mean=100.0, a=1, nu=1.0, tuf="step"):
+    spec = UAMSpec(a, window)
+    shape = StepTUF(5.0, window) if tuf == "step" else LinearTUF(5.0, window)
+    return Task(
+        name,
+        shape,
+        DeterministicDemand(mean),
+        spec,
+        arrivals=None if a == 1 else BurstUAMArrivals(spec),
+        nu=nu,
+    )
+
+
+class TestCycleDemand:
+    def test_zero_before_critical_time(self):
+        task = _task(window=1.0)
+        assert uam_cycle_demand(task, 0.99) == 0.0
+
+    def test_one_window_at_critical_time(self):
+        task = _task(window=1.0, mean=100.0)
+        assert uam_cycle_demand(task, 1.0) == pytest.approx(100.0)
+
+    def test_staircase(self):
+        task = _task(window=1.0, mean=100.0)
+        assert uam_cycle_demand(task, 1.5) == pytest.approx(100.0)
+        assert uam_cycle_demand(task, 2.0) == pytest.approx(200.0)
+        assert uam_cycle_demand(task, 3.0) == pytest.approx(300.0)
+
+    def test_burst_multiplies(self):
+        task = _task(window=1.0, mean=100.0, a=3)
+        assert uam_cycle_demand(task, 1.0) == pytest.approx(300.0)
+
+    def test_linear_tuf_critical_time_offset(self):
+        task = _task(window=1.0, tuf="linear", nu=0.4)  # D = 0.6
+        assert uam_cycle_demand(task, 0.5) == 0.0
+        assert uam_cycle_demand(task, 0.6) == pytest.approx(100.0)
+        assert uam_cycle_demand(task, 1.6) == pytest.approx(200.0)
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            uam_cycle_demand(_task(), -1.0)
+
+
+class TestTheorem1:
+    def test_single_task_bound(self):
+        task = _task(window=1.0, mean=100.0, a=2)
+        assert min_feasible_frequency(task) == pytest.approx(200.0)
+
+    def test_matches_task_property(self):
+        task = _task(a=3)
+        assert min_feasible_frequency(task) == task.min_feasible_frequency
+
+    def test_taskset_sum(self):
+        ts = TaskSet([_task("A", mean=100.0), _task("B", mean=50.0)])
+        assert taskset_min_frequency(ts) == pytest.approx(150.0)
+
+    def test_feasible_at(self):
+        ts = TaskSet([_task("A", mean=100.0), _task("B", mean=50.0)])
+        assert feasible_at(ts, 150.0)
+        assert not feasible_at(ts, 149.0)
+
+    def test_theorem1_agrees_with_demand_bound(self):
+        # The closed form C/D is exactly the binding point of the full
+        # processor-demand criterion.
+        ts = TaskSet([
+            _task("A", window=0.5, mean=30.0, a=2),
+            _task("B", window=1.3, mean=100.0),
+        ])
+        f_star = taskset_min_frequency(ts)
+        assert demand_bound_satisfied(ts, f_star)
+        assert not demand_bound_satisfied(ts, f_star * 0.9)
+
+    def test_demand_bound_with_explicit_points(self):
+        ts = TaskSet([_task("A", window=1.0, mean=100.0)])
+        assert demand_bound_satisfied(ts, 100.0, check_points=[1.0, 2.0, 5.0])
+        assert not demand_bound_satisfied(ts, 99.0, check_points=[1.0])

@@ -1,0 +1,68 @@
+"""Tests for lateness analysis (repro.analysis.lateness)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import lateness_stats, max_lateness, per_task_lateness
+from repro.arrivals import UAMSpec
+from repro.cpu import ProcessorStats
+from repro.demand import DeterministicDemand
+from repro.sim import Job, JobStatus, Metrics, Task, TaskSet
+from repro.sim.engine import SimulationResult
+from repro.tuf import StepTUF
+
+
+def _result():
+    a = Task("A", StepTUF(5.0, 1.0), DeterministicDemand(5.0), UAMSpec(1, 1.0))
+    b = Task("B", StepTUF(5.0, 2.0), DeterministicDemand(5.0), UAMSpec(1, 2.0),
+             abortable=False)
+    ts = TaskSet([a, b])
+    jobs = []
+    j = Job(a, 0, 0.0, 5.0)  # early by 0.4
+    j.status = JobStatus.COMPLETED
+    j.completion_time = 0.6
+    jobs.append(j)
+    j = Job(a, 1, 1.0, 5.0)  # early by 0.1
+    j.status = JobStatus.COMPLETED
+    j.completion_time = 1.9
+    jobs.append(j)
+    j = Job(b, 0, 0.0, 5.0)  # tardy by 0.5 (non-abortable, ran long)
+    j.status = JobStatus.COMPLETED
+    j.completion_time = 2.5
+    jobs.append(j)
+    jobs.append(Job(b, 1, 2.0, 5.0))  # pending: excluded
+    metrics = Metrics(ts, jobs, ProcessorStats(), horizon=4.0)
+    return SimulationResult("x", metrics, ProcessorStats(), jobs, 4.0), ts
+
+
+class TestLatenessStats:
+    def test_run_level(self):
+        result, _ = _result()
+        s = lateness_stats(result)
+        assert s.count == 3
+        assert s.max_lateness == pytest.approx(0.5)
+        assert s.max_tardiness == pytest.approx(0.5)
+        assert s.tardy_fraction == pytest.approx(1 / 3)
+        assert s.mean_sojourn == pytest.approx((0.6 + 0.9 + 2.5) / 3)
+        assert s.max_sojourn == pytest.approx(2.5)
+        assert not s.all_on_time
+
+    def test_per_task(self):
+        result, ts = _result()
+        stats = per_task_lateness(result, ts)
+        assert stats["A"].all_on_time
+        assert stats["A"].max_lateness == pytest.approx(-0.1)
+        assert stats["B"].max_tardiness == pytest.approx(0.5)
+
+    def test_max_lateness_helper(self):
+        result, _ = _result()
+        assert max_lateness(result) == pytest.approx(0.5)
+
+    def test_empty_scope(self):
+        result, ts = _result()
+        empty = lateness_stats(result, Task("Z", StepTUF(1.0, 1.0),
+                                            DeterministicDemand(1.0), UAMSpec(1, 1.0)))
+        assert empty.count == 0
+        assert empty.max_lateness == -math.inf

@@ -1,0 +1,100 @@
+"""Tests for the YDS clairvoyant energy lower bound."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import YDSJob, jobs_from_trace, yds_energy, yds_schedule
+from repro.core import EUAStar
+from repro.cpu import EnergyModel
+from repro.experiments import synthesize_taskset
+from repro.sim import Platform, materialize, simulate
+
+
+class TestYDSJob:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            YDSJob(1.0, 1.0, 5.0)
+
+    def test_rejects_bad_cycles(self):
+        with pytest.raises(ValueError):
+            YDSJob(0.0, 1.0, 0.0)
+
+
+class TestSchedule:
+    def test_single_job_runs_at_exact_intensity(self):
+        sched = yds_schedule([YDSJob(0.0, 2.0, 100.0)])
+        assert len(sched.pieces) == 1
+        a, b, s = sched.pieces[0]
+        assert (a, b) == (0.0, 2.0)
+        assert s == pytest.approx(50.0)
+
+    def test_total_cycles_conserved(self):
+        jobs = [YDSJob(0.0, 1.0, 100.0), YDSJob(0.5, 2.0, 60.0), YDSJob(1.0, 3.0, 30.0)]
+        sched = yds_schedule(jobs)
+        assert sched.total_cycles == pytest.approx(190.0)
+
+    def test_textbook_example(self):
+        # Two jobs sharing [0, 1], one relaxed job until 2: critical
+        # interval is [0, 1] at 150 MHz; the rest runs at 40 over the
+        # collapsed remainder.
+        jobs = [
+            YDSJob(0.0, 1.0, 100.0),
+            YDSJob(0.0, 1.0, 50.0),
+            YDSJob(0.0, 2.0, 40.0),
+        ]
+        sched = yds_schedule(jobs)
+        speeds = sorted(s for _, _, s in sched.pieces)
+        assert speeds == [pytest.approx(40.0), pytest.approx(150.0)]
+
+    def test_peak_frequency(self):
+        jobs = [YDSJob(0.0, 1.0, 120.0), YDSJob(2.0, 3.0, 30.0)]
+        assert yds_schedule(jobs).peak_frequency == pytest.approx(120.0)
+
+    def test_energy_convexity_prefers_flat(self):
+        # Splitting the same work unevenly must cost more than YDS.
+        model = EnergyModel.e1()
+        jobs = [YDSJob(0.0, 2.0, 200.0)]
+        optimal = yds_energy(jobs, model)
+        uneven = model.energy_for(150.0, 150.0) + model.energy_for(50.0, 50.0)
+        assert optimal <= uneven
+
+
+class TestLowerBoundProperty:
+    def test_no_simulated_policy_beats_yds(self):
+        """The clairvoyant bound lower-bounds every policy that meets
+        the same critical times (here: EUA* at underload, which meets
+        all of them)."""
+        rng = np.random.default_rng(55)
+        ts = synthesize_taskset(0.6, rng, tuf_shape="step", nu=1.0, rho=0.96)
+        trace = materialize(ts, 2.0, rng)
+        model = EnergyModel.e1()
+        result = simulate(trace, EUAStar(), platform=Platform(energy_model=model))
+        bound = yds_energy(jobs_from_trace(trace), model)
+        assert result.energy >= bound * (1.0 - 1e-9)
+        # And the bound is not vacuous: within ~20x (ladder + online).
+        assert result.energy <= 20.0 * bound
+
+    def test_budget_based_bound_dominates_true_demand_bound(self):
+        rng = np.random.default_rng(56)
+        ts = synthesize_taskset(0.6, rng, tuf_shape="step", nu=1.0, rho=0.96)
+        trace = materialize(ts, 1.0, rng)
+        model = EnergyModel.e1()
+        with_budgets = yds_energy(jobs_from_trace(trace, use_budgets=True), model)
+        with_true = yds_energy(jobs_from_trace(trace), model)
+        assert with_budgets >= with_true * (1.0 - 1e-9)
+
+    def test_termination_deadlines_cheaper_than_critical(self):
+        rng = np.random.default_rng(57)
+        ts = synthesize_taskset(0.6, rng, tuf_shape="linear", nu=0.3, rho=0.9)
+        trace = materialize(ts, 1.0, rng)
+        model = EnergyModel.e1()
+        by_critical = yds_energy(jobs_from_trace(trace, deadline="critical"), model)
+        by_term = yds_energy(jobs_from_trace(trace, deadline="termination"), model)
+        assert by_term <= by_critical * (1.0 + 1e-9)
+
+    def test_unknown_deadline_kind(self):
+        rng = np.random.default_rng(58)
+        ts = synthesize_taskset(0.5, rng)
+        trace = materialize(ts, 0.5, rng)
+        with pytest.raises(ValueError):
+            jobs_from_trace(trace, deadline="soft")

@@ -1,0 +1,81 @@
+"""Tests for schedulability conditions (repro.analysis.schedulability)."""
+
+import pytest
+
+from repro.analysis import (
+    brh_demand,
+    brh_schedulable,
+    edf_utilization,
+    is_underload_regime,
+    liu_layland_schedulable,
+)
+from repro.arrivals import UAMSpec
+from repro.demand import DeterministicDemand
+from repro.sim import Task, TaskSet
+from repro.tuf import LinearTUF, StepTUF
+
+
+def _ts(*means, window=1.0, tuf="step", nu=1.0):
+    tasks = []
+    for i, mean in enumerate(means):
+        shape = StepTUF(5.0, window) if tuf == "step" else LinearTUF(5.0, window)
+        tasks.append(
+            Task(f"T{i}", shape, DeterministicDemand(mean), UAMSpec(1, window), nu=nu)
+        )
+    return TaskSet(tasks)
+
+
+class TestUtilization:
+    def test_definition(self):
+        ts = _ts(300.0, 200.0)
+        assert edf_utilization(ts, 1000.0) == pytest.approx(0.5)
+
+    def test_matches_taskset_load(self):
+        ts = _ts(123.0, 456.0)
+        assert edf_utilization(ts, 1000.0) == pytest.approx(ts.load(1000.0))
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            edf_utilization(_ts(1.0), 0.0)
+
+
+class TestLiuLayland:
+    def test_under_bound(self):
+        assert liu_layland_schedulable(_ts(500.0, 499.0), 1000.0)
+
+    def test_exactly_at_bound(self):
+        assert liu_layland_schedulable(_ts(500.0, 500.0), 1000.0)
+
+    def test_over_bound(self):
+        assert not liu_layland_schedulable(_ts(600.0, 500.0), 1000.0)
+
+    def test_underload_regime_alias(self):
+        assert is_underload_regime(_ts(400.0), 1000.0)
+        assert not is_underload_regime(_ts(1100.0), 1000.0)
+
+
+class TestBRH:
+    def test_demand_accumulates(self):
+        ts = _ts(100.0, window=1.0)
+        assert brh_demand(ts, 0.5) == 0.0
+        assert brh_demand(ts, 1.0) == pytest.approx(100.0)
+        assert brh_demand(ts, 2.0) == pytest.approx(200.0)
+
+    def test_schedulable_when_under(self):
+        assert brh_schedulable(_ts(400.0, 300.0), 1000.0)
+
+    def test_unschedulable_when_over(self):
+        assert not brh_schedulable(_ts(700.0, 500.0), 1000.0)
+
+    def test_linear_tuf_critical_times(self):
+        # Theorem 6 case: D = 0.6 < P = 1.0: demand concentrates and the
+        # required frequency exceeds the utilisation-based one.
+        ts = _ts(600.0, window=1.0, tuf="linear", nu=0.4)
+        # Utilisation view: 600/0.6 = 1000 exactly.
+        assert liu_layland_schedulable(ts, 1000.0)
+        assert brh_schedulable(ts, 1000.0)
+        assert not brh_schedulable(ts, 900.0)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            brh_schedulable(_ts(1.0), -1.0)

@@ -1,0 +1,92 @@
+"""Tests for statistics helpers (repro.analysis.stats)."""
+
+import pytest
+
+from repro.analysis import (
+    SummaryStat,
+    normalize_energy,
+    normalize_utility,
+    normalized_series,
+    summarize,
+)
+from repro.arrivals import UAMSpec
+from repro.cpu import ProcessorStats
+from repro.demand import DeterministicDemand
+from repro.sim import Job, JobStatus, Metrics, Task, TaskSet
+from repro.sim.engine import SimulationResult
+from repro.tuf import StepTUF
+
+
+def _result(utility: float, energy: float):
+    task = Task("T", StepTUF(10.0, 1.0), DeterministicDemand(5.0), UAMSpec(1, 1.0))
+    ts = TaskSet([task])
+    job = Job(task, 0, 0.0, 5.0)
+    job.status = JobStatus.COMPLETED
+    job.completion_time = 0.5
+    job.accrued_utility = utility
+    stats = ProcessorStats(energy=energy)
+    metrics = Metrics(ts, [job], stats, horizon=1.0)
+    return SimulationResult("x", metrics, stats, [job], 1.0)
+
+
+class TestSummarize:
+    def test_mean_std(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert s.n == 3
+
+    def test_half_width(self):
+        s = summarize([1.0, 2.0, 3.0], z=2.0)
+        assert s.half_width == pytest.approx(2.0 / 3**0.5)
+        assert s.low == pytest.approx(s.mean - s.half_width)
+        assert s.high == pytest.approx(s.mean + s.half_width)
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.half_width == 0.0
+
+    def test_format(self):
+        assert "±" in f"{summarize([1.0, 2.0])}"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestNormalisation:
+    def test_energy_ratio(self):
+        assert normalize_energy(_result(1.0, 50.0), _result(1.0, 100.0)) == 0.5
+
+    def test_energy_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalize_energy(_result(1.0, 50.0), _result(1.0, 0.0))
+
+    def test_utility_ratio(self):
+        assert normalize_utility(_result(8.0, 1.0), _result(10.0, 1.0)) == 0.8
+
+    def test_utility_can_exceed_one(self):
+        # Overloads: EUA* can beat the EDF baseline.
+        assert normalize_utility(_result(10.0, 1.0), _result(8.0, 1.0)) == 1.25
+
+    def test_collapsed_baseline_falls_back(self):
+        r = normalize_utility(_result(5.0, 1.0), _result(0.0, 1.0))
+        assert r == pytest.approx(0.5)  # raw normalised utility (5/10)
+
+
+class TestNormalizedSeries:
+    def test_aggregates_over_seeds(self):
+        runs = [
+            {"X": _result(5.0, 50.0), "BASE": _result(10.0, 100.0)},
+            {"X": _result(6.0, 60.0), "BASE": _result(10.0, 100.0)},
+        ]
+        util = normalized_series(runs, "BASE", "utility")
+        energy = normalized_series(runs, "BASE", "energy")
+        assert util["X"].mean == pytest.approx(0.55)
+        assert energy["X"].mean == pytest.approx(0.55)
+        assert util["BASE"].mean == pytest.approx(1.0)
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ValueError):
+            normalized_series([{}], "BASE", "latency")

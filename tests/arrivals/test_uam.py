@@ -1,0 +1,163 @@
+"""Tests for the UAM model (repro.arrivals.uam)."""
+
+import pytest
+
+from repro.arrivals import (
+    UAMError,
+    UAMSpec,
+    UAMTracker,
+    first_violation,
+    is_uam_compliant,
+    max_count_in_any_window,
+    thin_to_uam,
+)
+
+
+class TestUAMSpec:
+    def test_basic_fields(self):
+        spec = UAMSpec(3, 0.5)
+        assert spec.max_arrivals == 3
+        assert spec.window == 0.5
+
+    def test_peak_rate(self):
+        assert UAMSpec(4, 2.0).peak_rate == pytest.approx(2.0)
+
+    def test_periodic_equivalent(self):
+        assert UAMSpec(1, 1.0).is_periodic_equivalent
+        assert not UAMSpec(2, 1.0).is_periodic_equivalent
+
+    def test_scaled(self):
+        spec = UAMSpec(2, 1.0).scaled(3.0)
+        assert spec.window == 3.0
+        assert spec.max_arrivals == 2
+
+    def test_rejects_zero_arrivals(self):
+        with pytest.raises(UAMError):
+            UAMSpec(0, 1.0)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(UAMError):
+            UAMSpec(1, 0.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            UAMSpec(1, 1.0).window = 2.0
+
+
+class TestMaxCountInWindow:
+    def test_empty(self):
+        assert max_count_in_any_window([], 1.0) == 0
+
+    def test_single(self):
+        assert max_count_in_any_window([0.5], 1.0) == 1
+
+    def test_simultaneous(self):
+        assert max_count_in_any_window([1.0, 1.0, 1.0], 0.1) == 3
+
+    def test_spread(self):
+        assert max_count_in_any_window([0.0, 1.0, 2.0], 1.0) == 1
+
+    def test_boundary_exactly_window_apart(self):
+        # Half-open windows: arrivals exactly P apart never share one.
+        assert max_count_in_any_window([0.0, 1.0], 1.0) == 1
+
+    def test_cluster(self):
+        assert max_count_in_any_window([0.0, 0.1, 0.2, 5.0], 0.25) == 3
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(UAMError):
+            max_count_in_any_window([1.0, 0.5], 1.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(UAMError):
+            max_count_in_any_window([0.0], 0.0)
+
+    def test_float_accumulation_tolerance(self):
+        # k * 0.1 accumulates ulp noise; gaps a hair under the window
+        # still count as compliant.
+        times = [k * 0.1 for k in range(100)]
+        assert max_count_in_any_window(times, 0.1) == 1
+
+
+class TestCompliance:
+    def test_periodic_complies_with_own_spec(self):
+        times = [k * 0.5 for k in range(20)]
+        assert is_uam_compliant(times, UAMSpec(1, 0.5))
+
+    def test_periodic_violates_tighter_spec(self):
+        times = [k * 0.5 for k in range(20)]
+        assert not is_uam_compliant(times, UAMSpec(1, 0.6))
+
+    def test_burst_exactly_a(self):
+        times = [0.0, 0.0, 1.0, 1.0]
+        assert is_uam_compliant(times, UAMSpec(2, 1.0))
+
+    def test_burst_over_a(self):
+        times = [0.0, 0.0, 0.0]
+        assert not is_uam_compliant(times, UAMSpec(2, 1.0))
+
+    def test_first_violation_index(self):
+        times = [0.0, 0.1, 0.2]
+        assert first_violation(times, UAMSpec(2, 1.0)) == 2
+
+    def test_first_violation_none(self):
+        assert first_violation([0.0, 2.0], UAMSpec(1, 1.0)) is None
+
+    def test_empty_compliant(self):
+        assert is_uam_compliant([], UAMSpec(1, 1.0))
+
+
+class TestThinning:
+    def test_no_drop_when_compliant(self):
+        times = [0.0, 1.0, 2.0]
+        assert thin_to_uam(times, UAMSpec(1, 1.0)) == times
+
+    def test_drops_overflow(self):
+        times = [0.0, 0.1, 0.2, 0.3]
+        kept = thin_to_uam(times, UAMSpec(2, 1.0))
+        assert kept == [0.0, 0.1]
+
+    def test_result_is_compliant(self):
+        times = [0.0, 0.05, 0.1, 0.5, 0.6, 0.7, 1.2, 1.3]
+        spec = UAMSpec(2, 0.5)
+        assert is_uam_compliant(thin_to_uam(times, spec), spec)
+
+    def test_keeps_earliest(self):
+        kept = thin_to_uam([0.0, 0.4, 1.0], UAMSpec(1, 1.0))
+        assert kept == [0.0, 1.0]
+
+
+class TestTracker:
+    def test_admits_within_budget(self):
+        tr = UAMTracker(UAMSpec(2, 1.0))
+        assert tr.admit(0.0)
+        assert tr.admit(0.5)
+        assert not tr.admit(0.9)
+
+    def test_budget_replenishes(self):
+        tr = UAMTracker(UAMSpec(1, 1.0))
+        assert tr.admit(0.0)
+        assert not tr.admit(0.5)
+        assert tr.admit(1.0)
+
+    def test_would_admit_is_pure(self):
+        tr = UAMTracker(UAMSpec(1, 1.0))
+        assert tr.would_admit(0.0)
+        assert tr.would_admit(0.0)  # not recorded
+        assert tr.arrivals_in_current_window == 0
+
+    def test_remaining_budget(self):
+        tr = UAMTracker(UAMSpec(3, 1.0))
+        tr.admit(0.0)
+        assert tr.remaining_budget(0.5) == 2
+        assert tr.remaining_budget(1.5) == 3
+
+    def test_rejects_out_of_order(self):
+        tr = UAMTracker(UAMSpec(1, 1.0))
+        tr.admit(1.0)
+        with pytest.raises(UAMError):
+            tr.would_admit(0.5)
+
+    def test_simultaneous_arrivals(self):
+        tr = UAMTracker(UAMSpec(3, 1.0))
+        assert [tr.admit(0.0) for _ in range(4)] == [True, True, True, False]

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.cpu import EnergyModel, FrequencyScale
+from repro.demand import DeterministicDemand, NormalDemand
+from repro.sim import Platform, Task, TaskSet
+from repro.tuf import LinearTUF, StepTUF
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def scale() -> FrequencyScale:
+    return FrequencyScale.powernow_k6()
+
+
+@pytest.fixture
+def e1() -> EnergyModel:
+    return EnergyModel.e1()
+
+
+@pytest.fixture
+def e3(scale) -> EnergyModel:
+    return EnergyModel.e3(scale.f_max)
+
+
+@pytest.fixture
+def platform_e1(scale, e1) -> Platform:
+    return Platform(scale, e1)
+
+
+@pytest.fixture
+def platform_e3(scale, e3) -> Platform:
+    return Platform(scale, e3)
+
+
+def make_periodic_task(
+    name: str = "T",
+    window: float = 0.1,
+    umax: float = 10.0,
+    mean: float = 20.0,
+    nu: float = 1.0,
+    rho: float = 0.96,
+    deterministic: bool = False,
+    tuf: str = "step",
+) -> Task:
+    """One periodic task with a step or linear TUF."""
+    demand = DeterministicDemand(mean) if deterministic else NormalDemand(mean, mean * 1e-6)
+    shape = (
+        StepTUF(height=umax, deadline=window)
+        if tuf == "step"
+        else LinearTUF(max_utility=umax, termination=window)
+    )
+    return Task(
+        name=name,
+        tuf=shape,
+        demand=demand,
+        uam=UAMSpec(1, window),
+        nu=nu,
+        rho=rho,
+    )
+
+
+@pytest.fixture
+def small_taskset() -> TaskSet:
+    """Four non-harmonic periodic step-TUF tasks, ~load 0.6 at 1000 MHz."""
+    tasks = [
+        make_periodic_task("A", window=0.047, umax=60.0, mean=7.0),
+        make_periodic_task("B", window=0.110, umax=35.0, mean=16.0),
+        make_periodic_task("C", window=0.230, umax=20.0, mean=35.0),
+        make_periodic_task("D", window=0.430, umax=10.0, mean=64.0),
+    ]
+    return TaskSet(tasks).scaled_to_load(0.6, 1000.0)
+
+
+@pytest.fixture
+def overload_taskset(small_taskset) -> TaskSet:
+    return small_taskset.scaled_to_load(1.6, 1000.0)

@@ -1,0 +1,192 @@
+"""Tests for decideFreq (repro.core.decide_freq)."""
+
+import pytest
+
+from repro.arrivals import BurstUAMArrivals, UAMSpec
+from repro.core import offline_computing
+from repro.core.decide_freq import (
+    decide_freq,
+    future_cycles_due,
+    required_rate_demand,
+    required_rate_lookahead,
+)
+from repro.cpu import EnergyModel, FrequencyScale
+from repro.demand import DeterministicDemand
+from repro.sim import Job, Task, TaskSet
+from repro.sim.scheduler import SchedulerView, SchedulingEvent
+from repro.tuf import StepTUF
+
+
+def _task(name="T", window=1.0, mean=100.0, a=1):
+    spec = UAMSpec(a, window)
+    return Task(
+        name,
+        StepTUF(5.0, window),
+        DeterministicDemand(mean),
+        spec,
+        arrivals=None if a == 1 else BurstUAMArrivals(spec),
+    )
+
+
+def _view(tasks, jobs, time=0.0, arrivals=None, scale=None):
+    return SchedulerView(
+        time=time,
+        ready=jobs,
+        taskset=TaskSet(tasks),
+        scale=scale or FrequencyScale.powernow_k6(),
+        energy_model=EnergyModel.e1(),
+        event=SchedulingEvent.ARRIVAL,
+        arrivals_in_window=arrivals if arrivals is not None else {},
+    )
+
+
+class TestFutureCyclesDue:
+    def test_zero_beyond_horizon(self):
+        task = _task(window=1.0)
+        view = _view([task], [], time=0.0, arrivals={"T": []})
+        assert future_cycles_due(view, task, until=0.5) == 0.0  # D=1 > 0.5
+
+    def test_one_immediate_arrival(self):
+        task = _task(window=1.0, mean=100.0)
+        view = _view([task], [], time=0.0, arrivals={"T": []})
+        # One job can arrive now (due at 1.0); the next not before 1.0
+        # (due 2.0 > until).
+        assert future_cycles_due(view, task, until=1.0) == pytest.approx(100.0)
+
+    def test_window_budget_consumed(self):
+        task = _task(window=1.0, mean=100.0)
+        view = _view([task], [], time=0.5, arrivals={"T": [0.4]})
+        # <1, P> with an arrival at 0.4: next admissible at 1.4, due 2.4.
+        assert future_cycles_due(view, task, until=2.0) == 0.0
+        assert future_cycles_due(view, task, until=2.5) == pytest.approx(100.0)
+
+    def test_burst_budget(self):
+        task = _task(window=1.0, mean=100.0, a=3)
+        view = _view([task], [], time=0.0, arrivals={"T": [0.0]})
+        # Two more arrivals admissible immediately.
+        assert future_cycles_due(view, task, until=1.0) == pytest.approx(
+            2 * task.allocation
+        )
+
+    def test_multiple_windows(self):
+        task = _task(window=1.0, mean=100.0)
+        view = _view([task], [], time=0.0, arrivals={"T": []})
+        # Arrivals at 0, 1, 2 all due by 3.0.
+        assert future_cycles_due(view, task, until=3.0) == pytest.approx(300.0)
+
+
+class TestRequiredRateDemand:
+    def test_zero_when_nothing_anywhere(self):
+        # One task whose earliest future critical time is far away and a
+        # point check beyond it - nothing pending means only the hedge,
+        # which for a just-released-and-done periodic window is zero.
+        task = _task(window=1.0, mean=100.0)
+        view = _view([task], [], time=0.1, arrivals={"T": [0.05]})
+        # Pending: none.  Future: next admissible 1.05, due 2.05; at the
+        # point d = 2.05 demand is 100 over 1.95 s.
+        rate = required_rate_demand(view)
+        assert rate == pytest.approx(100.0 / 1.95, rel=1e-6)
+
+    def test_pending_job_rate(self):
+        task = _task(window=1.0, mean=100.0)
+        job = Job(task, 0, 0.0, 100.0)
+        view = _view([task], [job], time=0.0, arrivals={"T": [0.0]})
+        # 100 Mc due within 1.0 s plus the next window's job due at 2.0.
+        assert required_rate_demand(view) >= 100.0 - 1e-9
+
+    def test_past_critical_time_forces_fmax(self):
+        task = _task(window=1.0, mean=100.0)
+        job = Job(task, 0, 0.0, 100.0)
+        view = _view([task], [job], time=1.0 - 1e-15, arrivals={"T": [0.0]})
+        assert required_rate_demand(view) == 1000.0
+
+    def test_caps_at_fmax(self):
+        task = _task(window=1.0, mean=5000.0)
+        job = Job(task, 0, 0.0, 5000.0)
+        view = _view([task], [job], time=0.0, arrivals={"T": [0.0]})
+        assert required_rate_demand(view) == 1000.0
+
+
+class TestRequiredRateLookahead:
+    def test_zero_when_nothing_pending_periodic(self):
+        task = _task(window=1.0, mean=100.0)
+        view = _view([task], [], time=0.1, arrivals={"T": [0.05]})
+        assert required_rate_lookahead(view) == 0.0
+
+    def test_single_job_runs_to_deadline(self):
+        task = _task(window=1.0, mean=100.0)
+        job = Job(task, 0, 0.0, 100.0)
+        view = _view([task], [job], time=0.0, arrivals={"T": [0.0]})
+        # Only task: everything must finish by its critical time.
+        assert required_rate_lookahead(view) == pytest.approx(100.0)
+
+    def test_deferral_pushes_work_past_earliest(self):
+        urgent = _task("U", window=0.1, mean=20.0)
+        relaxed = _task("R", window=1.0, mean=100.0)
+        ju = Job(urgent, 0, 0.0, 20.0)
+        jr = Job(relaxed, 0, 0.0, 100.0)
+        view = _view(
+            [urgent, relaxed], [ju, jr], time=0.0,
+            arrivals={"U": [0.0], "R": [0.0]},
+        )
+        rate = required_rate_lookahead(view)
+        # The urgent 20 Mc must run by 0.1; the relaxed task's cycles are
+        # (mostly) deferred.  Far below the f_max worst case.
+        assert rate < 500.0
+        assert rate >= 20.0 / 0.1 - 1e-9
+
+    def test_equal_critical_times_nothing_deferred(self):
+        a = _task("A", window=0.5, mean=100.0)
+        b = _task("B", window=0.5, mean=150.0)
+        ja, jb = Job(a, 0, 0.0, 100.0), Job(b, 0, 0.0, 150.0)
+        view = _view([a, b], [ja, jb], arrivals={"A": [0.0], "B": [0.0]})
+        assert required_rate_lookahead(view) == pytest.approx(250.0 / 0.5)
+
+    def test_caps_at_fmax_during_overload(self):
+        task = _task(window=0.5, mean=5000.0)
+        job = Job(task, 0, 0.0, 5000.0)
+        view = _view([task], [job], arrivals={"T": [0.0]})
+        assert required_rate_lookahead(view) == 1000.0
+
+
+class TestDecideFreq:
+    def _setup(self):
+        task = _task(window=1.0, mean=100.0)
+        taskset = TaskSet([task])
+        scale = FrequencyScale.powernow_k6()
+        job = Job(task, 0, 0.0, 100.0)
+        view = _view([task], [job], arrivals={"T": [0.0]}, scale=scale)
+        params = offline_computing(taskset, scale, EnergyModel.e1())
+        return view, job, params
+
+    def test_quantises_up_the_ladder(self):
+        view, job, params = self._setup()
+        f = decide_freq(view, job, params, use_fopt_bound=False)
+        # Lookahead rate 100 -> ladder 360.
+        assert f == 360.0
+
+    def test_fopt_bound_raises_frequency_under_e3(self):
+        task = _task(window=1.0, mean=100.0)
+        taskset = TaskSet([task])
+        scale = FrequencyScale.powernow_k6()
+        model = EnergyModel.e3(scale.f_max)
+        job = Job(task, 0, 0.0, 100.0)
+        view = SchedulerView(
+            time=0.0, ready=[job], taskset=taskset, scale=scale,
+            energy_model=model, event=SchedulingEvent.ARRIVAL,
+            arrivals_in_window={"T": [0.0]},
+        )
+        params = offline_computing(taskset, scale, model)
+        assert decide_freq(view, job, params, use_fopt_bound=True) == 820.0
+        assert decide_freq(view, job, params, use_fopt_bound=False) == 360.0
+
+    def test_method_selection(self):
+        view, job, params = self._setup()
+        f_la = decide_freq(view, job, params, use_fopt_bound=False, method="lookahead")
+        f_pd = decide_freq(view, job, params, use_fopt_bound=False, method="demand")
+        assert f_la <= f_pd  # demand bound hedges future arrivals
+
+    def test_unknown_method_rejected(self):
+        view, job, params = self._setup()
+        with pytest.raises(ValueError):
+            decide_freq(view, job, params, method="magic")

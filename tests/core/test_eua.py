@@ -1,0 +1,199 @@
+"""Tests for the EUA* policy object (repro.core.eua)."""
+
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.core import EUAStar, job_uer
+from repro.cpu import EnergyModel, FrequencyScale
+from repro.demand import DeterministicDemand
+from repro.sim import Job, Task, TaskSet
+from repro.sim.scheduler import SchedulerView, SchedulingEvent
+from repro.tuf import StepTUF
+
+
+def _task(name="T", window=1.0, mean=100.0, umax=10.0, abortable=True):
+    return Task(
+        name,
+        StepTUF(umax, window),
+        DeterministicDemand(mean),
+        UAMSpec(1, window),
+        abortable=abortable,
+    )
+
+
+def _view(tasks, jobs, time=0.0, model=None):
+    arrivals = {t.name: [j.release for j in jobs if j.task is t] for t in tasks}
+    return SchedulerView(
+        time=time,
+        ready=jobs,
+        taskset=TaskSet(tasks),
+        scale=FrequencyScale.powernow_k6(),
+        energy_model=model or EnergyModel.e1(),
+        event=SchedulingEvent.ARRIVAL,
+        arrivals_in_window=arrivals,
+    )
+
+
+def _ready_scheduler(tasks, model=None):
+    sched = EUAStar()
+    sched.setup(TaskSet(tasks), FrequencyScale.powernow_k6(), model or EnergyModel.e1())
+    return sched
+
+
+class TestJobUER:
+    def test_matches_formula(self):
+        task = _task(mean=100.0, umax=10.0)
+        job = Job(task, 0, 0.0, 100.0)
+        model = EnergyModel.e1()
+        uer = job_uer(job, now=0.0, f_max=1000.0, model=model)
+        assert uer == pytest.approx(10.0 / (model.energy_per_cycle(1000.0) * 100.0))
+
+    def test_rises_as_budget_executes(self):
+        task = _task(mean=100.0)
+        job = Job(task, 0, 0.0, 100.0)
+        before = job_uer(job, 0.0, 1000.0, EnergyModel.e1())
+        job.executed = 50.0
+        after = job_uer(job, 0.05, 1000.0, EnergyModel.e1())
+        assert after > before
+
+    def test_zero_past_deadline(self):
+        task = _task(mean=100.0, window=0.5)
+        job = Job(task, 0, 0.0, 100.0)
+        assert job_uer(job, 0.6, 1000.0, EnergyModel.e1()) == 0.0
+
+    def test_overrun_budget_stays_finite(self):
+        task = _task(mean=100.0)
+        job = Job(task, 0, 0.0, 200.0)
+        job.executed = 150.0  # budget exhausted, job unfinished
+        uer = job_uer(job, 0.2, 1000.0, EnergyModel.e1())
+        assert uer > 0.0 and uer < float("inf")
+
+
+class TestDecision:
+    def test_idle_when_nothing_pending(self):
+        task = _task()
+        sched = _ready_scheduler([task])
+        d = sched.decide(_view([task], []))
+        assert d.job is None
+        assert d.aborts == ()
+
+    def test_single_job_dispatched(self):
+        task = _task()
+        sched = _ready_scheduler([task])
+        job = Job(task, 0, 0.0, 100.0)
+        d = sched.decide(_view([task], [job]))
+        assert d.job is job
+        assert d.frequency in FrequencyScale.powernow_k6()
+
+    def test_highest_uer_head_when_all_fit(self):
+        # Two jobs, same deadline; both fit, so sigma orders by critical
+        # time and the head is the earliest critical time.
+        early = _task("E", window=0.5, mean=50.0, umax=1.0)
+        late = _task("L", window=1.0, mean=50.0, umax=100.0)
+        sched = _ready_scheduler([early, late])
+        je, jl = Job(early, 0, 0.0, 50.0), Job(late, 0, 0.0, 50.0)
+        d = sched.decide(_view([early, late], [je, jl]))
+        assert d.job is je  # critical-time order within sigma
+
+    def test_overload_prefers_high_uer(self):
+        # Two jobs with the same critical time but only room for one:
+        # the high-UER job wins the slot.
+        a = _task("A", window=0.1, mean=60.0, umax=1.0)
+        b = _task("B", window=0.1, mean=60.0, umax=100.0)
+        sched = _ready_scheduler([a, b])
+        ja, jb = Job(a, 0, 0.0, 60.0), Job(b, 0, 0.0, 60.0)
+        d = sched.decide(_view([a, b], [ja, jb]))
+        assert d.job is jb
+
+    def test_aborts_infeasible(self):
+        task = _task(window=0.05, mean=100.0)  # needs 0.1 s at f_max
+        sched = _ready_scheduler([task])
+        job = Job(task, 0, 0.0, 100.0)
+        d = sched.decide(_view([task], [job]))
+        assert job in d.aborts
+        assert d.job is None
+
+    def test_respects_abortable_flag(self):
+        task = _task(window=0.05, mean=100.0, abortable=False)
+        sched = _ready_scheduler([task])
+        job = Job(task, 0, 0.0, 100.0)
+        d = sched.decide(_view([task], [job]))
+        assert d.aborts == ()
+        assert d.job is None  # still not scheduled (infeasible)
+
+    def test_abort_infeasible_off(self):
+        task = _task(window=0.05, mean=100.0)
+        sched = EUAStar(abort_infeasible=False)
+        sched.setup(TaskSet([task]), FrequencyScale.powernow_k6(), EnergyModel.e1())
+        job = Job(task, 0, 0.0, 100.0)
+        d = sched.decide(_view([task], [job]))
+        assert d.aborts == ()
+
+    def test_no_dvs_pins_fmax(self):
+        task = _task()
+        sched = EUAStar(use_dvs=False)
+        sched.setup(TaskSet([task]), FrequencyScale.powernow_k6(), EnergyModel.e1())
+        job = Job(task, 0, 0.0, 100.0)
+        d = sched.decide(_view([task], [job]))
+        assert d.frequency == 1000.0
+
+    def test_fopt_bound_under_e3(self):
+        task = _task()
+        model = EnergyModel.e3(1000.0)
+        sched = _ready_scheduler([task], model)
+        job = Job(task, 0, 0.0, 100.0)
+        d = sched.decide(_view([task], [job], model=model))
+        assert d.frequency == 820.0
+
+
+class TestInsertionPolicies:
+    def _crowded(self):
+        # Three same-deadline jobs; capacity for two.
+        tasks = [
+            _task("H", window=0.1, mean=40.0, umax=100.0),
+            _task("M", window=0.1, mean=40.0, umax=50.0),
+            _task("L", window=0.1, mean=40.0, umax=1.0),
+        ]
+        jobs = [Job(t, 0, 0.0, 40.0) for t in tasks]
+        return tasks, jobs
+
+    def test_skip_infeasible_keeps_lower_ranked(self):
+        tasks, jobs = self._crowded()
+        sched = _ready_scheduler(tasks)
+        d = sched.decide(_view(tasks, jobs))
+        # H + M fit (80 Mc in 0.1 s); L is skipped but not aborted.
+        assert d.job in (jobs[0], jobs[1])
+        assert d.aborts == ()
+
+    def test_strict_break_stops_at_first_failure(self):
+        # With strict insertion, once a job fails to fit nothing after
+        # it is considered — identical head here, but documented
+        # behavioural knob; verify it doesn't crash and picks the head.
+        tasks, jobs = self._crowded()
+        sched = EUAStar(strict_insertion_break=True)
+        sched.setup(TaskSet(tasks), FrequencyScale.powernow_k6(), EnergyModel.e1())
+        d = sched.decide(_view(tasks, jobs))
+        assert d.job is not None
+
+    def test_utility_density_ordering(self):
+        tasks, jobs = self._crowded()
+        sched = EUAStar(ordering="utility_density")
+        sched.setup(TaskSet(tasks), FrequencyScale.powernow_k6(), EnergyModel.e1())
+        d = sched.decide(_view(tasks, jobs))
+        assert d.job in (jobs[0], jobs[1])
+
+    def test_rejects_unknown_ordering(self):
+        with pytest.raises(ValueError):
+            EUAStar(ordering="random")
+
+    def test_rejects_unknown_dvs_method(self):
+        with pytest.raises(ValueError):
+            EUAStar(dvs_method="magic")
+
+
+class TestParamsExposure:
+    def test_params_available_after_setup(self):
+        task = _task()
+        sched = _ready_scheduler([task])
+        assert "T" in sched.params
+        assert sched.params["T"].allocation == task.allocation

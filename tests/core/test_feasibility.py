@@ -1,0 +1,92 @@
+"""Tests for schedule feasibility (repro.core.feasibility)."""
+
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.core import (
+    insert_by_critical_time,
+    job_feasible,
+    predicted_completions,
+    schedule_feasible,
+)
+from repro.demand import DeterministicDemand
+from repro.sim import Job, Task
+from repro.tuf import StepTUF
+
+
+def _job(name="T", release=0.0, window=1.0, mean=100.0, demand=None):
+    task = Task(name, StepTUF(5.0, window), DeterministicDemand(mean), UAMSpec(1, window))
+    return Job(task, 0, release, demand if demand is not None else mean)
+
+
+class TestJobFeasible:
+    def test_feasible_with_slack(self):
+        job = _job(mean=100.0, window=1.0)
+        assert job_feasible(job, now=0.0, f_max=1000.0)
+
+    def test_infeasible_past_point_of_no_return(self):
+        job = _job(mean=100.0, window=1.0)
+        assert not job_feasible(job, now=0.95, f_max=1000.0)
+
+    def test_exactly_at_termination_is_infeasible(self):
+        # Completing *at* the termination accrues zero utility.
+        job = _job(mean=100.0, window=0.1)
+        assert not job_feasible(job, now=0.0, f_max=1000.0)
+
+    def test_partial_execution_restores_feasibility(self):
+        job = _job(mean=100.0, window=0.1)
+        job.executed = 60.0
+        assert job_feasible(job, now=0.05, f_max=1000.0)
+
+
+class TestScheduleFeasible:
+    def test_empty_schedule(self):
+        assert schedule_feasible([], now=0.0, f_max=1000.0)
+
+    def test_back_to_back_fits(self):
+        j1 = _job("A", window=0.2, mean=100.0)
+        j2 = _job("B", window=0.5, mean=100.0)
+        assert schedule_feasible([j1, j2], now=0.0, f_max=1000.0)
+
+    def test_second_job_squeezed_out(self):
+        j1 = _job("A", window=0.2, mean=150.0)
+        j2 = _job("B", window=0.2, mean=100.0)
+        # j2 predicted completion 0.25 >= 0.2.
+        assert not schedule_feasible([j1, j2], now=0.0, f_max=1000.0)
+
+    def test_predicted_completions(self):
+        j1 = _job("A", window=1.0, mean=100.0)
+        j2 = _job("B", window=1.0, mean=200.0)
+        times = predicted_completions([j1, j2], now=0.5, f_max=1000.0)
+        assert times == [pytest.approx(0.6), pytest.approx(0.8)]
+
+    def test_uses_budget_not_true_demand(self):
+        # Budget (allocation) is 100 but the true demand is 400: the
+        # schedule must be judged on what the scheduler can know.
+        j = _job("A", window=0.2, mean=100.0, demand=400.0)
+        assert schedule_feasible([j], now=0.0, f_max=1000.0)
+
+
+class TestInsertByCriticalTime:
+    def test_insert_ordering(self):
+        j1 = _job("A", release=0.0, window=0.3)
+        j2 = _job("B", release=0.0, window=0.1)
+        j3 = _job("C", release=0.0, window=0.2)
+        sigma = insert_by_critical_time([], j1)
+        sigma = insert_by_critical_time(sigma, j2)
+        sigma = insert_by_critical_time(sigma, j3)
+        assert [j.task.name for j in sigma] == ["B", "C", "A"]
+
+    def test_equal_critical_times_insert_after(self):
+        j1 = _job("A", release=0.0, window=0.2)
+        j2 = _job("B", release=0.0, window=0.2)
+        sigma = insert_by_critical_time([j1], j2)
+        assert sigma == [j1, j2]
+
+    def test_does_not_mutate_input(self):
+        j1 = _job("A", window=0.2)
+        j2 = _job("B", window=0.1)
+        original = [j1]
+        out = insert_by_critical_time(original, j2)
+        assert original == [j1]
+        assert out == [j2, j1]

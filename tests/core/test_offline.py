@@ -1,0 +1,103 @@
+"""Tests for offlineComputing (repro.core.offline)."""
+
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.cpu import EnergyModel, FrequencyScale
+from repro.demand import DeterministicDemand
+from repro.core import offline_computing, task_uer, uer_optimal_frequency
+from repro.sim import Task, TaskSet
+from repro.tuf import LinearTUF, StepTUF
+
+
+def _task(mean=100.0, window=1.0, umax=10.0, tuf="step", nu=1.0):
+    shape = StepTUF(umax, window) if tuf == "step" else LinearTUF(umax, window)
+    return Task("T", shape, DeterministicDemand(mean), UAMSpec(1, window), nu=nu)
+
+
+@pytest.fixture
+def scale():
+    return FrequencyScale.powernow_k6()
+
+
+class TestTaskUER:
+    def test_value(self, scale):
+        # Step TUF: utility 10 if c/f < deadline; c=100, f=1000 -> 0.1 s.
+        task = _task(mean=100.0, window=1.0)
+        model = EnergyModel.e1()
+        uer = task_uer(task, 1000.0, model)
+        assert uer == pytest.approx(10.0 / (100.0 * 1000.0**2))
+
+    def test_zero_when_too_slow(self, scale):
+        # c/f >= termination: job cannot finish in its window.
+        task = _task(mean=500.0, window=1.0)
+        model = EnergyModel.e1()
+        assert task_uer(task, 360.0, model) == 0.0  # 500/360 = 1.39 s > 1
+
+    def test_linear_tuf_prefers_faster_than_energy_optimum(self, scale):
+        # With a decaying TUF, finishing earlier earns more utility, so
+        # UER at a moderate frequency can beat the energy-optimal f_min.
+        task = _task(mean=300.0, window=1.0, tuf="linear", nu=0.3)
+        model = EnergyModel.e1()
+        assert task_uer(task, 550.0, model) > 0.0
+
+    def test_start_offset(self, scale):
+        task = _task(mean=100.0, window=1.0)
+        model = EnergyModel.e1()
+        # Step TUF: starting later is free while completion stays
+        # inside the window (0.8 + 0.1 < 1.0) ...
+        assert task_uer(task, 1000.0, model, start=0.8) == task_uer(
+            task, 1000.0, model, start=0.0
+        )
+        # ... and fatal once the completion crosses it.
+        assert task_uer(task, 1000.0, model, start=0.95) == 0.0
+
+
+class TestUEROptimalFrequency:
+    def test_e1_step_prefers_fmin(self, scale):
+        # Under the CPU-only model the cheapest feasible level wins.
+        task = _task(mean=100.0, window=1.0)
+        assert uer_optimal_frequency(task, scale, EnergyModel.e1()) == 360.0
+
+    def test_e1_skips_infeasible_fmin(self, scale):
+        # c/360 > window: f_min yields zero utility, the next feasible
+        # level with positive UER wins.
+        task = _task(mean=400.0, window=1.0)
+        f = uer_optimal_frequency(task, scale, EnergyModel.e1())
+        assert f > 400.0  # at least c/window
+        assert task_uer(task, f, EnergyModel.e1()) > 0.0
+
+    def test_e3_prefers_interior_level(self, scale):
+        task = _task(mean=100.0, window=1.0)
+        model = EnergyModel.e3(scale.f_max)
+        assert uer_optimal_frequency(task, scale, model) == 820.0
+
+    def test_hopeless_task_gets_fmax(self, scale):
+        # Cannot finish within the window at any level.
+        task = _task(mean=2000.0, window=1.0)
+        assert uer_optimal_frequency(task, scale, EnergyModel.e1()) == 1000.0
+
+
+class TestOfflineComputing:
+    def test_all_tasks_covered(self, scale):
+        ts = TaskSet(
+            [
+                Task("A", StepTUF(5.0, 0.5), DeterministicDemand(50.0), UAMSpec(1, 0.5)),
+                Task("B", LinearTUF(8.0, 1.0), DeterministicDemand(100.0),
+                     UAMSpec(1, 1.0), nu=0.3),
+            ]
+        )
+        params = offline_computing(ts, scale, EnergyModel.e1())
+        assert set(params) == {"A", "B"}
+
+    def test_params_match_task_properties(self, scale):
+        ts = TaskSet([_task(mean=100.0, window=1.0)])
+        p = offline_computing(ts, scale, EnergyModel.e1())["T"]
+        assert p.allocation == ts[0].allocation
+        assert p.critical_time == ts[0].critical_time
+        assert p.optimal_frequency in scale
+
+    def test_window_rate(self, scale):
+        ts = TaskSet([_task(mean=100.0, window=1.0)])
+        p = offline_computing(ts, scale, EnergyModel.e1())["T"]
+        assert p.window_rate == pytest.approx(100.0)

@@ -1,0 +1,112 @@
+"""Tests for the Martin energy model (repro.cpu.energy)."""
+
+import pytest
+
+from repro.cpu import EnergyError, EnergyModel, FrequencyScale, energy_optimal_frequency
+
+
+class TestEnergyPerCycle:
+    def test_equation_1(self):
+        # E(f) = s3 f^2 + s2 f + s1 + s0/f
+        m = EnergyModel(s3=2.0, s2=3.0, s1=5.0, s0=8.0)
+        assert m.energy_per_cycle(2.0) == pytest.approx(2 * 4 + 3 * 2 + 5 + 8 / 2)
+
+    def test_cpu_only_is_quadratic_per_cycle(self):
+        m = EnergyModel.e1()
+        assert m.energy_per_cycle(10.0) == pytest.approx(100.0)
+
+    def test_power_is_f_times_energy(self):
+        m = EnergyModel(s3=1.0, s0=4.0)
+        f = 3.0
+        assert m.power(f) == pytest.approx(f * m.energy_per_cycle(f))
+
+    def test_energy_for_cycles(self):
+        m = EnergyModel.e1()
+        assert m.energy_for(5.0, 10.0) == pytest.approx(500.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(EnergyError):
+            EnergyModel.e1().energy_per_cycle(0.0)
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(EnergyError):
+            EnergyModel.e1().energy_for(-1.0, 10.0)
+
+
+class TestConstruction:
+    def test_rejects_all_zero(self):
+        with pytest.raises(EnergyError):
+            EnergyModel()
+
+    def test_rejects_negative_coefficient(self):
+        with pytest.raises(EnergyError):
+            EnergyModel(s3=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            EnergyModel.e1().s3 = 2.0
+
+    def test_has_fixed_power(self):
+        assert EnergyModel.e3(1000.0).has_fixed_power()
+        assert not EnergyModel.e1().has_fixed_power()
+
+    def test_str_uses_name(self):
+        assert str(EnergyModel.e1()) == "E1"
+
+
+class TestPresets:
+    def test_e1_cpu_only(self):
+        m = EnergyModel.e1()
+        assert (m.s3, m.s2, m.s1, m.s0) == (1.0, 0.0, 0.0, 0.0)
+
+    def test_e2_adds_linear_system_power(self):
+        m = EnergyModel.e2(1000.0)
+        assert m.s3 == 0.5
+        assert m.s1 == pytest.approx(0.1 * 1000.0**2)
+        assert m.s0 == 0.0
+
+    def test_e3_adds_fixed_system_power(self):
+        m = EnergyModel.e3(1000.0)
+        assert m.s3 == 0.5
+        assert m.s0 == pytest.approx(0.5 * 1000.0**3)
+
+    def test_presets_reject_bad_fmax(self):
+        with pytest.raises(EnergyError):
+            EnergyModel.e2(0.0)
+        with pytest.raises(EnergyError):
+            EnergyModel.e3(-1.0)
+
+    def test_cpu_only_constant(self):
+        m = EnergyModel.cpu_only(2.0)
+        assert m.energy_per_cycle(3.0) == pytest.approx(18.0)
+
+
+class TestShapeProperties:
+    """Qualitative properties the paper's argument rests on."""
+
+    def test_e1_monotone_increasing(self):
+        m = EnergyModel.e1()
+        scale = FrequencyScale.powernow_k6()
+        vals = [m.energy_per_cycle(f) for f in scale.levels]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_e3_nonmonotone_with_interior_minimum(self):
+        scale = FrequencyScale.powernow_k6()
+        m = EnergyModel.e3(scale.f_max)
+        vals = [m.energy_per_cycle(f) for f in scale.levels]
+        # Slowest level costs more per cycle than the fastest.
+        assert vals[0] > vals[-1]
+        # And the minimum is strictly inside the ladder.
+        k = vals.index(min(vals))
+        assert 0 < k < len(vals) - 1
+
+    def test_e3_optimum_is_820(self):
+        # d/df (0.5 f^2 + 0.5 f_m^3 / f) = 0  =>  f* = (0.5 f_m^3)^(1/3)
+        # ~ 794 MHz, whose nearest not-worse ladder level is 820.
+        scale = FrequencyScale.powernow_k6()
+        m = EnergyModel.e3(scale.f_max)
+        assert energy_optimal_frequency(m, scale) == 820.0
+
+    def test_e1_optimum_is_fmin(self):
+        scale = FrequencyScale.powernow_k6()
+        assert energy_optimal_frequency(EnergyModel.e1(), scale) == scale.f_min

@@ -1,0 +1,103 @@
+"""Tests for FrequencyScale (repro.cpu.frequency)."""
+
+import pytest
+
+from repro.cpu import POWERNOW_K6_MHZ, FrequencyError, FrequencyScale
+
+
+class TestConstruction:
+    def test_sorted_levels(self):
+        s = FrequencyScale([3.0, 1.0, 2.0])
+        assert s.levels == (1.0, 2.0, 3.0)
+
+    def test_min_max(self):
+        s = FrequencyScale.powernow_k6()
+        assert s.f_min == 360.0
+        assert s.f_max == 1000.0
+
+    def test_powernow_levels(self):
+        assert FrequencyScale.powernow_k6().levels == POWERNOW_K6_MHZ
+
+    def test_len_iter_contains(self):
+        s = FrequencyScale.powernow_k6()
+        assert len(s) == 7
+        assert list(s) == list(POWERNOW_K6_MHZ)
+        assert 730.0 in s
+        assert 700.0 not in s
+
+    def test_single(self):
+        s = FrequencyScale.single(500.0)
+        assert s.levels == (500.0,)
+        assert s.f_min == s.f_max == 500.0
+
+    def test_uniform(self):
+        s = FrequencyScale.uniform(100.0, 500.0, 5)
+        assert s.levels == (100.0, 200.0, 300.0, 400.0, 500.0)
+
+    def test_uniform_one_level_uses_fmax(self):
+        assert FrequencyScale.uniform(100.0, 500.0, 1).levels == (500.0,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(FrequencyError):
+            FrequencyScale([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(FrequencyError):
+            FrequencyScale([1.0, 1.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(FrequencyError):
+            FrequencyScale([0.0, 1.0])
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(FrequencyError):
+            FrequencyScale.uniform(500.0, 100.0, 3)
+
+
+class TestSelect:
+    """The paper's selectFreq(x)."""
+
+    def test_exact_level(self):
+        s = FrequencyScale.powernow_k6()
+        assert s.select(550.0) == 550.0
+
+    def test_rounds_up(self):
+        s = FrequencyScale.powernow_k6()
+        assert s.select(551.0) == 640.0
+        assert s.select(361.0) == 550.0
+
+    def test_below_minimum_selects_minimum(self):
+        s = FrequencyScale.powernow_k6()
+        assert s.select(100.0) == 360.0
+        assert s.select(0.0) == 360.0
+        assert s.select(-5.0) == 360.0
+
+    def test_overload_returns_none(self):
+        # "selectFreq() would fail to return a value" (Section 3.3).
+        assert FrequencyScale.powernow_k6().select(1001.0) is None
+
+    def test_select_capped_saturates(self):
+        s = FrequencyScale.powernow_k6()
+        assert s.select_capped(1500.0) == 1000.0
+        assert s.select_capped(551.0) == 640.0
+
+    def test_float_noise_near_level(self):
+        s = FrequencyScale.powernow_k6()
+        assert s.select(550.0 * (1.0 + 1e-15)) == 550.0
+
+
+class TestFloorAtLeast:
+    def test_floor(self):
+        s = FrequencyScale.powernow_k6()
+        assert s.floor(551.0) == 550.0
+        assert s.floor(550.0) == 550.0
+        assert s.floor(100.0) == 360.0
+
+    def test_at_least(self):
+        s = FrequencyScale.powernow_k6()
+        assert s.at_least(551.0) == 640.0
+        assert s.at_least(2000.0) == 1000.0
+
+    def test_normalized(self):
+        s = FrequencyScale([500.0, 1000.0])
+        assert s.normalized() == [0.5, 1.0]

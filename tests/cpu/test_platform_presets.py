@@ -1,0 +1,62 @@
+"""Cross-checks of the Table 2 energy presets against the paper's text.
+
+Section 2.4 spells out the component structure of Martin's model; these
+tests pin each textual claim to the implementation so regressions in
+the presets are caught as *semantic* failures, not just numeric ones.
+"""
+
+import pytest
+
+from repro.cpu import EnergyModel, FrequencyScale
+
+
+class TestPaperSection24Claims:
+    def test_cpu_power_is_cubic(self):
+        # "P_d of CPU is given by S3 f^3".
+        m = EnergyModel(s3=2.0)
+        assert m.power(10.0) == pytest.approx(2.0 * 1000.0)
+
+    def test_fixed_voltage_components_linear_power(self):
+        # "P_d of those that must operate at a fixed voltage (e.g. main
+        # memory) is given by S1 f" -> constant energy per cycle.
+        m = EnergyModel(s1=4.0)
+        assert m.power(10.0) == pytest.approx(40.0)
+        assert m.energy_per_cycle(10.0) == m.energy_per_cycle(500.0) == 4.0
+
+    def test_constant_power_components(self):
+        # "P_d of those that consume constant power with respect to the
+        # frequency (e.g. display devices) ... constant S0".
+        m = EnergyModel(s0=8.0)
+        assert m.power(10.0) == pytest.approx(8.0)
+        assert m.power(100.0) == pytest.approx(8.0)
+        # Per cycle, constant power means slower is MORE expensive.
+        assert m.energy_per_cycle(10.0) > m.energy_per_cycle(100.0)
+
+    def test_second_order_term(self):
+        # "the quadratic term S2 f^2 is also included".
+        m = EnergyModel(s2=3.0)
+        assert m.power(10.0) == pytest.approx(300.0)
+
+    def test_total_energy_formula(self):
+        # E_i = e_i (S3 f^3 + S2 f^2 + S1 f + S0) with e_i = cycles/f.
+        m = EnergyModel(s3=1.0, s2=2.0, s1=3.0, s0=4.0)
+        f, cycles = 7.0, 21.0
+        e_time = cycles / f
+        expected = e_time * (f**3 + 2 * f**2 + 3 * f + 4)
+        assert m.energy_for(cycles, f) == pytest.approx(expected)
+
+
+class TestLadderInteraction:
+    def test_e1_normalised_floor_is_0_13(self):
+        # The value every Figure 2/3 underload curve saturates at.
+        scale = FrequencyScale.powernow_k6()
+        m = EnergyModel.e1()
+        ratio = m.energy_per_cycle(scale.f_min) / m.energy_per_cycle(scale.f_max)
+        assert ratio == pytest.approx(0.1296, abs=1e-4)
+
+    def test_e3_inversion_magnitude(self):
+        # E(360)/E(1000) = 1.454 under E3 — the Figure 2(d) number.
+        scale = FrequencyScale.powernow_k6()
+        m = EnergyModel.e3(scale.f_max)
+        ratio = m.energy_per_cycle(360.0) / m.energy_per_cycle(1000.0)
+        assert ratio == pytest.approx(1.4537, abs=1e-3)

@@ -1,0 +1,129 @@
+"""Tests for the simulated processor (repro.cpu.processor)."""
+
+import pytest
+
+from repro.cpu import EnergyError, EnergyModel, FrequencyError, FrequencyScale, Processor
+
+
+@pytest.fixture
+def cpu():
+    return Processor(FrequencyScale.powernow_k6(), EnergyModel.e1())
+
+
+class TestFrequencyControl:
+    def test_starts_at_fmax(self, cpu):
+        assert cpu.frequency == 1000.0
+
+    def test_set_valid_level(self, cpu):
+        cpu.set_frequency(550.0)
+        assert cpu.frequency == 550.0
+
+    def test_rejects_off_ladder(self, cpu):
+        with pytest.raises(FrequencyError):
+            cpu.set_frequency(600.0)
+
+    def test_same_frequency_is_free(self, cpu):
+        cpu.set_frequency(1000.0)
+        assert cpu.stats.switch_count == 0
+
+    def test_switch_counted(self, cpu):
+        cpu.set_frequency(550.0)
+        cpu.set_frequency(1000.0)
+        assert cpu.stats.switch_count == 2
+
+    def test_switch_overheads(self):
+        cpu = Processor(
+            FrequencyScale.powernow_k6(),
+            EnergyModel.e1(),
+            switch_time=1e-4,
+            switch_energy=5.0,
+        )
+        overhead = cpu.set_frequency(550.0)
+        assert overhead == 1e-4
+        assert cpu.stats.switch_energy == 5.0
+
+
+class TestExecution:
+    def test_run_accumulates_cycles(self, cpu):
+        cpu.set_frequency(550.0)
+        cycles = cpu.run(2.0)
+        assert cycles == pytest.approx(1100.0)
+        assert cpu.stats.cycles_executed == pytest.approx(1100.0)
+        assert cpu.stats.busy_time == 2.0
+
+    def test_run_accrues_energy(self, cpu):
+        cpu.set_frequency(550.0)
+        cpu.run(2.0)
+        assert cpu.stats.energy == pytest.approx(1100.0 * 550.0**2)
+
+    def test_run_cycles_returns_duration(self, cpu):
+        cpu.set_frequency(360.0)
+        assert cpu.run_cycles(360.0) == pytest.approx(1.0)
+
+    def test_zero_duration_noop(self, cpu):
+        assert cpu.run(0.0) == 0.0
+        assert cpu.stats.busy_time == 0.0
+
+    def test_rejects_negative_duration(self, cpu):
+        with pytest.raises(EnergyError):
+            cpu.run(-1.0)
+
+    def test_residency_tracking(self, cpu):
+        cpu.run(1.0)
+        cpu.set_frequency(550.0)
+        cpu.run(2.0)
+        assert cpu.stats.residency[1000.0] == pytest.approx(1.0)
+        assert cpu.stats.residency[550.0] == pytest.approx(2.0)
+
+    def test_average_frequency_cycle_weighted(self, cpu):
+        cpu.run(1.0)  # 1000 Mc at 1000
+        cpu.set_frequency(360.0)
+        cpu.run(1.0)  # 360 Mc at 360
+        assert cpu.stats.average_frequency == pytest.approx(1360.0 / 2.0)
+
+
+class TestIdle:
+    def test_idle_free_by_default(self, cpu):
+        cpu.idle(5.0)
+        assert cpu.stats.idle_time == 5.0
+        assert cpu.stats.idle_energy == 0.0
+
+    def test_idle_power_charged(self):
+        cpu = Processor(FrequencyScale.powernow_k6(), EnergyModel.e1(), idle_power=2.0)
+        cpu.idle(3.0)
+        assert cpu.stats.idle_energy == pytest.approx(6.0)
+
+    def test_total_energy_sums_components(self):
+        cpu = Processor(
+            FrequencyScale.powernow_k6(),
+            EnergyModel.e1(),
+            idle_power=1.0,
+            switch_energy=10.0,
+        )
+        cpu.run(1.0)
+        cpu.idle(2.0)
+        cpu.set_frequency(550.0)
+        assert cpu.stats.total_energy == pytest.approx(cpu.stats.energy + 2.0 + 10.0)
+
+    def test_rejects_negative_idle_power(self):
+        with pytest.raises(EnergyError):
+            Processor(FrequencyScale.powernow_k6(), EnergyModel.e1(), idle_power=-1.0)
+
+
+class TestUtilities:
+    def test_time_for_cycles(self, cpu):
+        assert cpu.time_for_cycles(500.0) == pytest.approx(0.5)
+        assert cpu.time_for_cycles(500.0, frequency=500.0) == pytest.approx(1.0)
+
+    def test_reset(self, cpu):
+        cpu.set_frequency(550.0)
+        cpu.run(1.0)
+        cpu.reset()
+        assert cpu.frequency == 1000.0
+        assert cpu.stats.cycles_executed == 0.0
+        assert cpu.stats.total_energy == 0.0
+
+    def test_total_time(self, cpu):
+        cpu.run(1.0)
+        cpu.idle(2.0)
+        assert cpu.stats.total_time == pytest.approx(3.0)

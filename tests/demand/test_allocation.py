@@ -1,0 +1,110 @@
+"""Tests for the Chebyshev allocation (repro.demand.allocation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.demand import (
+    DemandError,
+    NormalDemand,
+    allocate_cycles,
+    chebyshev_allocation,
+    chebyshev_assurance,
+    empirical_assurance,
+)
+
+
+class TestAllocation:
+    def test_paper_closed_form(self):
+        # c = E + sqrt(rho Var / (1 - rho))
+        c = chebyshev_allocation(10.0, 4.0, 0.96)
+        assert c == pytest.approx(10.0 + math.sqrt(0.96 * 4.0 / 0.04))
+
+    def test_deterministic_demand_needs_only_mean(self):
+        assert chebyshev_allocation(10.0, 0.0, 0.99) == 10.0
+
+    def test_rho_zero_needs_only_mean(self):
+        assert chebyshev_allocation(10.0, 5.0, 0.0) == 10.0
+
+    def test_monotone_in_rho(self):
+        allocs = [chebyshev_allocation(10.0, 4.0, r) for r in (0.5, 0.9, 0.96, 0.99)]
+        assert all(a < b for a, b in zip(allocs, allocs[1:]))
+
+    def test_monotone_in_variance(self):
+        a = chebyshev_allocation(10.0, 1.0, 0.9)
+        b = chebyshev_allocation(10.0, 9.0, 0.9)
+        assert b > a
+
+    def test_rejects_rho_one(self):
+        with pytest.raises(DemandError):
+            chebyshev_allocation(10.0, 4.0, 1.0)
+
+    def test_rejects_negative_rho(self):
+        with pytest.raises(DemandError):
+            chebyshev_allocation(10.0, 4.0, -0.1)
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(DemandError):
+            chebyshev_allocation(0.0, 4.0, 0.9)
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(DemandError):
+            chebyshev_allocation(10.0, -1.0, 0.9)
+
+
+class TestInverse:
+    def test_round_trip(self):
+        for rho in (0.1, 0.5, 0.9, 0.96):
+            c = chebyshev_allocation(10.0, 4.0, rho)
+            assert chebyshev_assurance(10.0, 4.0, c) == pytest.approx(rho)
+
+    def test_below_mean_gives_zero(self):
+        assert chebyshev_assurance(10.0, 4.0, 9.0) == 0.0
+
+    def test_deterministic_above_mean_gives_one(self):
+        assert chebyshev_assurance(10.0, 0.0, 10.5) == 1.0
+
+    def test_monotone_in_cycles(self):
+        vals = [chebyshev_assurance(10.0, 4.0, c) for c in (11.0, 14.0, 20.0)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+
+class TestDistributionWrapper:
+    def test_allocate_cycles_uses_declared_moments(self):
+        dist = NormalDemand(10.0, 4.0)
+        assert allocate_cycles(dist, 0.9) == pytest.approx(
+            chebyshev_allocation(10.0, 4.0, 0.9)
+        )
+
+
+class TestGuaranteeHolds:
+    """Cantelli is distribution-free: the realised exceedance must be
+    bounded by 1 - rho for every distribution family."""
+
+    @pytest.mark.parametrize("rho", [0.5, 0.9, 0.96])
+    def test_normal(self, rho):
+        rng = np.random.default_rng(1)
+        dist = NormalDemand(50.0, 100.0)
+        c = allocate_cycles(dist, rho)
+        ys = dist.sample(rng, size=50_000)
+        assert empirical_assurance(ys, c) >= rho
+
+    @pytest.mark.parametrize("rho", [0.5, 0.9])
+    def test_heavy_tailed(self, rho):
+        from repro.demand import ExponentialDemand
+
+        rng = np.random.default_rng(2)
+        dist = ExponentialDemand(10.0, offset=1.0)
+        c = allocate_cycles(dist, rho)
+        ys = dist.sample(rng, size=50_000)
+        assert empirical_assurance(ys, c) >= rho
+
+
+class TestEmpiricalAssurance:
+    def test_counts_strictly_below(self):
+        assert empirical_assurance([1.0, 2.0, 3.0], 3.0) == pytest.approx(2 / 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DemandError):
+            empirical_assurance([], 1.0)

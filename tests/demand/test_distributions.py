@@ -1,0 +1,162 @@
+"""Tests for demand distributions (repro.demand.distributions)."""
+
+import numpy as np
+import pytest
+
+from repro.demand import (
+    DemandError,
+    DeterministicDemand,
+    EmpiricalDemand,
+    ExponentialDemand,
+    GammaDemand,
+    NormalDemand,
+    UniformDemand,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+ALL_DISTS = [
+    DeterministicDemand(5.0),
+    NormalDemand(50.0, 50.0),
+    UniformDemand(2.0, 8.0),
+    ExponentialDemand(3.0, offset=1.0),
+    GammaDemand(4.0, 2.0),
+    EmpiricalDemand([1.0, 2.0, 3.0, 4.0]),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+class TestCommonContract:
+    def test_moments_positive(self, dist):
+        assert dist.mean > 0.0
+        assert dist.variance >= 0.0
+
+    def test_scalar_sample(self, dist, rng):
+        y = dist.sample(rng)
+        assert isinstance(y, float)
+        assert y > 0.0
+
+    def test_vector_sample(self, dist, rng):
+        ys = dist.sample(rng, size=100)
+        assert ys.shape == (100,)
+        assert np.all(ys > 0.0)
+
+    def test_empirical_moments_match_declared(self, dist, rng):
+        ys = dist.sample(rng, size=40_000)
+        assert np.mean(ys) == pytest.approx(dist.mean, rel=0.05)
+        if dist.variance > 0.0:
+            assert np.var(ys) == pytest.approx(dist.variance, rel=0.1)
+
+    def test_scaled_moments(self, dist, rng):
+        k = 2.5
+        scaled = dist.scaled(k)
+        assert scaled.mean == pytest.approx(k * dist.mean, rel=1e-9)
+        assert scaled.variance == pytest.approx(k * k * dist.variance, rel=1e-9)
+
+    def test_scaled_rejects_bad_factor(self, dist):
+        with pytest.raises(DemandError):
+            dist.scaled(0.0)
+
+    def test_std_consistent(self, dist):
+        assert dist.std == pytest.approx(dist.variance**0.5)
+
+
+class TestDeterministic:
+    def test_constant(self, rng):
+        d = DeterministicDemand(3.0)
+        assert d.sample(rng) == 3.0
+        assert np.all(d.sample(rng, size=5) == 3.0)
+
+    def test_zero_variance(self):
+        assert DeterministicDemand(3.0).variance == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DemandError):
+            DeterministicDemand(0.0)
+
+
+class TestNormal:
+    def test_paper_default_variance_equals_mean(self):
+        assert NormalDemand(10.0).variance == 10.0
+
+    def test_clipping_keeps_samples_positive(self, rng):
+        # Mean 1 with std 10: plenty of negative raw draws.
+        d = NormalDemand(1.0, 100.0)
+        assert np.all(d.sample(rng, size=1000) > 0.0)
+
+    def test_scaling_matches_paper_k_k2(self):
+        d = NormalDemand(10.0, 10.0).scaled(3.0)
+        assert d.mean == 30.0
+        assert d.variance == 90.0
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(DemandError):
+            NormalDemand(1.0, -1.0)
+
+
+class TestUniform:
+    def test_bounds(self, rng):
+        d = UniformDemand(2.0, 8.0)
+        ys = d.sample(rng, size=1000)
+        assert ys.min() >= 2.0 and ys.max() <= 8.0
+
+    def test_moments(self):
+        d = UniformDemand(2.0, 8.0)
+        assert d.mean == 5.0
+        assert d.variance == pytest.approx(3.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(DemandError):
+            UniformDemand(8.0, 2.0)
+
+
+class TestExponential:
+    def test_offset_floor(self, rng):
+        d = ExponentialDemand(1.0, offset=2.0)
+        assert np.all(d.sample(rng, size=1000) >= 2.0)
+
+    def test_moments(self):
+        d = ExponentialDemand(3.0, offset=1.0)
+        assert d.mean == 4.0
+        assert d.variance == 9.0
+
+
+class TestGamma:
+    def test_moments(self):
+        d = GammaDemand(4.0, 2.0)
+        assert d.mean == 8.0
+        assert d.variance == 16.0
+
+    def test_scaled_preserves_shape(self):
+        d = GammaDemand(4.0, 2.0).scaled(3.0)
+        assert d.shape == 4.0
+        assert d.scale == 6.0
+
+
+class TestEmpirical:
+    def test_samples_from_observations(self, rng):
+        d = EmpiricalDemand([1.0, 2.0, 3.0])
+        assert set(np.unique(d.sample(rng, size=500))) <= {1.0, 2.0, 3.0}
+
+    def test_population_variance(self):
+        d = EmpiricalDemand([1.0, 3.0])
+        assert d.mean == 2.0
+        assert d.variance == 1.0
+
+    def test_rejects_nonpositive_observations(self):
+        with pytest.raises(DemandError):
+            EmpiricalDemand([1.0, 0.0])
+
+    def test_rejects_too_few(self):
+        with pytest.raises(DemandError):
+            EmpiricalDemand([1.0])
+
+    def test_observations_copy(self):
+        d = EmpiricalDemand([1.0, 2.0])
+        obs = d.observations
+        obs[0] = 99.0
+        assert d.mean == 1.5

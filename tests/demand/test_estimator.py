@@ -1,0 +1,113 @@
+"""Tests for demand profiling (repro.demand.estimator)."""
+
+import numpy as np
+import pytest
+
+from repro.demand import DemandError, DemandProfiler, WelfordEstimator
+
+
+class TestWelford:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(10.0, 2.0, size=500)
+        est = WelfordEstimator()
+        est.update_many(data)
+        assert est.mean == pytest.approx(np.mean(data))
+        assert est.variance == pytest.approx(np.var(data))
+        assert est.sample_variance == pytest.approx(np.var(data, ddof=1))
+
+    def test_count(self):
+        est = WelfordEstimator()
+        est.update_many([1.0, 2.0, 3.0])
+        assert est.count == 3
+
+    def test_single_observation(self):
+        est = WelfordEstimator()
+        est.update(5.0)
+        assert est.mean == 5.0
+        assert est.variance == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(DemandError):
+            WelfordEstimator().mean
+
+    def test_sample_variance_needs_two(self):
+        est = WelfordEstimator()
+        est.update(1.0)
+        with pytest.raises(DemandError):
+            est.sample_variance
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(DemandError):
+            WelfordEstimator().update(float("nan"))
+
+    def test_merge_equals_concat(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.normal(size=100), rng.normal(size=57) + 3.0
+        ea, eb = WelfordEstimator(), WelfordEstimator()
+        ea.update_many(a)
+        eb.update_many(b)
+        ea.merge(eb)
+        data = np.concatenate([a, b])
+        assert ea.count == 157
+        assert ea.mean == pytest.approx(np.mean(data))
+        assert ea.variance == pytest.approx(np.var(data))
+
+    def test_merge_into_empty(self):
+        ea, eb = WelfordEstimator(), WelfordEstimator()
+        eb.update_many([1.0, 2.0])
+        ea.merge(eb)
+        assert ea.mean == 1.5
+
+    def test_merge_empty_is_noop(self):
+        ea = WelfordEstimator()
+        ea.update(1.0)
+        ea.merge(WelfordEstimator())
+        assert ea.count == 1
+
+
+class TestProfiler:
+    def test_records_per_task(self):
+        p = DemandProfiler()
+        p.record("A", 1.0)
+        p.record("A", 3.0)
+        p.record("B", 5.0)
+        assert p.count("A") == 2
+        assert p.mean("A") == 2.0
+        assert p.mean("B") == 5.0
+
+    def test_tasks_listing(self):
+        p = DemandProfiler()
+        p.record("x", 1.0)
+        assert p.tasks() == ["x"]
+
+    def test_variance(self):
+        p = DemandProfiler()
+        p.record("A", 1.0)
+        p.record("A", 3.0)
+        assert p.variance("A") == 1.0
+
+    def test_empirical_distribution_freeze(self):
+        p = DemandProfiler()
+        p.record("A", 1.0)
+        p.record("A", 3.0)
+        dist = p.empirical_distribution("A")
+        assert dist.mean == 2.0
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(DemandError):
+            DemandProfiler().mean("nope")
+
+    def test_rejects_nonpositive_cycles(self):
+        with pytest.raises(DemandError):
+            DemandProfiler().record("A", 0.0)
+
+    def test_count_unknown_is_zero(self):
+        assert DemandProfiler().count("nope") == 0
+
+    def test_observations_copy(self):
+        p = DemandProfiler()
+        p.record("A", 1.0)
+        obs = p.observations("A")
+        obs.append(99.0)
+        assert p.count("A") == 1

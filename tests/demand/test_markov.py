@@ -1,0 +1,115 @@
+"""Tests for Markov-modulated demand (repro.demand.markov)."""
+
+import numpy as np
+import pytest
+
+from repro.demand import (
+    DemandError,
+    DeterministicDemand,
+    MarkovModulatedDemand,
+    NormalDemand,
+)
+
+
+def _two_mode(p_stay=0.9, lo=10.0, hi=50.0):
+    return MarkovModulatedDemand(
+        [[p_stay, 1.0 - p_stay], [1.0 - p_stay, p_stay]],
+        [DeterministicDemand(lo), DeterministicDemand(hi)],
+    )
+
+
+class TestConstruction:
+    def test_rejects_non_square(self):
+        with pytest.raises(DemandError):
+            MarkovModulatedDemand([[1.0, 0.0]], [DeterministicDemand(1.0)])
+
+    def test_rejects_mode_count_mismatch(self):
+        with pytest.raises(DemandError):
+            MarkovModulatedDemand([[1.0]], [DeterministicDemand(1.0),
+                                            DeterministicDemand(2.0)])
+
+    def test_rejects_non_stochastic_rows(self):
+        with pytest.raises(DemandError):
+            MarkovModulatedDemand([[0.5, 0.4], [0.5, 0.5]],
+                                  [DeterministicDemand(1.0), DeterministicDemand(2.0)])
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(DemandError):
+            MarkovModulatedDemand([[1.5, -0.5], [0.5, 0.5]],
+                                  [DeterministicDemand(1.0), DeterministicDemand(2.0)])
+
+
+class TestMoments:
+    def test_symmetric_stationary(self):
+        d = _two_mode()
+        assert d.stationary_distribution == pytest.approx([0.5, 0.5])
+        assert d.mean == pytest.approx(30.0)
+
+    def test_asymmetric_stationary(self):
+        d = MarkovModulatedDemand(
+            [[0.9, 0.1], [0.3, 0.7]],
+            [DeterministicDemand(10.0), DeterministicDemand(50.0)],
+        )
+        # pi solves pi P = pi: pi = (0.75, 0.25).
+        assert d.stationary_distribution == pytest.approx([0.75, 0.25])
+        assert d.mean == pytest.approx(0.75 * 10 + 0.25 * 50)
+
+    def test_total_variance(self):
+        d = _two_mode()
+        # Deterministic modes: variance is purely between-mode.
+        assert d.variance == pytest.approx(0.5 * 400.0 + 0.5 * 400.0)
+
+    def test_with_mode_variance(self):
+        d = MarkovModulatedDemand(
+            [[0.5, 0.5], [0.5, 0.5]],
+            [NormalDemand(10.0, 4.0), NormalDemand(10.0, 16.0)],
+        )
+        assert d.mean == pytest.approx(10.0)
+        assert d.variance == pytest.approx(10.0)  # within only; means equal
+
+    def test_empirical_moments_match(self):
+        rng = np.random.default_rng(71)
+        d = _two_mode(p_stay=0.7)
+        ys = d.sample(rng, size=40_000)
+        assert np.mean(ys) == pytest.approx(d.mean, rel=0.03)
+        assert np.var(ys) == pytest.approx(d.variance, rel=0.1)
+
+
+class TestDynamics:
+    def test_sticky_chain_correlates_samples(self):
+        rng = np.random.default_rng(72)
+        sticky = _two_mode(p_stay=0.98)
+        ys = sticky.sample(rng, size=5_000)
+        # Lag-1 autocorrelation is high for a sticky chain.
+        r = np.corrcoef(ys[:-1], ys[1:])[0, 1]
+        assert r > 0.8
+
+    def test_memoryless_chain_uncorrelated(self):
+        rng = np.random.default_rng(73)
+        iid = _two_mode(p_stay=0.5)
+        ys = iid.sample(rng, size=5_000)
+        r = np.corrcoef(ys[:-1], ys[1:])[0, 1]
+        assert abs(r) < 0.05
+
+    def test_reset_forgets_state(self):
+        rng = np.random.default_rng(74)
+        d = _two_mode()
+        d.sample(rng)
+        assert d.current_mode is not None
+        d.reset()
+        assert d.current_mode is None
+
+    def test_scaled_preserves_chain_shape(self):
+        d = _two_mode().scaled(2.0)
+        assert d.mean == pytest.approx(60.0)
+        assert d.variance == pytest.approx(4.0 * 800.0 / 2.0)  # k^2 * var
+        assert d.stationary_distribution == pytest.approx([0.5, 0.5])
+
+    def test_chebyshev_allocation_applies(self):
+        from repro.demand import chebyshev_allocation
+
+        d = _two_mode()
+        c = chebyshev_allocation(d.mean, d.variance, 0.9)
+        rng = np.random.default_rng(75)
+        ys = d.sample(rng, size=30_000)
+        assert np.mean(ys < c) >= 0.9  # Cantelli holds marginally

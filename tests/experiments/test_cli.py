@@ -1,0 +1,126 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure2_defaults(self):
+        args = build_parser().parse_args(["figure2"])
+        assert args.energy == "E1"
+
+    def test_figure2_rejects_bad_energy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure2", "--energy", "E9"])
+
+    def test_load_seed_overrides(self):
+        args = build_parser().parse_args(
+            ["figure2", "--loads", "0.4", "0.8", "--seeds", "1", "2"]
+        )
+        assert args.loads == [0.4, 0.8]
+        assert args.seeds == [1, 2]
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "A1" in out and "A3" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "E3" in out and "E(1000)" in out
+
+    def test_schedulers(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        assert "EUA*" in out
+
+    def test_figure2_mini(self, capsys):
+        rc = main(["figure2", "--loads", "0.4", "--seeds", "11", "--horizon", "1.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "EUA*" in out and "norm_energy" in out
+
+    def test_figure3_mini(self, capsys):
+        rc = main(["figure3", "--loads", "0.6", "--seeds", "11", "--horizon", "1.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "norm_energy" in out
+
+    def test_theorems(self, capsys):
+        rc = main(["theorems", "--load", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Theorem 2" in out
+        assert "True" in out
+
+
+class TestNewCommands:
+    def test_simulate(self, capsys):
+        rc = main(["simulate", "--load", "1.2", "--horizon", "1.0",
+                   "--schedulers", "EUA*", "EDF"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "norm_utility" in out and "EUA*" in out
+
+    def test_simulate_unknown_scheduler(self):
+        with pytest.raises(KeyError):
+            main(["simulate", "--horizon", "0.5", "--schedulers", "bogus"])
+
+    def test_bound(self, capsys):
+        rc = main(["bound", "--load", "0.5", "--horizon", "1.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "YDS" in out and "ratio" in out
+
+    def test_ablate_dvs(self, capsys):
+        rc = main(["ablate", "dvs", "--seeds", "11", "--horizon", "1.0"])
+        assert rc == 0
+        assert "energy_ratio" in capsys.readouterr().out
+
+    def test_ablate_fopt(self, capsys):
+        rc = main(["ablate", "fopt", "--seeds", "11", "--horizon", "1.0"])
+        assert rc == 0
+        assert "with_fopt" in capsys.readouterr().out
+
+    def test_ablate_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablate", "everything"])
+
+    def test_figure3_svg_output(self, capsys, tmp_path):
+        path = str(tmp_path / "f3.svg")
+        rc = main(["figure3", "--loads", "0.6", "--seeds", "11",
+                   "--horizon", "0.5", "--svg", path])
+        assert rc == 0
+        with open(path) as fh:
+            assert fh.read().startswith("<svg")
+
+    def test_figure2_svg_output(self, capsys, tmp_path):
+        base = str(tmp_path / "f2.svg")
+        rc = main(["figure2", "--loads", "0.6", "--seeds", "11",
+                   "--horizon", "0.5", "--svg", base])
+        assert rc == 0
+        import os
+        assert os.path.exists(str(tmp_path / "f2_utility.svg"))
+        assert os.path.exists(str(tmp_path / "f2_energy.svg"))
+
+    def test_validate_command(self, capsys):
+        rc = main(["validate", "--load", "0.6", "--horizon", "0.5"])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_sensitivity_ladder(self, capsys):
+        rc = main(["sensitivity", "ladder", "--seeds", "11", "--horizon", "0.5"])
+        assert rc == 0
+        assert "levels" in capsys.readouterr().out
+
+    def test_sensitivity_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sensitivity", "everything"])

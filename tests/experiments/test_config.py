@@ -1,0 +1,70 @@
+"""Tests for experiment configuration (repro.experiments.config)."""
+
+import pytest
+
+from repro.experiments import (
+    FIGURE2_LOADS,
+    FIGURE2_REQUIREMENT,
+    FIGURE3_BURSTS,
+    FIGURE3_REQUIREMENT,
+    TABLE1,
+    TABLE2_NAMES,
+    energy_setting,
+)
+
+
+class TestTable1:
+    def test_three_applications(self):
+        assert [a.name for a in TABLE1] == ["A1", "A2", "A3"]
+
+    def test_varied_window_mix(self):
+        # The paper: "the varied mix of short and long time windows".
+        shortest = min(a.window_range[0] for a in TABLE1)
+        longest = max(a.window_range[1] for a in TABLE1)
+        assert longest / shortest >= 10.0
+
+    def test_umax_ranges_positive(self):
+        for a in TABLE1:
+            lo, hi = a.umax_range
+            assert 0.0 < lo <= hi
+
+    def test_uam_parameters(self):
+        for a in TABLE1:
+            assert a.max_arrivals >= 1
+            assert a.n_tasks >= 1
+
+
+class TestTable2:
+    def test_names(self):
+        assert TABLE2_NAMES == ("E1", "E2", "E3")
+
+    def test_e1_is_conventional(self):
+        m = energy_setting("E1")
+        assert (m.s3, m.s2, m.s1, m.s0) == (1.0, 0.0, 0.0, 0.0)
+
+    def test_settings_scale_with_fmax(self):
+        m1 = energy_setting("E3", 1000.0)
+        m2 = energy_setting("E3", 500.0)
+        assert m1.s0 == 8.0 * m2.s0  # cubic in f_max
+
+    def test_case_insensitive(self):
+        assert energy_setting("e2").name == "E2"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            energy_setting("E4")
+
+
+class TestSweeps:
+    def test_figure2_load_grid(self):
+        assert FIGURE2_LOADS[0] == pytest.approx(0.2)
+        assert FIGURE2_LOADS[-1] == pytest.approx(1.8)
+        steps = [round(b - a, 6) for a, b in zip(FIGURE2_LOADS, FIGURE2_LOADS[1:])]
+        assert all(s == pytest.approx(0.2) for s in steps)
+
+    def test_requirements(self):
+        assert FIGURE2_REQUIREMENT == (1.0, 0.96)
+        assert FIGURE3_REQUIREMENT == (0.3, 0.9)
+
+    def test_figure3_bursts(self):
+        assert FIGURE3_BURSTS == (1, 2, 3)

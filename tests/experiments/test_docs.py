@@ -1,0 +1,54 @@
+"""The documentation's code must run.
+
+Executes every ```python``` block in docs/tutorial.md (in order, in one
+shared namespace) and the README quickstart, with scaled-down horizons
+so the suite stays fast.  Documentation that drifts from the API fails
+here first.
+"""
+
+import contextlib
+import io
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def _python_blocks(path: Path):
+    text = path.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+def _shrink(code: str) -> str:
+    """Scale long horizons down for test speed (60 s -> 3 s)."""
+    return code.replace("horizon=60.0", "horizon=3.0").replace("60.0,", "3.0,").replace(
+        "(10.0, 30.0, 60.0)", "(1.0, 2.0, 3.0)"
+    )
+
+
+class TestTutorial:
+    def test_all_blocks_execute(self):
+        blocks = _python_blocks(ROOT / "docs" / "tutorial.md")
+        assert len(blocks) >= 7
+        ns = {}
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            for block in blocks:
+                exec(compile(_shrink(block), "tutorial.md", "exec"), ns)
+        out = sink.getvalue()
+        assert "battery multiplier" in out
+        assert "OK" in out  # the validator line
+
+
+class TestReadme:
+    def test_quickstart_block_executes(self):
+        blocks = _python_blocks(ROOT / "README.md")
+        assert blocks, "README must contain a python quickstart"
+        ns = {}
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            exec(compile(_shrink(blocks[0].replace("horizon=10.0", "horizon=2.0")),
+                         "README.md", "exec"), ns)
+        assert "EDF" in sink.getvalue()

@@ -1,0 +1,95 @@
+"""Tests for the figure/theorem experiment drivers at miniature scale.
+
+Full-scale sweeps live in benchmarks/; these tests keep the drivers
+honest (structure, normalisation, bookkeeping) with tiny workloads.
+"""
+
+import pytest
+
+from repro.experiments import (
+    check_assurances,
+    check_edf_equivalence,
+    run_figure2,
+    run_figure3,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return run_figure2("E1", loads=(0.4, 1.6), seeds=(11,), horizon=2.0)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_figure3(bursts=(1, 2), loads=(0.6,), seeds=(11,), horizon=2.0)
+
+
+class TestFigure2Driver:
+    def test_points_per_load(self, fig2):
+        assert [p.load for p in fig2.points] == [0.4, 1.6]
+
+    def test_baseline_normalised_to_one(self, fig2):
+        for p in fig2.points:
+            assert p.utility["EDF"].mean == pytest.approx(1.0)
+            assert p.energy["EDF"].mean == pytest.approx(1.0)
+
+    def test_all_schedulers_present(self, fig2):
+        for p in fig2.points:
+            assert set(p.utility) == {"EUA*", "LA-EDF", "LA-EDF-NA", "EDF"}
+
+    def test_series_extraction(self, fig2):
+        series = fig2.series("energy", "EUA*")
+        assert [x for x, _ in series] == [0.4, 1.6]
+
+    def test_rows_flat(self, fig2):
+        rows = fig2.rows()
+        assert len(rows) == 2 * 4
+        assert {"energy_setting", "load", "scheduler", "norm_utility",
+                "norm_energy"} <= set(rows[0])
+
+    def test_requires_baseline(self):
+        with pytest.raises(ValueError):
+            run_figure2("E1", loads=(0.4,), seeds=(11,), horizon=1.0,
+                        scheduler_names=("EUA*", "LA-EDF"))
+
+    def test_underload_energy_saved(self, fig2):
+        assert fig2.points[0].energy["EUA*"].mean < 0.7
+
+
+class TestFigure3Driver:
+    def test_structure(self, fig3):
+        assert set(fig3.energy) == {1, 2}
+        assert set(fig3.energy[1]) == {0.6}
+
+    def test_normalised_to_nodvs(self, fig3):
+        for a in (1, 2):
+            assert 0.0 < fig3.energy[a][0.6].mean <= 1.05
+
+    def test_rows(self, fig3):
+        rows = fig3.rows()
+        assert len(rows) == 2
+        assert rows[0]["a"] == 1
+
+    def test_series(self, fig3):
+        assert fig3.series(2) == [(0.6, fig3.energy[2][0.6].mean)]
+
+
+class TestTheoremDrivers:
+    def test_edf_equivalence_underload(self):
+        ev = check_edf_equivalence(load=0.5, seed=7, horizon=2.0)
+        assert ev.underload
+        assert ev.equal_utility
+        assert ev.same_completion_order
+        assert ev.all_critical_times_met
+        assert ev.max_lateness_eua == pytest.approx(ev.max_lateness_edf)
+
+    def test_assurances_step(self):
+        out = check_assurances(load=0.5, seed=8, horizon=2.0, tuf_shape="step",
+                               nu=1.0, rho=0.96)
+        assert out["all_satisfied"]
+
+    def test_assurances_linear_brh(self):
+        out = check_assurances(load=0.5, seed=9, horizon=2.0, tuf_shape="linear",
+                               nu=0.3, rho=0.9)
+        assert out["brh_schedulable"]
+        assert out["all_satisfied"]

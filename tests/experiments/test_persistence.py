@@ -1,0 +1,62 @@
+"""Tests for result persistence (repro.experiments.persistence)."""
+
+import pytest
+
+from repro.experiments import (
+    from_json,
+    load_result,
+    run_figure2,
+    run_figure3,
+    save_result,
+    to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return run_figure2("E1", loads=(0.5, 1.5), seeds=(11,), horizon=1.0)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_figure3(bursts=(1, 2), loads=(0.7,), seeds=(11,), horizon=1.0)
+
+
+class TestRoundTrip:
+    def test_figure2(self, fig2):
+        back = from_json(to_json(fig2))
+        assert back.energy_setting == fig2.energy_setting
+        assert [p.load for p in back.points] == [p.load for p in fig2.points]
+        for a, b in zip(fig2.points, back.points):
+            for name in a.utility:
+                assert b.utility[name].mean == a.utility[name].mean
+                assert b.energy[name].half_width == a.energy[name].half_width
+
+    def test_figure3(self, fig3):
+        back = from_json(to_json(fig3))
+        assert set(back.energy) == set(fig3.energy)
+        assert back.series(1) == fig3.series(1)
+
+    def test_file_round_trip(self, fig2, tmp_path):
+        path = str(tmp_path / "fig2.json")
+        save_result(fig2, path)
+        back = load_result(path)
+        assert back.rows() == fig2.rows()
+
+    def test_rows_after_reload(self, fig3, tmp_path):
+        path = str(tmp_path / "fig3.json")
+        save_result(fig3, path)
+        assert load_result(path).rows() == fig3.rows()
+
+
+class TestErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            from_json('{"kind": "figure9"}')
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            to_json(object())
+
+    def test_json_is_stable(self, fig2):
+        assert to_json(fig2) == to_json(from_json(to_json(fig2)))

@@ -1,0 +1,47 @@
+"""Tests for sensitivity sweeps (repro.experiments.sensitivity)."""
+
+import pytest
+
+from repro.experiments import (
+    sweep_ladder_granularity,
+    sweep_rho,
+    sweep_taskset_size,
+)
+
+MINI = dict(seeds=(11,), horizon=1.0)
+
+
+class TestSweepRho:
+    def test_rows_and_monotone_energy(self):
+        rows = sweep_rho(rhos=(0.5, 0.99), **MINI)
+        assert [r["rho"] for r in rows] == [0.5, 0.99]
+        # Stronger assurance never costs less energy.
+        assert rows[1]["norm_energy"] >= rows[0]["norm_energy"] - 0.02
+
+    def test_attainment_reported(self):
+        rows = sweep_rho(rhos=(0.9,), **MINI)
+        assert 0.0 <= rows[0]["min_attainment"] <= 1.0
+
+
+class TestSweepSize:
+    def test_task_counts(self):
+        rows = sweep_taskset_size(multipliers=(1, 2), **MINI)
+        assert rows[0]["n_tasks"] == 18
+        assert rows[1]["n_tasks"] == 36
+
+    def test_load_held_constant_keeps_utility(self):
+        rows = sweep_taskset_size(multipliers=(1, 2), **MINI)
+        for r in rows:
+            assert r["utility"] >= 0.97
+
+
+class TestSweepLadder:
+    def test_finer_ladders_never_worse(self):
+        rows = sweep_ladder_granularity(level_counts=(2, 7, 14), **MINI)
+        energies = [r["norm_energy"] for r in rows]
+        assert energies[1] <= energies[0] + 0.02
+        assert energies[2] <= energies[1] + 0.02
+
+    def test_powernow_row_present(self):
+        rows = sweep_ladder_granularity(level_counts=(7,), **MINI)
+        assert rows[0]["levels"] == 7

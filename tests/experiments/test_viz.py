@@ -1,0 +1,94 @@
+"""Tests for the SVG renderer (repro.viz)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments import run_figure2, run_figure3
+from repro.viz import LineChart, render_figure2, render_figure3
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        svg = LineChart("t", "x", "y").add_series("s", [(0, 0), (1, 1)]).to_svg()
+        root = _parse(svg)
+        assert root.tag.endswith("svg")
+
+    def test_requires_series(self):
+        with pytest.raises(ValueError):
+            LineChart("t", "x", "y").to_svg()
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError):
+            LineChart("t", "x", "y").add_series("s", [])
+
+    def test_title_and_labels_present(self):
+        svg = LineChart("My Title", "load", "energy").add_series(
+            "s", [(0, 0), (1, 1)]
+        ).to_svg()
+        assert "My Title" in svg
+        assert "load" in svg
+        assert "energy" in svg
+
+    def test_legend_entries(self):
+        chart = LineChart("t", "x", "y")
+        chart.add_series("alpha", [(0, 1)])
+        chart.add_series("beta", [(0, 2)])
+        svg = chart.to_svg()
+        assert "alpha" in svg and "beta" in svg
+
+    def test_escapes_markup(self):
+        svg = LineChart("<b>", "x", "y").add_series("<s>", [(0, 1)]).to_svg()
+        _parse(svg)  # would raise on raw '<b>'
+        assert "&lt;b&gt;" in svg
+
+    def test_one_path_per_series(self):
+        chart = LineChart("t", "x", "y")
+        chart.add_series("a", [(0, 0), (1, 1)])
+        chart.add_series("b", [(0, 1), (1, 0)])
+        root = _parse(chart.to_svg())
+        paths = [e for e in root.iter() if e.tag.endswith("path")]
+        assert len(paths) == 2
+
+    def test_baseline_reference_line(self):
+        svg = LineChart("t", "x", "y", baseline=1.0).add_series(
+            "s", [(0, 0.5), (1, 1.5)]
+        ).to_svg()
+        assert "stroke-dasharray" in svg
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        LineChart("t", "x", "y").add_series("s", [(0, 1)]).save(str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_points_sorted_by_x(self):
+        chart = LineChart("t", "x", "y")
+        chart.add_series("s", [(2, 1), (0, 0), (1, 2)])
+        assert chart._series[0][1] == [(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]
+
+
+class TestFigureRenderers:
+    @pytest.fixture(scope="class")
+    def fig2(self):
+        return run_figure2("E1", loads=(0.4, 1.4), seeds=(11,), horizon=1.0)
+
+    def test_render_figure2(self, fig2, tmp_path):
+        path = tmp_path / "f2.svg"
+        svg = render_figure2(fig2, "energy", str(path))
+        _parse(svg)
+        assert path.exists()
+        assert "EUA*" in svg
+
+    def test_render_figure2_rejects_bad_metric(self, fig2):
+        with pytest.raises(ValueError):
+            render_figure2(fig2, "latency")
+
+    def test_render_figure3(self, tmp_path):
+        fig3 = run_figure3(bursts=(1, 2), loads=(0.6,), seeds=(11,), horizon=1.0)
+        svg = render_figure3(fig3, str(tmp_path / "f3.svg"))
+        _parse(svg)
+        assert "&lt;1,P&gt;" in svg or "<1,P>" in svg

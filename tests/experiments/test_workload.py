@@ -1,0 +1,100 @@
+"""Tests for workload synthesis (repro.experiments.workload)."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals import (
+    BurstUAMArrivals,
+    PeriodicArrivals,
+    PoissonUAMArrivals,
+    ScatteredUAMArrivals,
+)
+from repro.experiments import TABLE1, synthesize_taskset
+from repro.experiments.workload import VAR_PER_MEAN
+from repro.tuf import LinearTUF, StepTUF
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestSynthesis:
+    def test_task_count_matches_table1(self, rng):
+        ts = synthesize_taskset(0.5, rng)
+        assert len(ts) == sum(a.n_tasks for a in TABLE1)
+
+    def test_exact_load_calibration(self, rng):
+        for load in (0.2, 1.0, 1.8):
+            ts = synthesize_taskset(load, np.random.default_rng(1))
+            assert ts.load(1000.0) == pytest.approx(load)
+
+    def test_step_shape(self, rng):
+        ts = synthesize_taskset(0.5, rng, tuf_shape="step")
+        assert all(isinstance(t.tuf, StepTUF) for t in ts)
+
+    def test_linear_shape_with_paper_slope(self, rng):
+        ts = synthesize_taskset(0.5, rng, tuf_shape="linear", nu=0.3, rho=0.9)
+        for t in ts:
+            assert isinstance(t.tuf, LinearTUF)
+            assert t.tuf.slope == pytest.approx(t.tuf.max_utility / t.uam.window)
+
+    def test_unknown_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            synthesize_taskset(0.5, rng, tuf_shape="sine")
+
+    def test_requirement_propagated(self, rng):
+        ts = synthesize_taskset(0.5, rng, tuf_shape="linear", nu=0.3, rho=0.9)
+        assert all(t.nu == 0.3 and t.rho == 0.9 for t in ts)
+
+    def test_variance_convention(self, rng):
+        # Var(Y) = E(Y) in raw cycles == mean * 1e-6 in Mcycles^2 before
+        # load scaling; the common k multiplies every task's var/mean
+        # ratio identically (k * 1e-6), so the ratio is uniform and tiny.
+        ts = synthesize_taskset(0.5, rng)
+        ratios = [t.demand.variance / t.demand.mean for t in ts]
+        assert max(ratios) == pytest.approx(min(ratios), rel=1e-9)
+        assert ratios[0] < 1e-3  # negligible pad: c ~= E(Y)
+
+    def test_windows_within_table1_ranges(self, rng):
+        ts = synthesize_taskset(0.5, rng)
+        for app in TABLE1:
+            for t in ts:
+                if t.name.startswith(app.name + "."):
+                    assert app.window_range[0] <= t.uam.window <= app.window_range[1]
+
+
+class TestArrivalModes:
+    def test_periodic_mode(self, rng):
+        ts = synthesize_taskset(0.5, rng, arrival_mode="periodic")
+        assert all(isinstance(t.arrivals, PeriodicArrivals) for t in ts)
+        assert all(t.uam.max_arrivals == 1 for t in ts)
+
+    def test_burst_mode_uses_table_a(self, rng):
+        ts = synthesize_taskset(0.5, rng, arrival_mode="burst")
+        assert all(isinstance(t.arrivals, BurstUAMArrivals) for t in ts)
+        a1 = [t for t in ts if t.name.startswith("A1.")]
+        assert all(t.uam.max_arrivals == 5 for t in a1)
+
+    def test_burst_override(self, rng):
+        ts = synthesize_taskset(0.5, rng, arrival_mode="burst", burst_override=2)
+        assert all(t.uam.max_arrivals == 2 for t in ts)
+
+    def test_scattered_mode(self, rng):
+        ts = synthesize_taskset(0.5, rng, arrival_mode="scattered", burst_override=3)
+        assert all(isinstance(t.arrivals, ScatteredUAMArrivals) for t in ts)
+
+    def test_poisson_mode(self, rng):
+        ts = synthesize_taskset(0.5, rng, arrival_mode="poisson", burst_override=3)
+        assert all(isinstance(t.arrivals, PoissonUAMArrivals) for t in ts)
+
+    def test_unknown_mode_rejected(self, rng):
+        with pytest.raises(ValueError):
+            synthesize_taskset(0.5, rng, arrival_mode="chaotic")
+
+    def test_same_seed_same_taskset(self):
+        a = synthesize_taskset(0.5, np.random.default_rng(5))
+        b = synthesize_taskset(0.5, np.random.default_rng(5))
+        for ta, tb in zip(a, b):
+            assert ta.uam.window == tb.uam.window
+            assert ta.demand.mean == tb.demand.mean

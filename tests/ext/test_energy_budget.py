@@ -1,0 +1,83 @@
+"""Tests for the finite-energy-budget extension (repro.ext.energy_budget)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EUAStar
+from repro.experiments import energy_setting, synthesize_taskset
+from repro.ext import BudgetedEUA
+from repro.sim import Platform, materialize, simulate
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(77)
+    taskset = synthesize_taskset(1.2, rng, tuf_shape="step", nu=1.0, rho=0.96)
+    return materialize(taskset, 2.0, rng)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return Platform(energy_model=energy_setting("E1"))
+
+
+@pytest.fixture(scope="module")
+def reference(workload, platform):
+    return simulate(workload, EUAStar(), platform=platform)
+
+
+class TestConstruction:
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            BudgetedEUA(budget=0.0, mission_horizon=1.0)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            BudgetedEUA(budget=1.0, mission_horizon=0.0)
+
+
+class TestBehaviour:
+    def test_generous_budget_matches_eua(self, workload, platform, reference):
+        r = simulate(
+            workload,
+            BudgetedEUA(budget=reference.energy * 10.0, mission_horizon=2.0),
+            platform=platform,
+        )
+        assert r.metrics.accrued_utility == pytest.approx(
+            reference.metrics.accrued_utility, rel=0.01
+        )
+
+    def test_budget_honoured(self, workload, platform, reference):
+        budget = reference.energy * 0.4
+        r = simulate(
+            workload,
+            BudgetedEUA(budget=budget, mission_horizon=2.0),
+            platform=platform,
+        )
+        # Overshoot bounded by one in-flight job segment.
+        assert r.energy <= budget * 1.05
+
+    def test_utility_monotone_in_budget(self, workload, platform, reference):
+        utils = []
+        for frac in (0.2, 0.5, 1.0):
+            r = simulate(
+                workload,
+                BudgetedEUA(budget=reference.energy * frac, mission_horizon=2.0),
+                platform=platform,
+            )
+            utils.append(r.metrics.accrued_utility)
+        assert utils[0] <= utils[1] + 1e-6 <= utils[2] + 1e-5
+
+    def test_rejections_counted(self, workload, platform, reference):
+        sched = BudgetedEUA(budget=reference.energy * 0.3, mission_horizon=2.0)
+        simulate(workload, sched, platform=platform)
+        assert sched.energy_rejections > 0
+
+    def test_starved_budget_salvages_some_utility(self, workload, platform, reference):
+        r = simulate(
+            workload,
+            BudgetedEUA(budget=reference.energy * 0.15, mission_horizon=2.0),
+            platform=platform,
+        )
+        assert r.metrics.accrued_utility > 0.0
+        assert r.metrics.accrued_utility < reference.metrics.accrued_utility

@@ -1,0 +1,128 @@
+"""Tests for energy-harvesting scheduling (repro.ext.harvesting)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EUAStar
+from repro.experiments import energy_setting, synthesize_taskset
+from repro.ext import HarvestProfile, HarvestingEUA
+from repro.sim import Platform, materialize, simulate
+
+
+class TestHarvestProfile:
+    def test_constant(self):
+        p = HarvestProfile.constant(5.0)
+        assert p.power_at(0.0) == 5.0
+        assert p.power_at(100.0) == 5.0
+        assert p.harvested(4.0) == pytest.approx(20.0)
+
+    def test_piecewise(self):
+        p = HarvestProfile([(0.0, 10.0), (2.0, 0.0), (3.0, 4.0)])
+        assert p.power_at(1.0) == 10.0
+        assert p.power_at(2.5) == 0.0
+        assert p.power_at(3.5) == 4.0
+        assert p.harvested(4.0) == pytest.approx(10.0 * 2 + 0.0 + 4.0)
+
+    def test_harvested_before_zero(self):
+        assert HarvestProfile.constant(1.0).harvested(-1.0) == 0.0
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(ValueError):
+            HarvestProfile([(1.0, 5.0)])
+
+    def test_rejects_unordered_segments(self):
+        with pytest.raises(ValueError):
+            HarvestProfile([(0.0, 5.0), (2.0, 1.0), (2.0, 3.0)])
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            HarvestProfile([(0.0, -1.0)])
+
+
+class TestHarvestingEUA:
+    def _platform(self):
+        return Platform(energy_model=energy_setting("E1"))
+
+    def _workload(self, load=0.8, seed=81, horizon=2.0):
+        rng = np.random.default_rng(seed)
+        ts = synthesize_taskset(load, rng, tuf_shape="step", nu=1.0, rho=0.96)
+        return materialize(ts, horizon, rng)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            HarvestingEUA(0.0, HarvestProfile.constant(1.0))
+
+    def test_rejects_bad_bands(self):
+        with pytest.raises(ValueError):
+            HarvestingEUA(1.0, HarvestProfile.constant(1.0),
+                          reserve_fraction=0.6, comfort_fraction=0.5)
+
+    def test_rejects_overfull_initial_charge(self):
+        with pytest.raises(ValueError):
+            HarvestingEUA(1.0, HarvestProfile.constant(1.0), initial_charge=2.0)
+
+    def test_abundant_harvest_matches_eua(self):
+        trace = self._workload()
+        platform = self._platform()
+        reference = simulate(trace, EUAStar(), platform=platform)
+        # Harvest faster than the system can possibly burn.
+        huge = HarvestingEUA(
+            capacity=reference.energy,
+            harvest=HarvestProfile.constant(reference.energy),
+            name="H",
+        )
+        r = simulate(trace, huge, platform=platform)
+        assert r.metrics.accrued_utility == pytest.approx(
+            reference.metrics.accrued_utility, rel=0.01
+        )
+        assert huge.depleted_decisions == 0
+
+    def test_starved_battery_idles(self):
+        trace = self._workload()
+        platform = self._platform()
+        reference = simulate(trace, EUAStar(), platform=platform)
+        tiny = HarvestingEUA(
+            capacity=reference.energy * 0.05,
+            harvest=HarvestProfile.constant(0.0),
+            name="H",
+        )
+        r = simulate(trace, tiny, platform=platform)
+        assert tiny.depleted_decisions > 0
+        assert r.energy < reference.energy
+        assert r.metrics.accrued_utility < reference.metrics.accrued_utility
+
+    def test_harvest_restores_operation(self):
+        """With zero initial charge and steady harvest, work resumes
+        once the reserve refills — some utility is accrued."""
+        trace = self._workload(load=0.5)
+        platform = self._platform()
+        reference = simulate(trace, EUAStar(), platform=platform)
+        mean_power = reference.energy / trace.horizon
+        sched = HarvestingEUA(
+            capacity=reference.energy * 0.5,
+            harvest=HarvestProfile.constant(2.0 * mean_power),
+            initial_charge=0.0,
+            name="H",
+        )
+        r = simulate(trace, sched, platform=platform)
+        assert r.metrics.accrued_utility > 0.0
+        # Never spends beyond charge + harvest.
+        assert r.energy <= sched.initial_charge + sched.harvest.harvested(trace.horizon) + 1e-6
+
+    def test_more_harvest_never_hurts(self):
+        trace = self._workload(load=1.0)
+        platform = self._platform()
+        reference = simulate(trace, EUAStar(), platform=platform)
+        utils = []
+        for factor in (0.2, 0.6, 2.0):
+            mean_power = reference.energy / trace.horizon
+            sched = HarvestingEUA(
+                capacity=reference.energy * 0.3,
+                harvest=HarvestProfile.constant(factor * mean_power),
+                initial_charge=reference.energy * 0.1,
+                name="H",
+            )
+            r = simulate(trace, sched, platform=platform)
+            utils.append(r.metrics.accrued_utility)
+        assert utils[0] <= utils[1] + 1e-6
+        assert utils[1] <= utils[2] + 1e-6

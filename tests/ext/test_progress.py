@@ -1,0 +1,98 @@
+"""Tests for progress-based utility accrual (repro.ext.progress)."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.core import EUAStar
+from repro.demand import DeterministicDemand
+from repro.experiments import energy_setting, synthesize_taskset
+from repro.ext import ProgressAwareEUA, ProgressMetrics, progress_utility
+from repro.sim import Job, JobStatus, Platform, Task, materialize, simulate
+from repro.tuf import LinearTUF, StepTUF
+
+
+def _job(status, executed, demand=10.0, abort_time=None, completion=None,
+         accrued=0.0, tuf=None):
+    task = Task("T", tuf or LinearTUF(10.0, 1.0), DeterministicDemand(10.0),
+                UAMSpec(1, 1.0), nu=0.3)
+    j = Job(task, 0, 0.0, demand)
+    j.executed = executed
+    j.status = status
+    j.abort_time = abort_time
+    j.completion_time = completion
+    j.accrued_utility = accrued
+    return j
+
+
+class TestProgressUtility:
+    def test_completed_keeps_full_utility(self):
+        j = _job(JobStatus.COMPLETED, 10.0, completion=0.5, accrued=5.0)
+        assert progress_utility(j) == 5.0
+
+    def test_aborted_partial_credit(self):
+        # 40% done, aborted at 0.5 where U = 5.0.
+        j = _job(JobStatus.ABORTED, 4.0, abort_time=0.5)
+        assert progress_utility(j) == pytest.approx(0.4 * 5.0)
+
+    def test_expired_past_termination_is_zero(self):
+        j = _job(JobStatus.EXPIRED, 4.0, abort_time=1.0)
+        assert progress_utility(j) == 0.0  # U(1.0) = 0 at termination
+
+    def test_pending_is_zero(self):
+        assert progress_utility(_job(JobStatus.PENDING, 4.0)) == 0.0
+
+    def test_abort_without_time_is_zero(self):
+        j = _job(JobStatus.ABORTED, 4.0, abort_time=None)
+        assert progress_utility(j) == 0.0
+
+    def test_progress_capped_at_one(self):
+        j = _job(JobStatus.ABORTED, 50.0, demand=10.0, abort_time=0.2)
+        u_at = 10.0 * (1.0 - 0.2)
+        assert progress_utility(j) == pytest.approx(u_at)
+
+
+class TestProgressMetrics:
+    def test_uplift_non_negative(self):
+        rng = np.random.default_rng(13)
+        ts = synthesize_taskset(1.5, rng, tuf_shape="linear", nu=0.3, rho=0.9)
+        trace = materialize(ts, 2.0, rng)
+        result = simulate(trace, EUAStar(), platform=Platform(energy_model=energy_setting("E1")))
+        pm = ProgressMetrics(result, ts)
+        assert pm.uplift_vs_completion_model >= -1e-9
+        assert pm.accrued_utility >= result.metrics.accrued_utility - 1e-9
+        assert 0.0 <= pm.normalized_utility <= 1.0
+
+    def test_per_task_bookkeeping(self):
+        rng = np.random.default_rng(14)
+        ts = synthesize_taskset(0.5, rng, tuf_shape="linear", nu=0.3, rho=0.9)
+        trace = materialize(ts, 1.0, rng)
+        result = simulate(trace, EUAStar(), platform=Platform(energy_model=energy_setting("E1")))
+        pm = ProgressMetrics(result, ts)
+        assert set(pm.per_task) == set(ts.names)
+        assert pm.accrued_utility == pytest.approx(sum(pm.per_task.values()))
+
+
+class TestProgressAwareEUA:
+    def test_runs_end_to_end(self):
+        rng = np.random.default_rng(15)
+        ts = synthesize_taskset(1.0, rng, tuf_shape="linear", nu=0.3, rho=0.9)
+        trace = materialize(ts, 2.0, rng)
+        result = simulate(trace, ProgressAwareEUA(),
+                          platform=Platform(energy_model=energy_setting("E1")))
+        assert result.metrics.completed > 0
+
+    def test_marginal_metric_demotes_banked_jobs(self):
+        from repro.cpu import EnergyModel
+
+        sched = ProgressAwareEUA()
+        fresh = _job(JobStatus.PENDING, 0.0)
+        banked = _job(JobStatus.PENDING, 9.0)
+        model = EnergyModel.e1()
+        m_fresh = sched._metric(fresh, 0.0, 1000.0, model)
+        # Classic EUA* would score the nearly-done job far higher; the
+        # progress-aware metric discounts by (1 - progress).
+        classic = EUAStar()._metric(banked, 0.0, 1000.0, model)
+        m_banked = sched._metric(banked, 0.0, 1000.0, model)
+        assert m_banked < classic
+        assert m_fresh > 0.0

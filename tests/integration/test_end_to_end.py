@@ -1,0 +1,107 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import verify_assurances
+from repro.core import EUAStar
+from repro.cpu import EnergyModel
+from repro.sched import LAEDF, EDFStatic, make_scheduler
+from repro.sim import JobStatus, Platform, compare, materialize, simulate
+
+
+class TestUnderloadBehaviour:
+    def test_everyone_completes_everything(self, platform_e1, small_taskset):
+        trace = materialize(small_taskset, 3.0, np.random.default_rng(1))
+        for name in ("EUA*", "LA-EDF", "EDF", "ccEDF", "Static-EDF"):
+            result = simulate(trace, make_scheduler(name), platform_e1)
+            assert result.metrics.aborted == 0, name
+            assert result.metrics.expired == 0, name
+            assert result.metrics.normalized_utility == pytest.approx(1.0), name
+
+    def test_dvs_saves_energy_e1(self, platform_e1, small_taskset):
+        trace = materialize(small_taskset, 3.0, np.random.default_rng(2))
+        runs = compare(
+            [EUAStar(), LAEDF(), EDFStatic()], trace, platform=platform_e1
+        )
+        edf = runs["EDF"].energy
+        assert runs["EUA*"].energy < 0.8 * edf
+        assert runs["LA-EDF"].energy < 0.8 * edf
+
+    def test_assurances_hold(self, platform_e1, small_taskset):
+        trace = materialize(small_taskset, 3.0, np.random.default_rng(3))
+        result = simulate(trace, EUAStar(), platform_e1)
+        reports = verify_assurances(result, small_taskset)
+        assert all(r.satisfied_point for r in reports.values())
+
+
+class TestOverloadBehaviour:
+    def test_eua_beats_edf_utility(self, platform_e1, overload_taskset):
+        trace = materialize(overload_taskset, 3.0, np.random.default_rng(4))
+        runs = compare([EUAStar(), EDFStatic()], trace, platform=platform_e1)
+        assert (
+            runs["EUA*"].metrics.accrued_utility
+            > runs["EDF"].metrics.accrued_utility
+        )
+
+    def test_domino_effect_without_abortion(self, platform_e1, overload_taskset):
+        trace = materialize(overload_taskset, 3.0, np.random.default_rng(5))
+        runs = compare(
+            [LAEDF(), LAEDF(name="LA-EDF-NA", abort_expired=False)],
+            trace,
+            platform=platform_e1,
+        )
+        with_abort = runs["LA-EDF"].metrics.normalized_utility
+        without = runs["LA-EDF-NA"].metrics.normalized_utility
+        assert without < 0.5 * with_abort
+
+    def test_eua_aborts_infeasible_jobs(self, platform_e1, overload_taskset):
+        trace = materialize(overload_taskset, 3.0, np.random.default_rng(6))
+        result = simulate(trace, EUAStar(), platform_e1)
+        assert result.metrics.aborted > 0
+        # Aborted jobs never executed past their point of no return by
+        # much: they are dropped early, not at the deadline.
+        aborted = [j for j in result.jobs if j.status is JobStatus.ABORTED]
+        assert all(j.abort_time < j.termination for j in aborted)
+
+    def test_frequencies_converge_to_fmax(self, platform_e1, overload_taskset):
+        trace = materialize(overload_taskset, 3.0, np.random.default_rng(7))
+        result = simulate(trace, EUAStar(), platform_e1)
+        assert result.processor_stats.average_frequency > 900.0
+
+
+class TestEnergyModelE3:
+    def test_naive_dvs_wastes_energy(self, platform_e3, small_taskset):
+        trace = materialize(small_taskset, 3.0, np.random.default_rng(8))
+        runs = compare(
+            [EUAStar(), LAEDF(), EDFStatic()], trace, platform=platform_e3
+        )
+        edf = runs["EDF"].energy
+        assert runs["LA-EDF"].energy > edf  # race-to-f_min backfires
+        assert runs["EUA*"].energy < edf  # f° bound adapts
+
+    def test_eua_sits_near_energy_optimal_level(self, platform_e3, small_taskset):
+        trace = materialize(small_taskset, 3.0, np.random.default_rng(9))
+        result = simulate(trace, EUAStar(), platform_e3)
+        residency = result.processor_stats.residency
+        busiest = max(residency, key=residency.get)
+        assert busiest == 820.0  # E3's per-cycle optimum on the ladder
+
+
+class TestComparisonHarness:
+    def test_shared_workload_has_identical_releases(self, platform_e1, small_taskset):
+        trace = materialize(small_taskset, 2.0, np.random.default_rng(10))
+        runs = compare([EUAStar(), EDFStatic()], trace, platform=platform_e1)
+        keys_a = sorted(j.key for j in runs["EUA*"].jobs)
+        keys_b = sorted(j.key for j in runs["EDF"].jobs)
+        assert keys_a == keys_b
+
+    def test_duplicate_names_rejected(self, platform_e1, small_taskset):
+        with pytest.raises(ValueError):
+            compare(
+                [EDFStatic(), EDFStatic()],
+                small_taskset,
+                platform=platform_e1,
+                horizon=1.0,
+                seed=1,
+            )

@@ -1,0 +1,54 @@
+"""Every shipped example must run to completion and print its story.
+
+Examples are documentation; rotten ones are worse than none.  Each runs
+as a subprocess exactly the way a reader would invoke it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert out.returncode == 0, out.stderr
+    return out.stdout
+
+
+class TestExamples:
+    def test_quickstart_underload(self):
+        stdout = _run("quickstart.py", "0.5")
+        assert "EUA*" in stdout and "EDF" in stdout
+        assert "norm energy" in stdout
+
+    def test_quickstart_overload(self):
+        stdout = _run("quickstart.py", "1.5")
+        assert "EUA*" in stdout
+
+    def test_awacs_tracking(self):
+        stdout = _run("awacs_tracking.py")
+        assert "saturation engagement" in stdout
+        assert "track_association" in stdout
+
+    def test_mobile_multimedia(self):
+        stdout = _run("mobile_multimedia.py")
+        assert "battery life" in stdout
+        assert "820 MHz" in stdout  # the E3 UER-optimal level
+
+    def test_overload_adaptation(self):
+        stdout = _run("overload_adaptation.py")
+        assert "Finite energy budget" in stdout
+
+    def test_profiling_loop(self):
+        stdout = _run("profiling_loop.py")
+        assert "Day 1 (profiled budgets)" in stdout
+        assert "energy saved" in stdout

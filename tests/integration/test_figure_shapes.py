@@ -1,0 +1,96 @@
+"""Reduced-scale reproductions of the paper's figure shapes.
+
+The full sweeps live in benchmarks/; these integration tests pin the
+qualitative claims at a scale suitable for the unit-test suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EUAStar
+from repro.experiments import energy_setting, run_figure2, synthesize_taskset
+from repro.sim import Platform, compare, materialize
+
+
+@pytest.fixture(scope="module")
+def fig2_e1():
+    return run_figure2("E1", loads=(0.4, 1.6), seeds=(11,), horizon=2.5)
+
+
+@pytest.fixture(scope="module")
+def fig2_e3():
+    return run_figure2("E3", loads=(0.4, 1.6), seeds=(11,), horizon=2.5)
+
+
+class TestFigure2Shape:
+    def test_underload_optimal_utility(self, fig2_e1):
+        p = fig2_e1.points[0]
+        for name in ("EUA*", "LA-EDF", "LA-EDF-NA", "EDF"):
+            assert p.utility[name].mean >= 0.97
+
+    def test_underload_energy_savings(self, fig2_e1):
+        p = fig2_e1.points[0]
+        assert p.energy["EUA*"].mean < 0.6
+        assert p.energy["LA-EDF"].mean < 0.6
+
+    def test_overload_domino(self, fig2_e1):
+        p = fig2_e1.points[-1]
+        assert p.utility["LA-EDF-NA"].mean < 0.5 * p.utility["LA-EDF"].mean
+
+    def test_overload_eua_wins_utility(self, fig2_e1):
+        p = fig2_e1.points[-1]
+        assert p.utility["EUA*"].mean >= p.utility["LA-EDF"].mean
+
+    def test_overload_energy_converges(self, fig2_e1):
+        p = fig2_e1.points[-1]
+        for name in ("EUA*", "LA-EDF"):
+            assert p.energy[name].mean == pytest.approx(1.0, abs=0.1)
+
+    def test_e3_inversion(self, fig2_e3):
+        p = fig2_e3.points[0]
+        assert p.energy["LA-EDF"].mean > 1.0
+        assert p.energy["EUA*"].mean < 1.0
+
+
+class TestFigure3Mechanism:
+    def test_burstiness_raises_lookahead_energy(self):
+        """The a=3 UAM envelope with unpredictable arrivals costs more
+        energy than a=1 at the same mid-range load (Figure 3)."""
+        platform = Platform(energy_model=energy_setting("E1"))
+        energies = {}
+        for a in (1, 3):
+            ratios = []
+            for seed in (11, 13):
+                rng = np.random.default_rng(seed)
+                ts = synthesize_taskset(
+                    0.8, rng, tuf_shape="linear", nu=0.3, rho=0.9,
+                    arrival_mode="poisson", burst_override=a,
+                )
+                trace = materialize(ts, 2.5, rng)
+                runs = compare(
+                    [EUAStar(name="EUA*"), EUAStar(name="noDVS", use_dvs=False)],
+                    trace,
+                    platform=platform,
+                )
+                ratios.append(runs["EUA*"].energy / runs["noDVS"].energy)
+            energies[a] = float(np.mean(ratios))
+        assert energies[3] > energies[1]
+
+    def test_overload_insensitive_to_burst(self):
+        platform = Platform(energy_model=energy_setting("E1"))
+        energies = {}
+        for a in (1, 3):
+            rng = np.random.default_rng(17)
+            ts = synthesize_taskset(
+                1.7, rng, tuf_shape="linear", nu=0.3, rho=0.9,
+                arrival_mode="poisson", burst_override=a,
+            )
+            trace = materialize(ts, 2.0, rng)
+            runs = compare(
+                [EUAStar(name="EUA*"), EUAStar(name="noDVS", use_dvs=False)],
+                trace,
+                platform=platform,
+            )
+            energies[a] = runs["EUA*"].energy / runs["noDVS"].energy
+        assert energies[1] == pytest.approx(energies[3], abs=0.12)
+        assert min(energies.values()) > 0.75

@@ -1,0 +1,85 @@
+"""Integration checks of the paper's Section 4 theorems.
+
+Theorem 2 / Corollaries 3–4 / Theorem 5 (periodic + step TUFs + no
+overload) and Theorem 6 (non-increasing TUFs under the BRH condition),
+validated on multiple random workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import brh_schedulable, is_underload_regime, verify_assurances
+from repro.core import EUAStar
+from repro.experiments import synthesize_taskset
+from repro.sched import EDFStatic
+from repro.sim import JobStatus, Platform, compare, materialize, simulate
+
+
+@pytest.mark.parametrize("seed", [21, 22, 23])
+@pytest.mark.parametrize("load", [0.4, 0.8])
+class TestTheorem2Family:
+    """EDF-equivalence during underloads (EUA* pinned at f_max so the
+    schedules are time-comparable)."""
+
+    def _runs(self, load, seed):
+        rng = np.random.default_rng(seed)
+        ts = synthesize_taskset(load, rng, tuf_shape="step", nu=1.0, rho=0.96)
+        assert is_underload_regime(ts, 1000.0)
+        trace = materialize(ts, 2.5, rng)
+        platform = Platform()
+        return ts, compare(
+            [EUAStar(name="EUA*", use_dvs=False), EDFStatic(name="EDF")],
+            trace,
+            platform=platform,
+        )
+
+    def test_equal_total_utility(self, load, seed):
+        _, runs = self._runs(load, seed)
+        assert runs["EUA*"].metrics.accrued_utility == pytest.approx(
+            runs["EDF"].metrics.accrued_utility
+        )
+
+    def test_all_critical_times_met(self, load, seed):
+        _, runs = self._runs(load, seed)
+        for job in runs["EUA*"].jobs:
+            if job.status is JobStatus.COMPLETED:
+                assert job.completion_time <= job.critical_time + 1e-9
+
+    def test_max_lateness_matches_edf(self, load, seed):
+        _, runs = self._runs(load, seed)
+
+        def max_lateness(result):
+            return max(
+                j.completion_time - j.critical_time
+                for j in result.jobs
+                if j.status is JobStatus.COMPLETED
+            )
+
+        assert max_lateness(runs["EUA*"]) == pytest.approx(max_lateness(runs["EDF"]))
+
+    def test_statistical_requirements_met(self, load, seed):
+        ts, runs = self._runs(load, seed)
+        reports = verify_assurances(runs["EUA*"], ts)
+        assert all(r.satisfied_point for r in reports.values())
+
+
+@pytest.mark.parametrize("seed", [31, 32])
+class TestTheorem6:
+    """Non-step, non-increasing TUFs with D < X under BRH."""
+
+    def test_assurances_with_dvs(self, seed):
+        rng = np.random.default_rng(seed)
+        ts = synthesize_taskset(0.6, rng, tuf_shape="linear", nu=0.3, rho=0.9)
+        assert brh_schedulable(ts, 1000.0)
+        trace = materialize(ts, 2.5, rng)
+        result = simulate(trace, EUAStar(), platform=Platform())
+        reports = verify_assurances(result, ts)
+        assert all(r.satisfied_point for r in reports.values()), {
+            k: v.attainment for k, v in reports.items()
+        }
+
+    def test_critical_times_precede_terminations(self, seed):
+        rng = np.random.default_rng(seed)
+        ts = synthesize_taskset(0.6, rng, tuf_shape="linear", nu=0.3, rho=0.9)
+        for t in ts:
+            assert t.critical_time < t.tuf.termination

@@ -1,0 +1,75 @@
+"""Property-based tests on the Chebyshev allocation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.demand import (
+    GammaDemand,
+    NormalDemand,
+    UniformDemand,
+    allocate_cycles,
+    chebyshev_allocation,
+    chebyshev_assurance,
+    empirical_assurance,
+)
+
+means = st.floats(min_value=0.1, max_value=1e4)
+variances = st.floats(min_value=0.0, max_value=1e6)
+rhos = st.floats(min_value=0.0, max_value=0.995)
+
+
+@given(means, variances, rhos)
+@settings(max_examples=300)
+def test_allocation_at_least_mean(mean, var, rho):
+    assert chebyshev_allocation(mean, var, rho) >= mean
+
+
+@given(means, variances, rhos, rhos)
+@settings(max_examples=200)
+def test_allocation_monotone_in_rho(mean, var, rho1, rho2):
+    lo, hi = sorted((rho1, rho2))
+    assert chebyshev_allocation(mean, var, lo) <= chebyshev_allocation(mean, var, hi)
+
+
+@given(means, st.floats(min_value=1e-6, max_value=1e6), rhos)
+@settings(max_examples=200)
+def test_inverse_round_trip(mean, var, rho):
+    c = chebyshev_allocation(mean, var, rho)
+    if c - mean <= 0.0:
+        # The pad underflowed against the mean (tiny var or rho=0):
+        # the inverse legitimately reports no guarantee.
+        assert chebyshev_assurance(mean, var, c) == 0.0
+        return
+    back = chebyshev_assurance(mean, var, c)
+    assert abs(back - rho) < 1e-5 or back >= rho - 1e-5
+
+
+@given(means, variances, rhos, st.floats(min_value=1.0, max_value=100.0))
+@settings(max_examples=200)
+def test_allocation_scales_linearly(mean, var, rho, k):
+    """c(k·mean, k²·var) = k·c(mean, var) — the paper's load-scaling
+    invariant that keeps ϱ calibration exact."""
+    c1 = chebyshev_allocation(mean, var, rho)
+    c2 = chebyshev_allocation(k * mean, k * k * var, rho)
+    assert abs(c2 - k * c1) <= 1e-9 * max(1.0, abs(c2))
+
+
+@given(
+    st.sampled_from(["normal", "uniform", "gamma"]),
+    st.floats(min_value=0.5, max_value=0.95),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_guarantee_distribution_free(family, rho, seed):
+    """Pr[Y < c] >= rho holds empirically for any distribution."""
+    rng = np.random.default_rng(seed)
+    dist = {
+        "normal": NormalDemand(100.0, 400.0),
+        "uniform": UniformDemand(10.0, 50.0),
+        "gamma": GammaDemand(3.0, 5.0),
+    }[family]
+    c = allocate_cycles(dist, rho)
+    samples = dist.sample(rng, size=20_000)
+    # Allow a small sampling tolerance below the target.
+    assert empirical_assurance(samples, c) >= rho - 0.01

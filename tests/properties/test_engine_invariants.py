@@ -1,0 +1,129 @@
+"""Property-based invariants of the simulation engine.
+
+Random workloads under random policies must conserve cycles and energy,
+never run time backwards, and keep every job's lifecycle consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals import BurstUAMArrivals, UAMSpec
+from repro.core import EUAStar
+from repro.cpu import EnergyModel, FrequencyScale, Processor
+from repro.demand import NormalDemand
+from repro.sched import CCEDF, LAEDF, EDFStatic, StaticEDF
+from repro.sim import Engine, JobStatus, Task, TaskSet, materialize
+from repro.tuf import LinearTUF, StepTUF
+
+
+@st.composite
+def scenarios(draw):
+    n_tasks = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    load = draw(st.floats(min_value=0.2, max_value=2.0))
+    policy = draw(st.sampled_from(["EUA", "EDF", "LA", "LA-NA", "CC", "STATIC"]))
+    shape = draw(st.sampled_from(["step", "linear"]))
+    tasks = []
+    for i in range(n_tasks):
+        window = draw(st.floats(min_value=0.05, max_value=0.8))
+        umax = draw(st.floats(min_value=1.0, max_value=100.0))
+        a = draw(st.integers(min_value=1, max_value=3))
+        spec = UAMSpec(a, window)
+        mean = window * 100.0 / a
+        tuf = StepTUF(umax, window) if shape == "step" else LinearTUF(umax, window)
+        tasks.append(
+            Task(
+                f"T{i}",
+                tuf,
+                NormalDemand(mean, mean * 1e-6),
+                spec,
+                arrivals=BurstUAMArrivals(spec),
+                nu=1.0 if shape == "step" else 0.3,
+                rho=0.9,
+            )
+        )
+    taskset = TaskSet(tasks).scaled_to_load(load, 1000.0)
+    return taskset, seed, policy
+
+
+def _make_policy(name):
+    return {
+        "EUA": lambda: EUAStar(),
+        "EDF": lambda: EDFStatic(),
+        "LA": lambda: LAEDF(),
+        "LA-NA": lambda: LAEDF(abort_expired=False),
+        "CC": lambda: CCEDF(),
+        "STATIC": lambda: StaticEDF(),
+    }[name]()
+
+
+@given(scenarios())
+@settings(max_examples=40, deadline=None)
+def test_engine_conservation_invariants(scenario):
+    taskset, seed, policy = scenario
+    rng = np.random.default_rng(seed)
+    trace = materialize(taskset, 1.5, rng)
+    cpu = Processor(FrequencyScale.powernow_k6(), EnergyModel.e1())
+    result = Engine(trace, _make_policy(policy), cpu, record_trace=True).run()
+
+    # --- cycle conservation -------------------------------------------
+    executed_jobs = sum(j.executed for j in result.jobs)
+    assert executed_jobs == pytest.approx(cpu.stats.cycles_executed, rel=1e-9, abs=1e-6)
+    assert result.trace.executed_cycles() == pytest.approx(executed_jobs, rel=1e-9, abs=1e-6)
+
+    # --- energy equals sum over segments ------------------------------
+    model = EnergyModel.e1()
+    seg_energy = sum(
+        s.cycles * model.energy_per_cycle(s.frequency)
+        for s in result.trace.busy_segments()
+    )
+    assert seg_energy == pytest.approx(cpu.stats.energy, rel=1e-9, abs=1e-6)
+
+    # --- timeline tiles the horizon ------------------------------------
+    assert result.trace.is_contiguous()
+    assert cpu.stats.total_time == pytest.approx(trace.horizon, rel=1e-9, abs=1e-9)
+
+    # --- per-job lifecycle consistency ---------------------------------
+    for job in result.jobs:
+        assert job.executed <= job.demand + 1e-6
+        if job.status is JobStatus.COMPLETED:
+            assert job.completion_time is not None
+            assert job.completion_time >= job.release
+            assert job.remaining_demand <= 1e-6
+            assert job.accrued_utility == pytest.approx(
+                job.utility_at(job.completion_time), abs=1e-9
+            )
+        elif job.status in (JobStatus.ABORTED, JobStatus.EXPIRED):
+            assert job.accrued_utility == 0.0
+            assert job.abort_time is not None
+        else:  # pending at horizon
+            assert job.accrued_utility == 0.0
+
+    # --- utility accounting --------------------------------------------
+    assert result.metrics.accrued_utility <= result.metrics.max_possible_utility + 1e-9
+    assert (
+        result.metrics.completed
+        + result.metrics.aborted
+        + result.metrics.expired
+        + result.metrics.unfinished
+        == len(result.jobs)
+    )
+
+
+@given(scenarios())
+@settings(max_examples=25, deadline=None)
+def test_same_trace_same_result(scenario):
+    """Determinism: identical inputs produce identical outcomes."""
+    taskset, seed, policy = scenario
+    results = []
+    for _ in range(2):
+        rng = np.random.default_rng(seed)
+        trace = materialize(taskset, 1.0, rng)
+        cpu = Processor(FrequencyScale.powernow_k6(), EnergyModel.e1())
+        results.append(Engine(trace, _make_policy(policy), cpu).run())
+    a, b = results
+    assert a.metrics.accrued_utility == b.metrics.accrued_utility
+    assert a.energy == b.energy
+    assert [j.status for j in a.jobs] == [j.status for j in b.jobs]

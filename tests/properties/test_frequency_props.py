@@ -1,0 +1,82 @@
+"""Property-based tests on frequency scales and energy models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import EnergyModel, FrequencyScale, energy_optimal_frequency
+
+levels_strategy = st.lists(
+    st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+    min_size=1,
+    max_size=10,
+    unique=True,
+)
+demands = st.floats(min_value=-10.0, max_value=2e4, allow_nan=False)
+
+
+@given(levels_strategy, demands)
+@settings(max_examples=300)
+def test_select_is_lowest_adequate_level(levels, demand):
+    scale = FrequencyScale(levels)
+    chosen = scale.select(demand)
+    if chosen is None:
+        assert demand > scale.f_max
+        return
+    assert chosen in scale.levels
+    if demand > 0.0:
+        assert chosen >= demand * (1.0 - 1e-9)
+        # No lower adequate level exists.
+        lower = [f for f in scale.levels if f < chosen]
+        assert all(f < demand for f in lower)
+    else:
+        assert chosen == scale.f_min
+
+
+@given(levels_strategy, demands)
+@settings(max_examples=200)
+def test_select_capped_never_none(levels, demand):
+    scale = FrequencyScale(levels)
+    chosen = scale.select_capped(demand)
+    assert chosen in scale.levels
+    assert chosen <= scale.f_max
+
+
+@given(levels_strategy, demands)
+@settings(max_examples=200)
+def test_floor_le_at_least(levels, demand):
+    scale = FrequencyScale(levels)
+    if demand <= 0.0:
+        return
+    assert scale.floor(demand) <= scale.at_least(demand)
+
+
+# Zero or a comfortably-normal positive coefficient (subnormal floats
+# like 5e-324 underflow to 0 when multiplied by f, which is vacuous).
+coeffs = st.one_of(st.just(0.0), st.floats(min_value=1e-9, max_value=10.0))
+
+
+@given(coeffs, coeffs, coeffs, coeffs, st.floats(min_value=0.1, max_value=1e4))
+@settings(max_examples=300)
+def test_energy_positive_and_power_consistent(s3, s2, s1, s0, f):
+    if s3 == s2 == s1 == s0 == 0.0:
+        return
+    m = EnergyModel(s3, s2, s1, s0)
+    e = m.energy_per_cycle(f)
+    assert e > 0.0
+    assert m.power(f) == f * e
+    assert m.energy_for(7.5, f) == 7.5 * e
+
+
+@given(levels_strategy, coeffs, coeffs)
+@settings(max_examples=200)
+def test_energy_optimal_frequency_is_argmin(levels, s3, s0):
+    if s3 == 0.0 and s0 == 0.0:
+        return
+    scale = FrequencyScale(levels)
+    m = EnergyModel(s3=s3, s0=s0, s1=0.001)
+    best = energy_optimal_frequency(m, scale)
+    assert best in scale.levels
+    assert all(
+        m.energy_per_cycle(best) <= m.energy_per_cycle(f) + 1e-12
+        for f in scale.levels
+    )

@@ -1,0 +1,92 @@
+"""Differential properties between policies.
+
+On a uniprocessor with a single energy model, EUA*'s UER at ``f_m`` is
+utility density divided by the constant ``E(f_m)`` — so EUA* with DVS
+disabled must produce *exactly* the schedule DASA produces at ``f_m``
+(same dispatches, same aborts, same utility, same energy).  Any
+divergence means one of the two policies drifted from Algorithm 1's
+shared skeleton.
+
+Similarly, on step-TUF workloads EDF's utility can never exceed
+EUA*-noDVS's during underloads (both complete everything), and EUA*'s
+accrued utility is invariant to uniform scaling of all TUF heights.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals import UAMSpec
+from repro.core import EUAStar
+from repro.cpu import EnergyModel, FrequencyScale, Processor
+from repro.demand import NormalDemand
+from repro.sched import DASA, EDFStatic
+from repro.sim import Engine, Task, TaskSet, materialize
+from repro.tuf import ScaledTUF, StepTUF
+
+
+@st.composite
+def step_scenarios(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    load = draw(st.floats(min_value=0.3, max_value=1.9))
+    tasks = []
+    for i in range(n):
+        window = draw(st.floats(min_value=0.05, max_value=0.7))
+        umax = draw(st.floats(min_value=1.0, max_value=100.0))
+        mean = window * 90.0
+        tasks.append(
+            Task(f"T{i}", StepTUF(umax, window), NormalDemand(mean, mean * 1e-6),
+                 UAMSpec(1, window))
+        )
+    return TaskSet(tasks).scaled_to_load(load, 1000.0), seed
+
+
+def _run(taskset, seed, policy, horizon=1.2):
+    rng = np.random.default_rng(seed)
+    trace = materialize(taskset, horizon, rng)
+    cpu = Processor(FrequencyScale.powernow_k6(), EnergyModel.e1())
+    return Engine(trace, policy, cpu, record_trace=True).run()
+
+
+@given(step_scenarios())
+@settings(max_examples=30, deadline=None)
+def test_eua_nodvs_equals_dasa(scenario):
+    taskset, seed = scenario
+    eua = _run(taskset, seed, EUAStar(use_dvs=False))
+    dasa = _run(taskset, seed, DASA())
+    assert eua.metrics.accrued_utility == pytest.approx(dasa.metrics.accrued_utility)
+    assert eua.energy == pytest.approx(dasa.energy)
+    assert [j.status for j in eua.jobs] == [j.status for j in dasa.jobs]
+    assert eua.trace.job_order() == dasa.trace.job_order()
+
+
+@given(step_scenarios())
+@settings(max_examples=25, deadline=None)
+def test_eua_never_below_edf_utility(scenario):
+    """Utility accrual dominates urgency-only dispatch on step TUFs
+    (equal at underload by Theorem 2, superior at overload)."""
+    taskset, seed = scenario
+    eua = _run(taskset, seed, EUAStar(use_dvs=False))
+    edf = _run(taskset, seed, EDFStatic())
+    assert eua.metrics.accrued_utility >= edf.metrics.accrued_utility - 1e-6
+
+
+@given(step_scenarios(), st.floats(min_value=0.5, max_value=20.0))
+@settings(max_examples=20, deadline=None)
+def test_uniform_utility_scaling_invariance(scenario, factor):
+    """Multiplying every TUF by the same constant scales accrued
+    utility by exactly that constant and changes no decision."""
+    taskset, seed = scenario
+    scaled_tasks = TaskSet(
+        Task(t.name, ScaledTUF(t.tuf, factor), t.demand, t.uam, nu=t.nu, rho=t.rho)
+        for t in taskset
+    )
+    base = _run(taskset, seed, EUAStar())
+    scaled = _run(scaled_tasks, seed, EUAStar())
+    assert scaled.metrics.accrued_utility == pytest.approx(
+        factor * base.metrics.accrued_utility, rel=1e-9
+    )
+    assert scaled.energy == pytest.approx(base.energy, rel=1e-9)
+    assert [j.status for j in scaled.jobs] == [j.status for j in base.jobs]

@@ -1,0 +1,65 @@
+"""Property-based tests: REUA keeps mutual exclusion on random workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals import UAMSpec
+from repro.cpu import EnergyModel, FrequencyScale, Processor
+from repro.demand import NormalDemand
+from repro.resources import REUA, ResourceMap, audit_mutual_exclusion
+from repro.sim import Engine, Task, TaskSet, materialize
+from repro.tuf import StepTUF
+
+
+@st.composite
+def resource_scenarios(draw):
+    n_tasks = draw(st.integers(min_value=2, max_value=4))
+    n_resources = draw(st.integers(min_value=1, max_value=2))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    load = draw(st.floats(min_value=0.3, max_value=1.4))
+    tasks = []
+    requirements = {}
+    for i in range(n_tasks):
+        window = draw(st.floats(min_value=0.08, max_value=0.6))
+        umax = draw(st.floats(min_value=1.0, max_value=50.0))
+        mean = window * 80.0
+        name = f"T{i}"
+        tasks.append(
+            Task(name, StepTUF(umax, window), NormalDemand(mean, mean * 1e-6),
+                 UAMSpec(1, window))
+        )
+        # Each task needs a random subset of the resources.
+        needs = {
+            f"R{k}" for k in range(n_resources)
+            if draw(st.booleans())
+        }
+        if needs:
+            requirements[name] = needs
+    taskset = TaskSet(tasks).scaled_to_load(load, 1000.0)
+    return taskset, ResourceMap(requirements), seed
+
+
+@given(resource_scenarios())
+@settings(max_examples=30, deadline=None)
+def test_reua_never_violates_exclusion(scenario):
+    taskset, resources, seed = scenario
+    rng = np.random.default_rng(seed)
+    trace = materialize(taskset, 1.5, rng)
+    cpu = Processor(FrequencyScale.powernow_k6(), EnergyModel.e1())
+    result = Engine(trace, REUA(resources), cpu, record_trace=True).run()
+    assert audit_mutual_exclusion(result, resources) == []
+
+
+@given(resource_scenarios())
+@settings(max_examples=20, deadline=None)
+def test_reua_conserves_engine_invariants(scenario):
+    taskset, resources, seed = scenario
+    rng = np.random.default_rng(seed)
+    trace = materialize(taskset, 1.0, rng)
+    cpu = Processor(FrequencyScale.powernow_k6(), EnergyModel.e1())
+    result = Engine(trace, REUA(resources), cpu, record_trace=True).run()
+    executed = sum(j.executed for j in result.jobs)
+    assert executed == pytest.approx(cpu.stats.cycles_executed, rel=1e-9, abs=1e-6)
+    assert result.trace.is_contiguous()

@@ -1,0 +1,97 @@
+"""Property-based tests for the YDS lower bound."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import YDSJob, yds_energy, yds_schedule
+from repro.cpu import EnergyModel
+
+
+@st.composite
+def job_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    jobs = []
+    for _ in range(n):
+        release = draw(st.floats(min_value=0.0, max_value=5.0))
+        length = draw(st.floats(min_value=0.1, max_value=5.0))
+        cycles = draw(st.floats(min_value=1.0, max_value=500.0))
+        jobs.append(YDSJob(release, release + length, cycles))
+    return jobs
+
+
+@given(job_sets())
+@settings(max_examples=100, deadline=None)
+def test_cycles_conserved(jobs):
+    sched = yds_schedule(jobs)
+    total = sum(j.cycles for j in jobs)
+    assert sched.total_cycles == pytest.approx(total, rel=1e-6)
+
+
+@given(job_sets())
+@settings(max_examples=100, deadline=None)
+def test_peak_speed_covers_densest_interval(jobs):
+    """The schedule's peak speed equals the maximum interval intensity
+    over all (release, deadline) endpoint pairs — the EDF feasibility
+    bound, which any feasible speed profile must reach."""
+    sched = yds_schedule(jobs)
+    starts = {j.release for j in jobs}
+    ends = {j.deadline for j in jobs}
+    required = 0.0
+    for a in starts:
+        for b in ends:
+            if b <= a:
+                continue
+            work = sum(j.cycles for j in jobs if j.release >= a and j.deadline <= b)
+            if work > 0.0:
+                required = max(required, work / (b - a))
+    assert sched.peak_frequency == pytest.approx(required, rel=1e-9)
+
+
+@given(job_sets())
+@settings(max_examples=60, deadline=None)
+def test_flat_single_speed_never_beats_yds(jobs):
+    """Running everything at the single constant feasible speed (the
+    peak intensity) costs at least the YDS energy under convex E1."""
+    model = EnergyModel.e1()
+    sched = yds_schedule(jobs)
+    flat_speed = sched.peak_frequency
+    total_cycles = sum(j.cycles for j in jobs)
+    flat_energy = model.energy_for(total_cycles, flat_speed)
+    assert yds_energy(jobs, model) <= flat_energy * (1.0 + 1e-9)
+
+
+@given(job_sets(), st.floats(min_value=1.1, max_value=4.0))
+@settings(max_examples=60, deadline=None)
+def test_scaling_cycles_scales_energy_superlinearly(jobs, k):
+    """Under E1 (quadratic energy per cycle), multiplying all demands by
+    k multiplies optimal energy by k^3 (speed and cycles both scale)."""
+    model = EnergyModel.e1()
+    base = yds_energy(jobs, model)
+    scaled = yds_energy(
+        [YDSJob(j.release, j.deadline, j.cycles * k) for j in jobs], model
+    )
+    assert scaled == pytest.approx(base * k**3, rel=1e-6)
+
+
+def test_matches_bruteforce_two_jobs():
+    """Exhaustive check on a 2-job instance: YDS finds the minimum over
+    all work splits across the distinguishable intervals."""
+    model = EnergyModel.e1()
+    # J1: [0, 1] 100 cycles; J2: [0, 2] 60 cycles.
+    jobs = [YDSJob(0.0, 1.0, 100.0), YDSJob(0.0, 2.0, 60.0)]
+    optimal = yds_energy(jobs, model)
+
+    best = float("inf")
+    # Split J2's work: x cycles in [0, 1], rest in [1, 2]; each interval
+    # runs at constant speed (optimal by convexity).
+    for x in [i / 200.0 * 60.0 for i in range(201)]:
+        s1 = 100.0 + x  # cycles in [0,1] over 1 s
+        s2 = 60.0 - x  # cycles in [1,2] over 1 s
+        energy = model.energy_for(s1, max(s1, 1e-9))
+        if s2 > 0:
+            energy += model.energy_for(s2, s2)
+        best = min(best, energy)
+    assert optimal == pytest.approx(best, rel=1e-3)

@@ -1,0 +1,91 @@
+"""Tests for the DASA baseline (repro.sched.dasa)."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.core import EUAStar
+from repro.cpu import EnergyModel, FrequencyScale
+from repro.demand import DeterministicDemand
+from repro.sched import DASA, EDFStatic
+from repro.sim import Job, Platform, Task, TaskSet, compare, materialize
+from repro.sim.scheduler import SchedulerView, SchedulingEvent
+from repro.tuf import StepTUF
+
+
+def _task(name="T", window=1.0, mean=100.0, umax=10.0):
+    return Task(name, StepTUF(umax, window), DeterministicDemand(mean), UAMSpec(1, window))
+
+
+def _view(tasks, jobs, time=0.0):
+    return SchedulerView(
+        time=time,
+        ready=jobs,
+        taskset=TaskSet(tasks),
+        scale=FrequencyScale.powernow_k6(),
+        energy_model=EnergyModel.e1(),
+        event=SchedulingEvent.ARRIVAL,
+        arrivals_in_window={},
+    )
+
+
+class TestDecisions:
+    def test_runs_at_fmax_by_default(self):
+        task = _task()
+        d = DASA().decide(_view([task], [Job(task, 0, 0.0, 100.0)]))
+        assert d.frequency == 1000.0
+
+    def test_pinned_frequency_quantised(self):
+        task = _task()
+        d = DASA(frequency=600.0).decide(_view([task], [Job(task, 0, 0.0, 100.0)]))
+        assert d.frequency == 640.0
+
+    def test_idle_when_empty(self):
+        assert DASA().decide(_view([_task()], [])).job is None
+
+    def test_overload_prefers_high_pud(self):
+        cheap = _task("C", window=0.1, mean=60.0, umax=1.0)
+        rich = _task("R", window=0.1, mean=60.0, umax=100.0)
+        jc, jr = Job(cheap, 0, 0.0, 60.0), Job(rich, 0, 0.0, 60.0)
+        d = DASA().decide(_view([cheap, rich], [jc, jr]))
+        assert d.job is jr
+
+    def test_aborts_infeasible(self):
+        task = _task(window=0.05, mean=100.0)
+        job = Job(task, 0, 0.0, 100.0)
+        d = DASA().decide(_view([task], [job]))
+        assert job in d.aborts
+
+    def test_no_abort_variant(self):
+        task = _task(window=0.05, mean=100.0)
+        job = Job(task, 0, 0.0, 100.0)
+        d = DASA(abort_infeasible=False).decide(_view([task], [job]))
+        assert d.aborts == ()
+
+    def test_underload_head_is_edf(self):
+        early = _task("E", window=0.3, mean=30.0)
+        late = _task("L", window=1.0, mean=30.0, umax=100.0)
+        je, jl = Job(early, 0, 0.0, 30.0), Job(late, 0, 0.0, 30.0)
+        d = DASA().decide(_view([early, late], [je, jl]))
+        assert d.job is je  # both fit; sigma is critical-time ordered
+
+
+class TestEndToEnd:
+    def test_matches_eua_utility_without_energy_awareness(self, platform_e1, overload_taskset):
+        """DASA accrues EUA*-level utility during overloads (same
+        utility-accrual machinery) but at no-DVS energy."""
+        trace = materialize(overload_taskset, 2.5, np.random.default_rng(41))
+        runs = compare([DASA(), EUAStar(), EDFStatic()], trace, platform=platform_e1)
+        assert (
+            runs["DASA"].metrics.normalized_utility
+            >= runs["EDF"].metrics.normalized_utility
+        )
+        assert runs["DASA"].metrics.normalized_utility == pytest.approx(
+            runs["EUA*"].metrics.normalized_utility, abs=0.05
+        )
+
+    def test_no_energy_savings(self, platform_e1, small_taskset):
+        trace = materialize(small_taskset, 2.5, np.random.default_rng(42))
+        runs = compare([DASA(), EUAStar(), EDFStatic()], trace, platform=platform_e1)
+        assert runs["DASA"].energy == pytest.approx(runs["EDF"].energy, rel=0.02)
+        assert runs["EUA*"].energy < 0.7 * runs["DASA"].energy

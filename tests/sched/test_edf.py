@@ -1,0 +1,81 @@
+"""Tests for EDF policies (repro.sched.edf)."""
+
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.cpu import EnergyModel, FrequencyScale
+from repro.demand import DeterministicDemand
+from repro.sched import EDFStatic, edf_pick
+from repro.sim import Job, Task, TaskSet
+from repro.sim.scheduler import SchedulerView, SchedulingEvent
+from repro.tuf import StepTUF
+
+
+def _task(name="T", window=1.0):
+    return Task(name, StepTUF(5.0, window), DeterministicDemand(10.0), UAMSpec(1, window))
+
+
+def _view(tasks, jobs, time=0.0):
+    return SchedulerView(
+        time=time,
+        ready=jobs,
+        taskset=TaskSet(tasks),
+        scale=FrequencyScale.powernow_k6(),
+        energy_model=EnergyModel.e1(),
+        event=SchedulingEvent.ARRIVAL,
+        arrivals_in_window={},
+    )
+
+
+class TestEdfPick:
+    def test_none_when_empty(self):
+        assert edf_pick(_view([_task()], [])) is None
+
+    def test_earliest_critical_time(self):
+        a, b = _task("A", 1.0), _task("B", 0.5)
+        ja, jb = Job(a, 0, 0.0, 10.0), Job(b, 0, 0.0, 10.0)
+        assert edf_pick(_view([a, b], [ja, jb])) is jb
+
+    def test_tie_broken_by_release(self):
+        a = _task("A", 1.0)
+        j0, j1 = Job(a, 0, 0.0, 10.0), Job(a, 1, 0.0, 10.0)
+        # identical release and critical time: index breaks the tie
+        assert edf_pick(_view([a], [j1, j0])) is j0
+
+    def test_stale_job_sorts_first(self):
+        # The -NA domino mechanism: an expired job keeps its old (early)
+        # critical time and keeps winning the pick.
+        a = _task("A", 0.5)
+        stale = Job(a, 0, 0.0, 10.0)
+        fresh = Job(a, 1, 1.0, 10.0)
+        assert edf_pick(_view([a], [fresh, stale], time=2.0)) is stale
+
+
+class TestEDFStatic:
+    def test_runs_at_fmax_by_default(self):
+        sched = EDFStatic()
+        task = _task()
+        d = sched.decide(_view([task], [Job(task, 0, 0.0, 10.0)]))
+        assert d.frequency == 1000.0
+
+    def test_pinned_frequency(self):
+        sched = EDFStatic(frequency=550.0)
+        task = _task()
+        d = sched.decide(_view([task], [Job(task, 0, 0.0, 10.0)]))
+        assert d.frequency == 550.0
+
+    def test_off_ladder_frequency_quantised(self):
+        sched = EDFStatic(frequency=600.0)
+        task = _task()
+        d = sched.decide(_view([task], [Job(task, 0, 0.0, 10.0)]))
+        assert d.frequency == 640.0
+
+    def test_na_variant_flag(self):
+        assert EDFStatic().abort_expired
+        assert not EDFStatic(abort_expired=False).abort_expired
+
+    def test_never_aborts(self):
+        sched = EDFStatic()
+        task = _task(window=0.001)  # hopeless
+        d = sched.decide(_view([task], [Job(task, 0, 0.0, 10.0)]))
+        assert d.aborts == ()

@@ -1,0 +1,114 @@
+"""Tests for the Pillai-Shin RT-DVS baselines (repro.sched.pillai_shin)."""
+
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.cpu import EnergyModel, FrequencyScale
+from repro.demand import DeterministicDemand
+from repro.sched import CCEDF, LAEDF, StaticEDF
+from repro.sim import Job, Platform, Task, TaskSet, simulate
+from repro.sim.scheduler import SchedulerView, SchedulingEvent
+from repro.tuf import StepTUF
+
+
+def _task(name="T", window=1.0, mean=100.0):
+    return Task(name, StepTUF(5.0, window), DeterministicDemand(mean), UAMSpec(1, window))
+
+
+def _view(tasks, jobs, time=0.0, arrivals=None):
+    return SchedulerView(
+        time=time,
+        ready=jobs,
+        taskset=TaskSet(tasks),
+        scale=FrequencyScale.powernow_k6(),
+        energy_model=EnergyModel.e1(),
+        event=SchedulingEvent.ARRIVAL,
+        arrivals_in_window=arrivals or {},
+    )
+
+
+class TestStaticEDF:
+    def test_frequency_fixed_at_setup(self):
+        # Two tasks at 100 Mc per 1.0 s window each: rate 200 -> 360.
+        tasks = [_task("A", 1.0, 100.0), _task("B", 1.0, 100.0)]
+        sched = StaticEDF()
+        sched.setup(TaskSet(tasks), FrequencyScale.powernow_k6(), EnergyModel.e1())
+        d = sched.decide(_view(tasks, [Job(tasks[0], 0, 0.0, 100.0)]))
+        assert d.frequency == 360.0
+
+    def test_saturates_during_overload(self):
+        tasks = [_task("A", 0.1, 200.0)]  # rate 2000 > f_max
+        sched = StaticEDF()
+        sched.setup(TaskSet(tasks), FrequencyScale.powernow_k6(), EnergyModel.e1())
+        d = sched.decide(_view(tasks, [Job(tasks[0], 0, 0.0, 200.0)]))
+        assert d.frequency == 1000.0
+
+    def test_edf_job_selection(self):
+        a, b = _task("A", 1.0), _task("B", 0.3)
+        sched = StaticEDF()
+        sched.setup(TaskSet([a, b]), FrequencyScale.powernow_k6(), EnergyModel.e1())
+        ja, jb = Job(a, 0, 0.0, 100.0), Job(b, 0, 0.0, 100.0)
+        assert sched.decide(_view([a, b], [ja, jb])).job is jb
+
+
+class TestCCEDF:
+    def test_worst_case_while_pending(self):
+        task = _task(mean=500.0)
+        sched = CCEDF()
+        sched.setup(TaskSet([task]), FrequencyScale.powernow_k6(), EnergyModel.e1())
+        job = Job(task, 0, 0.0, 500.0)
+        d = sched.decide(_view([task], [job]))
+        assert d.frequency == 550.0  # 500 MHz rate -> level 550
+
+    def test_reclaims_on_early_completion(self):
+        task = _task(mean=500.0)
+        sched = CCEDF()
+        sched.setup(TaskSet([task]), FrequencyScale.powernow_k6(), EnergyModel.e1())
+        job = Job(task, 0, 0.0, 200.0)
+        job.executed = 200.0
+        sched.on_completion(job, 0.2)
+        # Idle reservation now reflects the actual 200 Mc.
+        d = sched.decide(_view([task], []))
+        assert d.frequency == 360.0  # 200 MHz -> lowest level
+
+    def test_reservation_resets_with_new_job(self):
+        task = _task(mean=500.0)
+        sched = CCEDF()
+        sched.setup(TaskSet([task]), FrequencyScale.powernow_k6(), EnergyModel.e1())
+        job = Job(task, 0, 0.0, 200.0)
+        job.executed = 200.0
+        sched.on_completion(job, 0.2)
+        fresh = Job(task, 1, 1.0, 500.0)
+        d = sched.decide(_view([task], [fresh], time=1.0))
+        assert d.frequency == 550.0  # worst case again
+
+    def test_end_to_end_saves_energy_on_overrun_free_workload(self, platform_e1, small_taskset):
+        dvs = simulate(small_taskset, CCEDF(), platform_e1, horizon=3.0, seed=1)
+        pin = simulate(small_taskset, StaticEDF(), platform_e1, horizon=3.0, seed=1)
+        assert dvs.metrics.normalized_utility >= pin.metrics.normalized_utility - 1e-9
+
+
+class TestLAEDF:
+    def test_defers_below_static_rate(self):
+        urgent = _task("U", window=0.1, mean=20.0)
+        relaxed = _task("R", window=1.0, mean=100.0)
+        sched = LAEDF()
+        sched.setup(TaskSet([urgent, relaxed]), FrequencyScale.powernow_k6(),
+                    EnergyModel.e1())
+        ju, jr = Job(urgent, 0, 0.0, 20.0), Job(relaxed, 0, 0.0, 100.0)
+        d = sched.decide(
+            _view([urgent, relaxed], [ju, jr], arrivals={"U": [0.0], "R": [0.0]})
+        )
+        assert d.job is ju
+        assert d.frequency < 1000.0
+
+    def test_overload_pins_fmax(self):
+        task = _task(window=0.1, mean=500.0)
+        sched = LAEDF()
+        sched.setup(TaskSet([task]), FrequencyScale.powernow_k6(), EnergyModel.e1())
+        d = sched.decide(_view([task], [Job(task, 0, 0.0, 500.0)],
+                               arrivals={"T": [0.0]}))
+        assert d.frequency == 1000.0
+
+    def test_na_variant(self):
+        assert not LAEDF(abort_expired=False).abort_expired

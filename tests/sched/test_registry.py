@@ -1,0 +1,64 @@
+"""Tests for the scheduler registry (repro.sched.registry)."""
+
+import pytest
+
+from repro.core import EUAStar
+from repro.sched import (
+    LAEDF,
+    EDFStatic,
+    Scheduler,
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+)
+
+
+class TestLookup:
+    def test_paper_figure_names_present(self):
+        names = available_schedulers()
+        for required in ("EUA*", "EDF", "LA-EDF", "LA-EDF-NA"):
+            assert required in names
+
+    def test_make_returns_fresh_instances(self):
+        a = make_scheduler("EUA*")
+        b = make_scheduler("EUA*")
+        assert a is not b
+        assert isinstance(a, EUAStar)
+
+    def test_na_variants_configured(self):
+        assert make_scheduler("LA-EDF-NA").abort_expired is False
+        assert make_scheduler("LA-EDF").abort_expired is True
+        assert make_scheduler("EDF-NA").abort_expired is False
+
+    def test_ablation_variants_configured(self):
+        assert make_scheduler("EUA*-noDVS").use_dvs is False
+        assert make_scheduler("EUA*-noFopt").use_fopt_bound is False
+        assert make_scheduler("EUA*-noAbort").abort_infeasible is False
+        assert make_scheduler("EUA*-UD").ordering == "utility_density"
+        assert make_scheduler("EUA*-demand").dvs_method == "demand"
+
+    def test_default_eua_uses_paper_algorithm2(self):
+        assert make_scheduler("EUA*").dvs_method == "lookahead"
+
+    def test_names_match_instances(self):
+        for name in available_schedulers():
+            assert make_scheduler(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_scheduler("nonsense")
+
+
+class TestRegistration:
+    def test_register_custom(self):
+        class Custom(EDFStatic):
+            pass
+
+        name = "test-custom-policy"
+        if name not in available_schedulers():
+            register_scheduler(name, lambda: Custom(name=name))
+        assert isinstance(make_scheduler(name), Custom)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_scheduler("EDF", lambda: EDFStatic())

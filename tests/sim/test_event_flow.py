@@ -1,0 +1,86 @@
+"""Tests that the engine reports the paper's scheduling events
+(arrival / completion / expiry) to the scheduler correctly."""
+
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.cpu import EnergyModel, FrequencyScale, Processor
+from repro.demand import DeterministicDemand
+from repro.sched import EDFStatic
+from repro.sim import Engine, Task, TaskSet, WorkloadTrace
+from repro.sim.scheduler import SchedulingEvent
+from repro.sim.workload import JobSpec
+from repro.tuf import StepTUF
+
+
+class Recorder(EDFStatic):
+    """EDF that records the triggering event of every invocation."""
+
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self.events = []
+
+    def decide(self, view):
+        self.events.append((round(view.time, 6), view.event))
+        return super().decide(view)
+
+
+def _run(task_jobs, horizon, scheduler):
+    specs = []
+    taskset = TaskSet([t for t, _ in task_jobs])
+    for task, jobs in task_jobs:
+        for idx, (release, demand) in enumerate(jobs):
+            specs.append(JobSpec(task, idx, release, demand))
+    trace = WorkloadTrace(taskset, horizon, specs)
+    cpu = Processor(FrequencyScale((1000.0,)), EnergyModel.e1())
+    Engine(trace, scheduler, cpu).run()
+    return scheduler.events
+
+
+def _task(name="T", window=1.0, mean=100.0, abortable=True):
+    return Task(name, StepTUF(10.0, window), DeterministicDemand(mean),
+                UAMSpec(1, window), abortable=abortable)
+
+
+class TestEventKinds:
+    def test_arrival_then_completion(self):
+        events = _run([(_task(mean=100.0), [(0.0, 100.0)])], 1.0, Recorder())
+        kinds = [k for _, k in events]
+        assert kinds[0] is SchedulingEvent.ARRIVAL
+        assert SchedulingEvent.COMPLETION in kinds
+
+    def test_expiry_event_reported(self):
+        # Job cannot finish: at its termination the engine raises the
+        # exception and re-invokes the scheduler with EXPIRY.
+        task = _task(window=0.05, mean=100.0)
+        events = _run([(task, [(0.0, 100.0)])], 1.0, Recorder())
+        assert (0.05, SchedulingEvent.EXPIRY) in events
+
+    def test_no_expiry_for_na_policy(self):
+        task = _task(window=0.05, mean=100.0)
+        events = _run([(task, [(0.0, 100.0)])], 1.0,
+                      Recorder(abort_expired=False))
+        assert all(k is not SchedulingEvent.EXPIRY for _, k in events)
+
+    def test_each_arrival_triggers_invocation(self):
+        task = _task(window=0.25, mean=10.0)
+        releases = [(k * 0.25, 10.0) for k in range(4)]
+        events = _run([(task, releases)], 1.0, Recorder())
+        arrival_times = [t for t, k in events if k is SchedulingEvent.ARRIVAL]
+        assert arrival_times == [0.0, 0.25, 0.5, 0.75]
+
+    def test_completion_times_match(self):
+        task = _task(window=0.5, mean=100.0)
+        events = _run([(task, [(0.0, 100.0), (0.5, 100.0)])], 1.0, Recorder())
+        completions = [t for t, k in events if k is SchedulingEvent.COMPLETION]
+        assert completions == [pytest.approx(0.1), pytest.approx(0.6)]
+
+    def test_simultaneous_arrivals_single_invocation(self):
+        a = _task("A", window=1.0, mean=10.0)
+        b = _task("B", window=1.0, mean=10.0)
+        rec = Recorder()
+        events = _run([(a, [(0.0, 10.0)]), (b, [(0.0, 10.0)])], 1.0, rec)
+        arrivals = [t for t, k in events if k is SchedulingEvent.ARRIVAL]
+        # Both releases happen at t=0 but the scheduler runs once for
+        # the batch (events are coalesced per decision point).
+        assert arrivals == [0.0]

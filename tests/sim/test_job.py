@@ -1,0 +1,97 @@
+"""Tests for Job (repro.sim.job)."""
+
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.demand import DeterministicDemand
+from repro.sim import Job, JobStatus, Task
+from repro.tuf import LinearTUF, StepTUF
+
+
+def _job(release=1.0, demand=10.0, tuf=None, nu=1.0):
+    task = Task(
+        name="T",
+        tuf=tuf if tuf is not None else StepTUF(8.0, 0.5),
+        demand=DeterministicDemand(12.0),
+        uam=UAMSpec(1, 0.5),
+        nu=nu,
+        rho=0.9,
+    )
+    return Job(task, index=0, release=release, demand=demand)
+
+
+class TestAbsoluteConstraints:
+    def test_termination(self):
+        assert _job(release=1.0).termination == pytest.approx(1.5)
+
+    def test_critical_time_step(self):
+        assert _job(release=1.0).critical_time == pytest.approx(1.5)
+
+    def test_critical_time_linear(self):
+        j = _job(release=1.0, tuf=LinearTUF(8.0, 0.5), nu=0.5)
+        assert j.critical_time == pytest.approx(1.25)
+
+    def test_utility_at_absolute_time(self):
+        j = _job(release=1.0)
+        assert j.utility_at(1.2) == 8.0
+        assert j.utility_at(1.5) == 0.0
+        assert j.utility_at(0.9) == 0.0
+
+    def test_max_utility(self):
+        assert _job().max_utility == 8.0
+
+
+class TestBudgetView:
+    def test_allocated_equals_task_allocation(self):
+        j = _job()
+        assert j.allocated == j.task.allocation == 12.0
+
+    def test_remaining_budget_decreases(self):
+        j = _job()
+        j.executed = 5.0
+        assert j.remaining_budget == pytest.approx(7.0)
+
+    def test_remaining_budget_floors_at_zero_on_overrun(self):
+        j = _job(demand=20.0)  # demand exceeds the 12-cycle budget
+        j.executed = 15.0
+        assert j.remaining_budget == 0.0
+        assert j.remaining_demand == pytest.approx(5.0)
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        j = _job()
+        assert j.status is JobStatus.PENDING
+        assert not j.is_finished
+        assert j.completion_time is None
+        assert j.sojourn_time is None
+
+    def test_met_statistical_requirement(self):
+        j = _job()
+        j.accrued_utility = 8.0
+        assert j.met_statistical_requirement
+        j.accrued_utility = 7.9
+        assert not j.met_statistical_requirement
+
+    def test_met_requirement_partial_nu(self):
+        j = _job(tuf=LinearTUF(8.0, 0.5), nu=0.5)
+        j.accrued_utility = 4.0
+        assert j.met_statistical_requirement
+
+    def test_sojourn_time(self):
+        j = _job(release=1.0)
+        j.completion_time = 1.3
+        assert j.sojourn_time == pytest.approx(0.3)
+
+    def test_key(self):
+        assert _job().key == "T:0"
+
+
+class TestValidation:
+    def test_rejects_negative_release(self):
+        with pytest.raises(ValueError):
+            _job(release=-1.0)
+
+    def test_rejects_nonpositive_demand(self):
+        with pytest.raises(ValueError):
+            _job(demand=0.0)

@@ -1,0 +1,123 @@
+"""Tests for Metrics (repro.sim.metrics)."""
+
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.cpu import ProcessorStats
+from repro.demand import DeterministicDemand
+from repro.sim import Job, JobStatus, Metrics, Task, TaskSet
+from repro.tuf import StepTUF
+
+
+def _taskset():
+    return TaskSet(
+        [
+            Task("A", StepTUF(10.0, 1.0), DeterministicDemand(5.0), UAMSpec(1, 1.0),
+                 nu=1.0, rho=0.9),
+            Task("B", StepTUF(4.0, 2.0), DeterministicDemand(5.0), UAMSpec(1, 2.0),
+                 nu=1.0, rho=0.9),
+        ]
+    )
+
+
+def _jobs(taskset):
+    a, b = taskset.by_name("A"), taskset.by_name("B")
+    jobs = []
+    # Two completed A jobs (one on time, one at zero utility), one
+    # expired A job, one completed B, one pending B.
+    j = Job(a, 0, 0.0, 5.0)
+    j.status = JobStatus.COMPLETED
+    j.completion_time = 0.5
+    j.accrued_utility = 10.0
+    jobs.append(j)
+    j = Job(a, 1, 1.0, 5.0)
+    j.status = JobStatus.COMPLETED
+    j.completion_time = 2.5  # past termination -> zero utility
+    j.accrued_utility = 0.0
+    jobs.append(j)
+    j = Job(a, 2, 2.0, 5.0)
+    j.status = JobStatus.EXPIRED
+    j.abort_time = 3.0
+    jobs.append(j)
+    j = Job(b, 0, 0.0, 5.0)
+    j.status = JobStatus.COMPLETED
+    j.completion_time = 1.0
+    j.accrued_utility = 4.0
+    jobs.append(j)
+    jobs.append(Job(b, 1, 2.0, 5.0))  # pending
+    return jobs
+
+
+@pytest.fixture
+def metrics():
+    ts = _taskset()
+    stats = ProcessorStats(energy=100.0, cycles_executed=20.0, busy_time=2.0,
+                           idle_time=1.0)
+    return Metrics(ts, _jobs(ts), stats, horizon=3.0)
+
+
+class TestAggregates:
+    def test_accrued_utility(self, metrics):
+        assert metrics.accrued_utility == pytest.approx(14.0)
+
+    def test_max_possible_utility(self, metrics):
+        assert metrics.max_possible_utility == pytest.approx(3 * 10.0 + 2 * 4.0)
+
+    def test_normalized_utility(self, metrics):
+        assert metrics.normalized_utility == pytest.approx(14.0 / 38.0)
+
+    def test_counts(self, metrics):
+        assert metrics.released == 5
+        assert metrics.completed == 3
+        assert metrics.expired == 1
+        assert metrics.aborted == 0
+        assert metrics.unfinished == 1
+
+    def test_energy_from_processor(self, metrics):
+        assert metrics.energy == 100.0
+
+    def test_utility_per_energy(self, metrics):
+        assert metrics.utility_per_energy == pytest.approx(0.14)
+
+    def test_summary_keys(self, metrics):
+        s = metrics.summary()
+        assert s["completed"] == 3.0
+        assert s["normalized_utility"] == pytest.approx(14.0 / 38.0)
+
+
+class TestPerTask:
+    def test_task_a_breakdown(self, metrics):
+        tm = metrics.per_task["A"]
+        assert tm.released == 3
+        assert tm.completed == 2
+        assert tm.expired == 1
+        assert tm.met_requirement == 1  # only the on-time completion
+        assert tm.met_critical_time == 1
+
+    def test_task_a_assurance(self, metrics):
+        tm = metrics.per_task["A"]
+        # 1 satisfied / 3 decided.
+        assert tm.assurance_attainment == pytest.approx(1 / 3)
+
+    def test_task_b_excludes_pending(self, metrics):
+        tm = metrics.per_task["B"]
+        assert tm.unfinished == 1
+        assert tm.assurance_attainment == pytest.approx(1.0)  # 1/1 decided
+
+    def test_normalized_utility_per_task(self, metrics):
+        assert metrics.per_task["A"].normalized_utility == pytest.approx(10.0 / 30.0)
+
+    def test_assurance_satisfied(self, metrics):
+        ts = metrics.taskset
+        assert not metrics.assurance_satisfied(ts.by_name("A"))  # 0.33 < 0.9
+        assert metrics.assurance_satisfied(ts.by_name("B"))
+        assert not metrics.all_assurances_satisfied()
+
+    def test_empty_task_defaults(self):
+        ts = _taskset()
+        m = Metrics(ts, [], ProcessorStats(), horizon=1.0)
+        tm = m.per_task["A"]
+        assert tm.assurance_attainment == 1.0
+        assert tm.normalized_utility == 0.0
+        assert m.normalized_utility == 0.0
+        assert m.utility_per_energy == 0.0

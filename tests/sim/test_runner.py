@@ -1,0 +1,70 @@
+"""Tests for the runner module (repro.sim.runner) and package entry."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cpu import EnergyModel, FrequencyScale
+from repro.sched import EDFStatic
+from repro.sim import Platform, compare, materialize, simulate
+
+
+class TestPlatform:
+    def test_defaults(self):
+        p = Platform()
+        assert p.scale.f_max == 1000.0
+        assert p.energy_model.name == "E1"
+
+    def test_powernow_factory(self):
+        p = Platform.powernow_k6(EnergyModel.e3(1000.0))
+        assert p.scale.levels == FrequencyScale.powernow_k6().levels
+        assert p.energy_model.name == "E3"
+
+    def test_processor_is_fresh_each_time(self):
+        p = Platform()
+        a, b = p.processor(), p.processor()
+        a.run(1.0)
+        assert b.stats.cycles_executed == 0.0
+
+    def test_processor_carries_overheads(self):
+        p = Platform(idle_power=3.0, switch_time=1e-4, switch_energy=2.0)
+        cpu = p.processor()
+        assert cpu.idle_power == 3.0
+        assert cpu.switch_time == 1e-4
+        assert cpu.switch_energy == 2.0
+
+
+class TestEntryPoints:
+    def test_sched_base_reexport(self):
+        # The documented import path must stay importable.
+        from repro.sched.base import Decision, Scheduler, SchedulerView
+
+        assert Scheduler is not None and Decision is not None
+        assert SchedulerView is not None
+
+    def test_python_dash_m_repro(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "schedulers"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert out.returncode == 0
+        assert "EUA*" in out.stdout
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestCompareRNGFlow:
+    def test_rng_argument(self, platform_e1, small_taskset):
+        rng = np.random.default_rng(5)
+        r1 = simulate(small_taskset, EDFStatic(), platform_e1, horizon=1.0, rng=rng)
+        assert r1.metrics.released > 0
+
+    def test_compare_seed_reproducible(self, platform_e1, small_taskset):
+        a = compare([EDFStatic()], small_taskset, platform_e1, horizon=1.0, seed=9)
+        b = compare([EDFStatic()], small_taskset, platform_e1, horizon=1.0, seed=9)
+        assert a["EDF"].metrics.accrued_utility == b["EDF"].metrics.accrued_utility

@@ -1,0 +1,100 @@
+"""Tests for workload materialisation (repro.sim.workload)."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.demand import DeterministicDemand
+from repro.sim import Task, TaskSet, WorkloadTrace, materialize
+from repro.sim.workload import JobSpec
+from repro.tuf import StepTUF
+
+
+def _taskset():
+    return TaskSet(
+        [
+            Task("A", StepTUF(5.0, 0.2), DeterministicDemand(10.0), UAMSpec(1, 0.2)),
+            Task("B", StepTUF(3.0, 0.5), DeterministicDemand(30.0), UAMSpec(1, 0.5)),
+        ]
+    )
+
+
+class TestMaterialize:
+    def test_job_counts_periodic(self, rng):
+        trace = materialize(_taskset(), 2.0, rng)
+        a_jobs = [j for j in trace if j.task.name == "A"]
+        b_jobs = [j for j in trace if j.task.name == "B"]
+        # Boundary jobs whose window outlives the horizon are dropped
+        # (none here: every window fits the 2.0 s horizon exactly).
+        assert len(a_jobs) == 10  # releases 0.0 .. 1.8, 1.8+0.2 <= 2.0
+        assert len(b_jobs) == 4  # releases 0.0 .. 1.5
+
+    def test_boundary_jobs_dropped_vs_included(self, rng):
+        # Horizon 1.9: B's release at 1.5 has termination 2.0 > 1.9.
+        censored = materialize(_taskset(), 1.9, rng)
+        full = materialize(_taskset(), 1.9, rng, include_boundary=True)
+        b_censored = [j for j in censored if j.task.name == "B"]
+        b_full = [j for j in full if j.task.name == "B"]
+        assert len(b_censored) == 3
+        assert len(b_full) == 4
+
+    def test_sorted_by_release(self, rng):
+        trace = materialize(_taskset(), 5.0, rng)
+        releases = [j.release for j in trace]
+        assert releases == sorted(releases)
+
+    def test_deterministic_demands(self, rng):
+        trace = materialize(_taskset(), 2.0, rng)
+        for j in trace:
+            assert j.demand == {"A": 10.0, "B": 30.0}[j.task.name]
+
+    def test_reproducible_with_same_seed(self):
+        t1 = materialize(_taskset(), 2.0, np.random.default_rng(5))
+        t2 = materialize(_taskset(), 2.0, np.random.default_rng(5))
+        assert [(j.task.name, j.release, j.demand) for j in t1] == [
+            (j.task.name, j.release, j.demand) for j in t2
+        ]
+
+    def test_uam_verified(self, rng):
+        trace = materialize(_taskset(), 2.0, rng)
+        trace.verify_uam()  # must not raise
+
+
+class TestTraceQueries:
+    def test_total_demand(self, rng):
+        trace = materialize(_taskset(), 2.0, rng)
+        assert trace.total_demand == pytest.approx(10 * 10.0 + 4 * 30.0)
+
+    def test_max_possible_utility(self, rng):
+        trace = materialize(_taskset(), 2.0, rng)
+        assert trace.max_possible_utility == pytest.approx(10 * 5.0 + 4 * 3.0)
+
+    def test_demand_rate(self, rng):
+        trace = materialize(_taskset(), 2.0, rng)
+        assert trace.demand_rate() == pytest.approx(trace.total_demand / 2.0)
+
+    def test_jobs_of(self, rng):
+        ts = _taskset()
+        trace = materialize(ts, 2.0, rng)
+        assert len(trace.jobs_of(ts.by_name("B"))) == 4
+
+    def test_len_iter(self, rng):
+        trace = materialize(_taskset(), 2.0, rng)
+        assert len(trace) == len(list(trace)) == 14
+
+
+class TestTraceValidation:
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace(_taskset(), 0.0, [])
+
+    def test_verify_uam_catches_violation(self):
+        ts = _taskset()
+        task = ts.by_name("A")
+        specs = [
+            JobSpec(task, 0, 0.0, 1.0),
+            JobSpec(task, 1, 0.05, 1.0),  # violates <1, 0.2>
+        ]
+        trace = WorkloadTrace(ts, 1.0, specs)
+        with pytest.raises(ValueError):
+            trace.verify_uam()

@@ -1,0 +1,110 @@
+"""Tests for the TUF abstraction (repro.tuf.base)."""
+
+import math
+
+import pytest
+
+from repro.tuf import LinearTUF, StepTUF, TUFError
+from repro.tuf.base import TUF
+
+
+class _HalfLife(TUF):
+    """Concrete TUF for exercising the ABC's generic machinery."""
+
+    def __init__(self):
+        super().__init__(termination=2.0)
+
+    def _utility(self, t: float) -> float:
+        return 8.0 * 0.5 ** t
+
+
+class TestConstruction:
+    def test_rejects_zero_termination(self):
+        with pytest.raises(TUFError):
+            StepTUF(height=1.0, deadline=0.0)
+
+    def test_rejects_negative_termination(self):
+        with pytest.raises(TUFError):
+            StepTUF(height=1.0, deadline=-1.0)
+
+    def test_rejects_infinite_termination(self):
+        with pytest.raises(TUFError):
+            StepTUF(height=1.0, deadline=math.inf)
+
+    def test_rejects_nan_termination(self):
+        with pytest.raises(TUFError):
+            StepTUF(height=1.0, deadline=math.nan)
+
+    def test_termination_is_float(self):
+        assert isinstance(_HalfLife().termination, float)
+
+
+class TestEvaluation:
+    def test_zero_before_release(self):
+        assert _HalfLife().utility(-0.001) == 0.0
+
+    def test_zero_at_termination(self):
+        assert _HalfLife().utility(2.0) == 0.0
+
+    def test_zero_after_termination(self):
+        assert _HalfLife().utility(100.0) == 0.0
+
+    def test_positive_inside_window(self):
+        assert _HalfLife().utility(1.0) == pytest.approx(4.0)
+
+    def test_utility_at_release(self):
+        assert _HalfLife().utility(0.0) == pytest.approx(8.0)
+
+    def test_max_utility_is_release_value(self):
+        assert _HalfLife().max_utility == pytest.approx(8.0)
+
+    def test_utilities_vector_form(self):
+        tuf = _HalfLife()
+        times = [-1.0, 0.0, 1.0, 2.0]
+        assert tuf.utilities(times) == [tuf.utility(t) for t in times]
+
+
+class TestCriticalTimeGeneric:
+    """The default bisection inversion on the half-life curve."""
+
+    def test_nu_zero_gives_termination(self):
+        assert _HalfLife().critical_time(0.0) == pytest.approx(2.0)
+
+    def test_nu_one_gives_release(self):
+        # U(t) < U_max for every t > 0 on a strictly decreasing curve.
+        assert _HalfLife().critical_time(1.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_nu_half_matches_half_life(self):
+        assert _HalfLife().critical_time(0.5) == pytest.approx(1.0, abs=1e-6)
+
+    def test_inversion_consistency(self):
+        tuf = _HalfLife()
+        for nu in (0.3, 0.6, 0.9):
+            d = tuf.critical_time(nu)
+            assert tuf.utility(d) >= nu * tuf.max_utility - 1e-6
+
+    def test_rejects_negative_nu(self):
+        with pytest.raises(TUFError):
+            _HalfLife().critical_time(-0.1)
+
+    def test_rejects_nu_above_one(self):
+        with pytest.raises(TUFError):
+            _HalfLife().critical_time(1.5)
+
+
+class TestNonIncreasingCheck:
+    def test_decreasing_curve_passes(self):
+        assert _HalfLife().is_non_increasing()
+
+    def test_increasing_curve_fails(self):
+        class Rising(TUF):
+            def __init__(self):
+                super().__init__(termination=1.0)
+
+            def _utility(self, t):
+                return 1.0 + t
+
+        assert not Rising().is_non_increasing()
+
+    def test_linear_tuf_analytic_override(self):
+        assert LinearTUF(5.0, 1.0).is_non_increasing(samples=3)

@@ -1,0 +1,110 @@
+"""Tests for TUF transformations (repro.tuf.operations)."""
+
+import pytest
+
+from repro.tuf import (
+    LinearTUF,
+    StepTUF,
+    TUFError,
+    clamp,
+    scale,
+    shift,
+    utility_density,
+    validate,
+)
+
+
+class TestScale:
+    def test_scales_utility(self):
+        tuf = scale(LinearTUF(10.0, 1.0), 2.5)
+        assert tuf.utility(0.0) == pytest.approx(25.0)
+        assert tuf.utility(0.5) == pytest.approx(12.5)
+
+    def test_preserves_termination(self):
+        assert scale(LinearTUF(10.0, 1.0), 2.5).termination == 1.0
+
+    def test_preserves_critical_time(self):
+        inner = LinearTUF(10.0, 1.0)
+        assert scale(inner, 3.0).critical_time(0.4) == inner.critical_time(0.4)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(TUFError):
+            scale(LinearTUF(10.0, 1.0), 0.0)
+
+
+class TestShift:
+    def test_stretches_time_axis(self):
+        tuf = shift(LinearTUF(10.0, 1.0), 2.0)
+        assert tuf.termination == 2.0
+        assert tuf.utility(1.0) == pytest.approx(5.0)
+
+    def test_scales_critical_time(self):
+        inner = LinearTUF(10.0, 1.0)
+        assert shift(inner, 2.0).critical_time(0.3) == pytest.approx(
+            2.0 * inner.critical_time(0.3)
+        )
+
+    def test_compression(self):
+        tuf = shift(StepTUF(5.0, 1.0), 0.5)
+        assert tuf.termination == 0.5
+        assert tuf.utility(0.49) == 5.0
+        assert tuf.utility(0.5) == 0.0
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(TUFError):
+            shift(LinearTUF(10.0, 1.0), -1.0)
+
+
+class TestClamp:
+    def test_truncates(self):
+        tuf = clamp(LinearTUF(10.0, 1.0), 0.5)
+        assert tuf.termination == 0.5
+        assert tuf.utility(0.4) == pytest.approx(6.0)
+        assert tuf.utility(0.6) == 0.0
+
+    def test_critical_time_capped(self):
+        tuf = clamp(LinearTUF(10.0, 1.0), 0.5)
+        assert tuf.critical_time(0.1) == 0.5  # inner would say 0.9
+
+    def test_rejects_loosening(self):
+        with pytest.raises(TUFError):
+            clamp(LinearTUF(10.0, 1.0), 2.0)
+
+
+class TestValidate:
+    def test_accepts_paper_shapes(self):
+        validate(StepTUF(1.0, 1.0))
+        validate(LinearTUF(5.0, 0.3))
+
+    def test_rejects_increasing(self):
+        class Rising(LinearTUF):
+            def _utility(self, t):
+                return t  # increasing
+
+        with pytest.raises(TUFError):
+            validate(Rising(5.0, 1.0))
+
+
+class TestUtilityDensity:
+    def test_value(self):
+        assert utility_density(StepTUF(10.0, 1.0), 0.5, cycles=2.0) == pytest.approx(5.0)
+
+    def test_zero_past_deadline(self):
+        assert utility_density(StepTUF(10.0, 1.0), 1.5, cycles=2.0) == 0.0
+
+    def test_rejects_nonpositive_cycles(self):
+        with pytest.raises(TUFError):
+            utility_density(StepTUF(10.0, 1.0), 0.5, cycles=0.0)
+
+
+class TestComposition:
+    def test_scale_then_shift(self):
+        tuf = shift(scale(LinearTUF(10.0, 1.0), 2.0), 3.0)
+        assert tuf.max_utility == pytest.approx(20.0)
+        assert tuf.termination == pytest.approx(3.0)
+        assert tuf.utility(1.5) == pytest.approx(10.0)
+
+    def test_clamp_of_shift(self):
+        tuf = clamp(shift(StepTUF(4.0, 1.0), 2.0), 1.0)
+        assert tuf.utility(0.9) == 4.0
+        assert tuf.utility(1.1) == 0.0

@@ -1,0 +1,200 @@
+"""Tests for concrete TUF shapes (repro.tuf.shapes)."""
+
+import pytest
+
+from repro.tuf import (
+    ExponentialDecayTUF,
+    LinearTUF,
+    MultiStepTUF,
+    PiecewiseLinearTUF,
+    QuadraticDecayTUF,
+    StepTUF,
+    TabulatedTUF,
+    TUFError,
+)
+
+
+class TestStepTUF:
+    def test_constant_until_deadline(self):
+        tuf = StepTUF(height=10.0, deadline=0.5)
+        assert tuf.utility(0.0) == 10.0
+        assert tuf.utility(0.4999) == 10.0
+
+    def test_zero_at_deadline(self):
+        assert StepTUF(10.0, 0.5).utility(0.5) == 0.0
+
+    def test_deadline_equals_termination(self):
+        tuf = StepTUF(10.0, 0.5)
+        assert tuf.deadline == tuf.termination == 0.5
+
+    def test_max_utility(self):
+        assert StepTUF(7.0, 1.0).max_utility == 7.0
+
+    def test_rejects_nonpositive_height(self):
+        with pytest.raises(TUFError):
+            StepTUF(0.0, 1.0)
+
+    def test_critical_time_nu_one(self):
+        assert StepTUF(10.0, 0.5).critical_time(1.0) == 0.5
+
+    def test_critical_time_nu_zero(self):
+        assert StepTUF(10.0, 0.5).critical_time(0.0) == 0.5
+
+    def test_fractional_nu_rejected(self):
+        # Paper Section 2.2: step TUFs admit nu in {0, 1} only.
+        with pytest.raises(TUFError):
+            StepTUF(10.0, 0.5).critical_time(0.5)
+
+
+class TestLinearTUF:
+    def test_decays_to_zero_at_termination(self):
+        tuf = LinearTUF(10.0, 2.0)
+        assert tuf.utility(1.99999) == pytest.approx(0.0, abs=1e-3)
+
+    def test_midpoint_half_utility(self):
+        assert LinearTUF(10.0, 2.0).utility(1.0) == pytest.approx(5.0)
+
+    def test_slope_matches_paper_formula(self):
+        # Section 5.2: slope = U_max / P.
+        tuf = LinearTUF(30.0, 0.6)
+        assert tuf.slope == pytest.approx(50.0)
+
+    def test_critical_time_closed_form(self):
+        tuf = LinearTUF(10.0, 2.0)
+        assert tuf.critical_time(0.3) == pytest.approx(1.4)
+
+    def test_critical_time_nu_one(self):
+        assert LinearTUF(10.0, 2.0).critical_time(1.0) == 0.0
+
+    def test_rejects_nonpositive_umax(self):
+        with pytest.raises(TUFError):
+            LinearTUF(-1.0, 2.0)
+
+
+class TestPiecewiseLinearTUF:
+    def _awacs(self):
+        # Fig 1(a): full utility until t_c, then linear drop.
+        return PiecewiseLinearTUF([(0.0, 50.0), (0.1, 50.0), (0.2, 0.0)])
+
+    def test_flat_region(self):
+        assert self._awacs().utility(0.05) == pytest.approx(50.0)
+
+    def test_decay_region(self):
+        assert self._awacs().utility(0.15) == pytest.approx(25.0)
+
+    def test_termination_from_last_point(self):
+        assert self._awacs().termination == pytest.approx(0.2)
+
+    def test_critical_time_in_flat_region(self):
+        assert self._awacs().critical_time(1.0) == pytest.approx(0.1)
+
+    def test_critical_time_in_decay_region(self):
+        assert self._awacs().critical_time(0.5) == pytest.approx(0.15)
+
+    def test_critical_time_nu_zero(self):
+        assert self._awacs().critical_time(0.0) == pytest.approx(0.2)
+
+    def test_breakpoints_property(self):
+        assert self._awacs().breakpoints == [(0.0, 50.0), (0.1, 50.0), (0.2, 0.0)]
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(TUFError):
+            PiecewiseLinearTUF([(0.1, 1.0), (0.2, 0.0)])
+
+    def test_rejects_increasing_utilities(self):
+        with pytest.raises(TUFError):
+            PiecewiseLinearTUF([(0.0, 1.0), (0.1, 2.0)])
+
+    def test_rejects_non_monotone_times(self):
+        with pytest.raises(TUFError):
+            PiecewiseLinearTUF([(0.0, 2.0), (0.1, 1.0), (0.1, 0.5)])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(TUFError):
+            PiecewiseLinearTUF([(0.0, 1.0)])
+
+
+class TestMultiStepTUF:
+    def _corr(self):
+        # Fig 1(b): Uc_max until t_f, Um_max until 2 t_f.
+        return MultiStepTUF([(0.25, 30.0), (0.5, 12.0)])
+
+    def test_first_plateau(self):
+        assert self._corr().utility(0.1) == 30.0
+
+    def test_second_plateau(self):
+        assert self._corr().utility(0.3) == 12.0
+
+    def test_zero_after_last_step(self):
+        assert self._corr().utility(0.5) == 0.0
+
+    def test_max_utility(self):
+        assert self._corr().max_utility == 30.0
+
+    def test_critical_time_full_requirement(self):
+        assert self._corr().critical_time(1.0) == pytest.approx(0.25)
+
+    def test_critical_time_partial_requirement(self):
+        # 12/30 = 0.4: the second plateau still satisfies nu=0.4.
+        assert self._corr().critical_time(0.4) == pytest.approx(0.5)
+
+    def test_critical_time_unattainable_between_plateaus(self):
+        assert self._corr().critical_time(0.5) == pytest.approx(0.25)
+
+    def test_rejects_increasing_steps(self):
+        with pytest.raises(TUFError):
+            MultiStepTUF([(0.1, 5.0), (0.2, 6.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(TUFError):
+            MultiStepTUF([])
+
+
+class TestExponentialDecayTUF:
+    def test_decay_rate(self):
+        tuf = ExponentialDecayTUF(10.0, tau=1.0, termination=5.0)
+        assert tuf.utility(1.0) == pytest.approx(10.0 / 2.718281828, rel=1e-6)
+
+    def test_critical_time_closed_form(self):
+        tuf = ExponentialDecayTUF(10.0, tau=2.0, termination=50.0)
+        d = tuf.critical_time(0.5)
+        assert tuf.utility(d) == pytest.approx(5.0, rel=1e-9)
+
+    def test_critical_time_clamped_to_termination(self):
+        tuf = ExponentialDecayTUF(10.0, tau=100.0, termination=1.0)
+        assert tuf.critical_time(0.1) == 1.0
+
+    def test_rejects_nonpositive_tau(self):
+        with pytest.raises(TUFError):
+            ExponentialDecayTUF(10.0, tau=0.0, termination=1.0)
+
+
+class TestQuadraticDecayTUF:
+    def test_concavity_beats_linear_early(self):
+        quad = QuadraticDecayTUF(10.0, 1.0)
+        lin = LinearTUF(10.0, 1.0)
+        assert quad.utility(0.3) > lin.utility(0.3)
+
+    def test_zero_at_termination(self):
+        assert QuadraticDecayTUF(10.0, 1.0).utility(0.999999) == pytest.approx(0.0, abs=1e-4)
+
+    def test_critical_time_closed_form(self):
+        tuf = QuadraticDecayTUF(10.0, 1.0)
+        d = tuf.critical_time(0.75)
+        assert d == pytest.approx(0.5)
+        assert tuf.utility(d) == pytest.approx(7.5)
+
+
+class TestTabulatedTUF:
+    def test_interpolates_samples(self):
+        tuf = TabulatedTUF([10.0, 8.0, 4.0, 0.0], termination=3.0)
+        assert tuf.utility(0.5) == pytest.approx(9.0)
+        assert tuf.utility(1.5) == pytest.approx(6.0)
+
+    def test_rejects_increasing_samples(self):
+        with pytest.raises(TUFError):
+            TabulatedTUF([1.0, 2.0], termination=1.0)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(TUFError):
+            TabulatedTUF([1.0], termination=1.0)
