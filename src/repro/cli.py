@@ -11,6 +11,8 @@ Subcommands regenerate the paper's evaluation from a terminal::
     repro-eua simulate --load 1.2 --schedulers "EUA*" EDF
     repro-eua bound --load 0.6
     repro-eua ablate dvs|fopt|dvs-method|dasa
+    repro-eua trace --load 0.8 --jsonl
+    repro-eua stats --load 0.8 --repeats 3
 """
 
 from __future__ import annotations
@@ -251,6 +253,88 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _traced_run(args: argparse.Namespace, observer):
+    """One simulation with ``observer`` attached (trace/stats commands)."""
+    import numpy as np
+
+    from .experiments import synthesize_taskset
+    from .sim import Platform, materialize, simulate
+
+    rng = np.random.default_rng(args.seed)
+    taskset = synthesize_taskset(args.load, rng)
+    workload = materialize(taskset, args.horizon, rng)
+    result = simulate(
+        workload,
+        make_scheduler(args.scheduler),
+        Platform(energy_model=energy_setting(args.energy)),
+        record_trace=True,
+        observer=observer,
+    )
+    return workload, result
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import Observer, events_to_jsonl
+
+    observer = Observer(events=True, metrics=True)
+    workload, result = _traced_run(args, observer)
+
+    if args.jsonl or args.decisions:
+        # --jsonl: the execution trace (segments + engine events), the
+        # format Trace.from_jsonl round-trips.  --decisions: the richer
+        # structured decision log (EventLog JSONL).
+        text = events_to_jsonl(observer.events) if args.decisions else result.trace.to_jsonl()
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            sys.stdout.write(text)
+        return 0
+
+    trace = result.trace
+    events = observer.events
+    print(f"scheduler={args.scheduler} load={args.load} jobs={len(workload)} "
+          f"horizon={args.horizon}s")
+    print(f"segments={len(trace.segments)} engine-events={len(trace.events)} "
+          f"decision-events={len(events)}")
+    rows = []
+    for e in list(events)[-args.limit:]:
+        rows.append({
+            "seq": e.seq,
+            "t": f"{e.time:.6f}",
+            "kind": e.kind.value,
+            "job": e.job or "-",
+            "source": e.source,
+            "detail": ",".join(f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+                               for k, v in e.fields.items()),
+        })
+    print(ascii_table(rows, ["seq", "t", "kind", "job", "source", "detail"]))
+    print("(--jsonl for the machine-readable trace, --decisions for the "
+          "structured decision log)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import MetricsRegistry, Observer, Profiler
+    from .experiments import render_obs_summary
+
+    merged = MetricsRegistry()
+    pooled = Profiler()
+    base_seed = args.seed
+    for rep in range(args.repeats):
+        observer = Observer(events=False, metrics=True, profiling=True)
+        args.seed = base_seed + rep
+        _traced_run(args, observer)
+        merged.merge(observer.metrics)
+        pooled.merge(observer.profiler)
+    args.seed = base_seed
+    print(f"scheduler={args.scheduler} load={args.load} horizon={args.horizon}s "
+          f"repeats={args.repeats}")
+    print(render_obs_summary(merged, pooled))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-eua",
@@ -314,6 +398,32 @@ def build_parser() -> argparse.ArgumentParser:
     px.add_argument("--seeds", type=int, nargs="*")
     px.add_argument("--horizon", type=float, default=DEFAULT_HORIZON)
     px.set_defaults(func=_cmd_sensitivity)
+
+    def obs_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scheduler", default="EUA*")
+        p.add_argument("--load", type=float, default=0.8)
+        p.add_argument("--energy", default="E1", choices=list(TABLE2_NAMES))
+        p.add_argument("--horizon", type=float, default=2.0)
+        p.add_argument("--seed", type=int, default=11)
+
+    ptr = sub.add_parser("trace", help="dump one run's structured event trace")
+    obs_common(ptr)
+    ptr.add_argument("--jsonl", action="store_true",
+                     help="emit the execution trace as JSONL (Trace.from_jsonl "
+                          "round-trips it)")
+    ptr.add_argument("--decisions", action="store_true",
+                     help="emit the scheduler decision log as JSONL instead")
+    ptr.add_argument("--out", help="write JSONL to this path instead of stdout")
+    ptr.add_argument("--limit", type=int, default=20,
+                     help="decision events shown in the human-readable view "
+                          "(0 shows all)")
+    ptr.set_defaults(func=_cmd_trace)
+
+    pst = sub.add_parser("stats", help="run with metrics + profiling and summarise")
+    obs_common(pst)
+    pst.add_argument("--repeats", type=int, default=1,
+                     help="repetitions merged into one registry (seed, seed+1, ...)")
+    pst.set_defaults(func=_cmd_stats)
 
     pt = sub.add_parser("theorems", help="verify the timeliness theorems")
     pt.add_argument("--load", type=float, default=0.6)

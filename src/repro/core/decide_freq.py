@@ -42,6 +42,7 @@ import math
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..cpu import FrequencyScale
+from ..obs import EventKind
 from ..sim.job import Job
 from ..sim.scheduler import SchedulerView
 from ..sim.task import Task
@@ -188,6 +189,8 @@ def decide_freq(
     params: Dict[str, TaskParams],
     use_fopt_bound: bool = True,
     method: str = "lookahead",
+    observer=None,
+    source: str = "decide_freq",
 ) -> float:
     """Full ``decideFreq()``: the frequency at which to run ``exec_job``.
 
@@ -198,14 +201,44 @@ def decide_freq(
     would cost more *system* energy per cycle, so EUA* may increase —
     never decrease — the frequency (``use_fopt_bound=False`` is the AB3
     ablation knob).
+
+    With an :class:`repro.obs.Observer` attached, each call emits a
+    ``FREQ_DECISION`` event carrying the chosen level, the raw required
+    rate, and the UAM look-ahead window ``[t, D_n^a]`` that justified it
+    (the deferral anchor — the earliest critical time among tasks with
+    remaining window cycles).  The diagnostics are computed only on the
+    observed path.
     """
     try:
         rate_fn = _RATE_METHODS[method]
     except KeyError:
         raise ValueError(f"unknown DVS method {method!r}; expected {sorted(_RATE_METHODS)}")
     scale: FrequencyScale = view.scale
-    f_exe = scale.select_capped(rate_fn(view))
+    rate = rate_fn(view)
+    f_req = scale.select_capped(rate)
+    f_exe = f_req
     if use_fopt_bound:
         f_opt = params[exec_job.task.name].optimal_frequency
         f_exe = max(f_exe, f_opt)
+    if observer is not None and observer.events is not None:
+        anchor = min(
+            (
+                view.earliest_critical_time(task)
+                for task in view.taskset
+                if view.remaining_window_cycles(task) > 0.0
+            ),
+            default=math.inf,
+        )
+        observer.emit(
+            view.time,
+            EventKind.FREQ_DECISION,
+            exec_job.key,
+            source=source,
+            frequency=f_exe,
+            required_rate=rate,
+            method=method,
+            window_start=view.time,
+            window_end=anchor,
+            fopt_raised=f_exe > f_req,
+        )
     return f_exe

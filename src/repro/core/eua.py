@@ -33,8 +33,10 @@ infeasible jobs to expire on their own.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import EventKind
 from ..sim.scheduler import Decision, Scheduler, SchedulerView
 from ..sim.job import Job
 from ..sim.task import TaskSet
@@ -98,6 +100,9 @@ class EUAStar(Scheduler):
         t = view.time
         f_m = view.scale.f_max
         model = view.energy_model
+        obs = self.observer
+        profiling = obs is not None and obs.profiler is not None
+        t0 = perf_counter() if profiling else 0.0
 
         aborts: List[Job] = []
         ranked: List[Tuple[float, float, Job]] = []
@@ -105,6 +110,10 @@ class EUAStar(Scheduler):
             if not job_feasible(job, t, f_m):
                 if self.abort_infeasible and job.task.abortable:
                     aborts.append(job)
+                if obs is not None:
+                    obs.emit(t, EventKind.REJECT, job.key, source=self.name,
+                             reason="individually-infeasible")
+                    obs.inc("sigma_rejections", reason="individually-infeasible")
                 continue
             metric = self._metric(job, t, f_m, model)
             ranked.append((metric, job.critical_time, job))
@@ -114,14 +123,37 @@ class EUAStar(Scheduler):
         ranked.sort(key=lambda e: (-e[0], e[1], e[2].release, e[2].index))
 
         sigma: List[Job] = []
-        for metric, _, job in ranked:
+        for i, (metric, _, job) in enumerate(ranked):
             if metric <= 0.0:
+                if obs is not None:
+                    for m, _, late in ranked[i:]:
+                        obs.emit(t, EventKind.REJECT, late.key, source=self.name,
+                                 reason="nonpositive-uer", uer=m)
+                        obs.inc("sigma_rejections", reason="nonpositive-uer")
                 break  # sorted: no later job can have positive UER
             tentative = insert_by_critical_time(sigma, job)
-            if schedule_feasible(tentative, t, f_m):
+            if profiling:
+                t1 = perf_counter()
+                feasible = schedule_feasible(tentative, t, f_m)
+                obs.record(f"{self.name}.feasibility", perf_counter() - t1)
+            else:
+                feasible = schedule_feasible(tentative, t, f_m)
+            if feasible:
                 sigma = tentative
-            elif self.strict_insertion_break:
-                break
+                if obs is not None:
+                    obs.emit(t, EventKind.INSERT, job.key, source=self.name,
+                             uer=metric, position=tentative.index(job),
+                             sigma_len=len(tentative))
+                    obs.inc("sigma_insertions")
+            else:
+                if obs is not None:
+                    obs.emit(t, EventKind.REJECT, job.key, source=self.name,
+                             reason="insertion-infeasible", uer=metric)
+                    obs.inc("sigma_rejections", reason="insertion-infeasible")
+                if self.strict_insertion_break:
+                    break
+        if profiling:
+            obs.record(f"{self.name}.construct", perf_counter() - t0)
 
         if not sigma:
             return Decision(job=None, frequency=f_m, aborts=tuple(aborts))
@@ -129,13 +161,19 @@ class EUAStar(Scheduler):
         head = sigma[0]
         if self.use_dvs:
             working_view = view.without(aborts) if aborts else view
+            if profiling:
+                t1 = perf_counter()
             f_exe = decide_freq(
                 working_view,
                 head,
                 self._params,
                 use_fopt_bound=self.use_fopt_bound,
                 method=self.dvs_method,
+                observer=obs,
+                source=self.name,
             )
+            if profiling:
+                obs.record("decide_freq", perf_counter() - t1)
         else:
             f_exe = f_m
         return Decision(job=head, frequency=f_exe, aborts=tuple(aborts))

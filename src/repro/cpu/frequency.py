@@ -91,6 +91,22 @@ class FrequencyScale:
         return i < len(self._levels) and math.isclose(self._levels[i], f, rel_tol=1e-12)
 
     # ------------------------------------------------------------------
+    def _snap_index(self, x: float) -> Optional[int]:
+        """Index of the lowest level within float tolerance of ``x``.
+
+        Both :meth:`select` and :meth:`floor` treat a level within one
+        relative ULP-scale tolerance of the query as *equal* to it.  They
+        must agree on which level that is — when two adjacent levels are
+        both within tolerance, the lower one wins for both — otherwise
+        ``floor(x)`` could exceed ``at_least(x)`` by one ULP.
+        """
+        i = bisect_left(self._levels, x)
+        if i > 0 and math.isclose(self._levels[i - 1], x, rel_tol=1e-12):
+            return i - 1
+        if i < len(self._levels) and math.isclose(self._levels[i], x, rel_tol=1e-12):
+            return i
+        return None
+
     def select(self, demand: float) -> Optional[float]:
         """``selectFreq(x)``: lowest level ``>= demand``, else ``None``.
 
@@ -100,10 +116,11 @@ class FrequencyScale:
         """
         if demand <= 0.0:
             return self.f_min
+        # Float noise can land a demand one ULP off an exact level.
+        snap = self._snap_index(demand)
+        if snap is not None:
+            return self._levels[snap]
         i = bisect_left(self._levels, demand)
-        # bisect_left can land just past an exact match due to float noise.
-        if i > 0 and math.isclose(self._levels[i - 1], demand, rel_tol=1e-12):
-            return self._levels[i - 1]
         if i == len(self._levels):
             return None
         return self._levels[i]
@@ -116,9 +133,10 @@ class FrequencyScale:
 
     def floor(self, frequency: float) -> float:
         """Highest level ``<= frequency`` (lowest level if none)."""
+        snap = self._snap_index(frequency)
+        if snap is not None:
+            return self._levels[snap]
         i = bisect_left(self._levels, frequency)
-        if i < len(self._levels) and math.isclose(self._levels[i], frequency, rel_tol=1e-12):
-            return self._levels[i]
         return self._levels[max(0, i - 1)]
 
     def at_least(self, frequency: float) -> float:

@@ -23,7 +23,7 @@ from .config import (
 from .figure2 import FIGURE2_SCHEDULERS, Figure2Point, Figure2Result, run_figure2
 from .figure3 import Figure3Result, run_figure3
 from .persistence import from_json, load_result, save_result, to_json
-from .reporting import ascii_table, rows_to_csv, series_chart
+from .reporting import ascii_table, render_obs_summary, rows_to_csv, series_chart
 from .sensitivity import sweep_ladder_granularity, sweep_rho, sweep_taskset_size
 from .theorems import TheoremEvidence, check_assurances, check_edf_equivalence
 from .workload import synthesize_taskset
@@ -51,6 +51,7 @@ __all__ = [
     "check_edf_equivalence",
     "check_assurances",
     "ascii_table",
+    "render_obs_summary",
     "series_chart",
     "rows_to_csv",
     "run_policy_grid",

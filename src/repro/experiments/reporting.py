@@ -7,9 +7,9 @@ a reader can eyeball the reproduction without a plotting stack.
 from __future__ import annotations
 
 import io
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["ascii_table", "series_chart", "rows_to_csv"]
+__all__ = ["ascii_table", "series_chart", "rows_to_csv", "render_obs_summary"]
 
 
 def ascii_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str]) -> str:
@@ -60,6 +60,100 @@ def series_chart(
             bar = "#" * max(0, int(round(width * min(y, y_max) / y_max)))
             out.write(f"  x={x:<6g} {y:7.3f} |{bar}\n")
     return out.getvalue().rstrip("\n")
+
+
+def render_obs_summary(metrics=None, profiler=None) -> str:
+    """Human-readable summary of an observability capture.
+
+    ``metrics`` is a :class:`repro.obs.MetricsRegistry` (or ``None``),
+    ``profiler`` a :class:`repro.obs.Profiler` (or ``None``).  Sections:
+    per-frequency CPU residency, decision/outcome counters, gauges,
+    histogram percentiles, and hot-path timer latencies.
+    """
+    out = io.StringIO()
+
+    if metrics is not None:
+        residency = metrics.family("cpu_residency_seconds")
+        if residency:
+            total = sum(c.value for c in residency.values())
+            rows = []
+            for (_, labels), c in sorted(residency.items()):
+                row: Dict[str, object] = dict(labels)
+                row["seconds"] = c.value
+                row["share"] = c.value / total if total > 0.0 else 0.0
+                rows.append(row)
+            out.write("per-frequency residency\n")
+            out.write(ascii_table(rows, ["mhz", "state", "seconds", "share"]))
+            out.write("\n\n")
+
+        counters = [
+            (name, labels, c.value)
+            for (name, labels), c in sorted(metrics.counters().items())
+            if name != "cpu_residency_seconds"
+        ]
+        if counters:
+            rows = [
+                {"counter": name,
+                 "labels": ",".join(f"{k}={v}" for k, v in labels) or "-",
+                 "value": value}
+                for name, labels, value in counters
+            ]
+            out.write("counters\n")
+            out.write(ascii_table(rows, ["counter", "labels", "value"]))
+            out.write("\n\n")
+
+        gauges = sorted(metrics.gauges().items())
+        if gauges:
+            rows = [
+                {"gauge": name,
+                 "labels": ",".join(f"{k}={v}" for k, v in labels) or "-",
+                 "last": g.value, "mean": g.mean, "n": g.n}
+                for (name, labels), g in gauges
+            ]
+            out.write("gauges\n")
+            out.write(ascii_table(rows, ["gauge", "labels", "last", "mean", "n"]))
+            out.write("\n\n")
+
+        histograms = sorted(metrics.histograms().items())
+        if histograms:
+            rows = [
+                {"histogram": name,
+                 "labels": ",".join(f"{k}={v}" for k, v in labels) or "-",
+                 "count": h.count, "mean": h.mean,
+                 "p50": h.percentile(50.0), "p90": h.percentile(90.0),
+                 "p99": h.percentile(99.0), "max": h.max}
+                for (name, labels), h in histograms
+            ]
+            out.write("histograms\n")
+            out.write(ascii_table(
+                rows,
+                ["histogram", "labels", "count", "mean", "p50", "p90", "p99", "max"],
+            ))
+            out.write("\n\n")
+
+    if profiler is not None and len(profiler):
+        rows = []
+        for name, stat in profiler.stats().items():
+            rows.append({
+                "timer": name,
+                "count": int(stat["count"]),
+                "total_ms": stat["total"] * 1e3,
+                "mean_us": stat["mean"] * 1e6,
+                "p50_us": stat["p50"] * 1e6,
+                "p90_us": stat["p90"] * 1e6,
+                "p99_us": stat["p99"] * 1e6,
+                "max_us": stat["max"] * 1e6,
+            })
+        out.write("timers (decideFreq & friends)\n")
+        out.write(ascii_table(
+            rows,
+            ["timer", "count", "total_ms", "mean_us", "p50_us", "p90_us",
+             "p99_us", "max_us"],
+        ))
+        out.write("\n")
+
+    text = out.getvalue().rstrip("\n")
+    return text if text else "(no observability data captured)"
 
 
 def rows_to_csv(rows: Sequence[Mapping[str, object]], columns: Sequence[str]) -> str:

@@ -1,0 +1,47 @@
+"""Structured observability for the scheduler stack.
+
+Three sinks behind one :class:`Observer` facade:
+
+* :class:`EventLog` — typed scheduler-decision records (releases,
+  σ insertions/rejections with UER, aborts, expiries, completions,
+  ``decideFreq`` choices with their look-ahead window, dispatches,
+  preemptions, frequency switches);
+* :class:`MetricsRegistry` — counters, gauges and histograms
+  aggregated per run and mergeable across experiment repetitions;
+* :class:`Profiler` — opt-in ``perf_counter`` timers around the hot
+  paths with percentile reporting.
+
+Everything is zero-cost when disabled: producers take an
+``Optional[Observer]`` (default ``None``) and guard each site with a
+single branch.  See ``docs/observability.md`` for the event schema,
+metric names and CLI examples.
+"""
+
+from .events import Event, EventKind, EventLog
+from .jsonl import (
+    events_from_jsonl,
+    events_to_jsonl,
+    metrics_from_jsonl,
+    metrics_to_jsonl,
+    profile_to_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .observer import Observer
+from .profiling import Profiler
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventLog",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "Profiler",
+    "events_to_jsonl",
+    "events_from_jsonl",
+    "metrics_to_jsonl",
+    "metrics_from_jsonl",
+    "profile_to_jsonl",
+]

@@ -1,0 +1,127 @@
+"""JSONL export/import for event logs and metrics registries.
+
+One JSON object per line, ``type`` field first, so traces stream
+through standard tooling (``jq``, ``grep``, a columnar loader) and
+concatenating files from repeated runs is itself a valid log.  Floats
+serialise via ``repr`` (the :mod:`json` default), which round-trips
+IEEE doubles exactly — the import/export pair is lossless and the test
+suite asserts equality, not approximation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from .events import Event, EventKind, EventLog
+from .metrics import Gauge, Histogram, MetricsRegistry
+from .profiling import Profiler
+
+__all__ = [
+    "events_to_jsonl",
+    "events_from_jsonl",
+    "metrics_to_jsonl",
+    "metrics_from_jsonl",
+    "profile_to_jsonl",
+]
+
+
+# ----------------------------------------------------------------------
+# Event logs
+# ----------------------------------------------------------------------
+def events_to_jsonl(log: EventLog) -> str:
+    """Serialise an event log, one event per line."""
+    lines: List[str] = []
+    for e in log:
+        row = {
+            "type": "event",
+            "seq": e.seq,
+            "time": e.time,
+            "kind": e.kind.value,
+            "job": e.job,
+            "source": e.source,
+            "fields": e.fields,
+        }
+        lines.append(json.dumps(row, sort_keys=False))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def events_from_jsonl(text: str) -> EventLog:
+    """Rebuild an :class:`EventLog` from :func:`events_to_jsonl` output."""
+    log = EventLog()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        if row.get("type") != "event":
+            raise ValueError(f"line {lineno}: expected an event row, got {row.get('type')!r}")
+        log.append(
+            Event(
+                seq=int(row["seq"]),
+                time=float(row["time"]),
+                kind=EventKind(row["kind"]),
+                job=row.get("job"),
+                source=row.get("source", "engine"),
+                fields=dict(row.get("fields", {})),
+            )
+        )
+    return log
+
+
+# ----------------------------------------------------------------------
+# Metrics registries
+# ----------------------------------------------------------------------
+def metrics_to_jsonl(registry: MetricsRegistry) -> str:
+    """Serialise a registry, one instrument per line."""
+    lines: List[str] = []
+    for (name, labels), c in sorted(registry.counters().items()):
+        lines.append(json.dumps(
+            {"type": "counter", "name": name, "labels": dict(labels), "value": c.value}
+        ))
+    for (name, labels), g in sorted(registry.gauges().items()):
+        lines.append(json.dumps(
+            {"type": "gauge", "name": name, "labels": dict(labels),
+             "value": g.value, "total": g.total, "n": g.n}
+        ))
+    for (name, labels), h in sorted(registry.histograms().items()):
+        lines.append(json.dumps(
+            {"type": "histogram", "name": name, "labels": dict(labels),
+             "samples": h.samples}
+        ))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_from_jsonl(text: str) -> MetricsRegistry:
+    """Rebuild a :class:`MetricsRegistry` from :func:`metrics_to_jsonl`."""
+    registry = MetricsRegistry()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        kind = row.get("type")
+        labels: Dict[str, str] = dict(row.get("labels", {}))
+        if kind == "counter":
+            registry.counter(row["name"], **labels).inc(float(row["value"]))
+        elif kind == "gauge":
+            gauge = registry.gauge(row["name"], **labels)
+            gauge.value = float(row["value"])
+            gauge.total = float(row["total"])
+            gauge.n = int(row["n"])
+        elif kind == "histogram":
+            hist = registry.histogram(row["name"], **labels)
+            hist.samples.extend(float(s) for s in row["samples"])
+        else:
+            raise ValueError(f"line {lineno}: unknown instrument type {kind!r}")
+    return registry
+
+
+# ----------------------------------------------------------------------
+# Profiles (export only — a profile is a plain histogram family)
+# ----------------------------------------------------------------------
+def profile_to_jsonl(profiler: Profiler) -> str:
+    """Serialise timer distributions, one timer per line."""
+    lines = [
+        json.dumps({"type": "timer", "name": name, "samples": hist.samples})
+        for name, hist in sorted(profiler.timers.items())
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")

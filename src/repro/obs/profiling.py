@@ -1,0 +1,90 @@
+"""Opt-in wall-clock profiling of the scheduler hot paths.
+
+A :class:`Profiler` collects ``perf_counter`` durations per named
+section — schedule construction, feasibility checking, ``decideFreq()``
+and whole scheduler invocations — as histograms, so a run reports
+latency percentiles rather than a single total.
+
+Producers hold an ``Optional[Profiler]`` and hoist the ``is not None``
+check out of hot loops into a local boolean; when profiling is off the
+timer calls are never reached, so the engine's measured numbers stay
+benchmark-grade (see ``benchmarks/bench_obs_overhead.py``).
+
+Usage::
+
+    prof = Profiler()
+    t0 = perf_counter()
+    ...                      # hot section
+    prof.record("eua.construct", perf_counter() - t0)
+    prof.stats()["eua.construct"]["p99"]
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator
+
+from .metrics import Histogram
+
+__all__ = ["Profiler"]
+
+#: Percentiles reported by :meth:`Profiler.stats`.
+_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class Profiler:
+    """Named wall-clock timers with percentile reporting."""
+
+    __slots__ = ("timers",)
+
+    def __init__(self) -> None:
+        self.timers: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def record(self, name: str, seconds: float) -> None:
+        """Add one duration sample (seconds) to timer ``name``."""
+        hist = self.timers.get(name)
+        if hist is None:
+            hist = self.timers[name] = Histogram()
+        hist.observe(seconds)
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Context-manager form for non-hot-path sections."""
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "Profiler") -> None:
+        """Pool the sample sets of ``other`` into this profiler."""
+        for name, hist in other.timers.items():
+            mine = self.timers.get(name)
+            if mine is None:
+                mine = self.timers[name] = Histogram()
+            mine.samples.extend(hist.samples)
+            mine._sorted = None
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-timer summary: count, total, mean, p50/p90/p99, max (s)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, hist in sorted(self.timers.items()):
+            row = {
+                "count": float(hist.count),
+                "total": hist.total,
+                "mean": hist.mean,
+                "max": hist.max,
+            }
+            for p in _PERCENTILES:
+                row[f"p{p:g}"] = hist.percentile(p)
+            out[name] = row
+        return out
+
+    def __len__(self) -> int:
+        return len(self.timers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Profiler({sorted(self.timers)})"

@@ -21,6 +21,7 @@ it post hoc from the trace.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from ..core.decide_freq import decide_freq
@@ -28,6 +29,7 @@ from ..core.eua import job_uer
 from ..core.feasibility import insert_by_critical_time, job_feasible
 from ..core.offline import TaskParams, offline_computing
 from ..cpu import EnergyModel, FrequencyScale
+from ..obs import EventKind
 from ..sim.job import Job
 from ..sim.scheduler import Decision, Scheduler, SchedulerView
 from ..sim.task import TaskSet
@@ -89,6 +91,9 @@ class REUA(Scheduler):
         t = view.time
         f_m = view.scale.f_max
         model = view.energy_model
+        obs = self.observer
+        profiling = obs is not None and obs.profiler is not None
+        t0 = perf_counter() if profiling else 0.0
 
         aborts: List[Job] = []
         ranked: List[Tuple[float, Job]] = []
@@ -111,12 +116,29 @@ class REUA(Scheduler):
 
         ranked.sort(key=lambda e: (-e[0], e[1].critical_time, e[1].release, e[1].index))
 
+        # Every abort is now decided: resolve blocking against the
+        # post-abort ready set.  An aborted holder releases its resources
+        # the instant the engine applies the decision, so treating it as
+        # a live blocker would dispatch a job the engine no longer holds
+        # in its ready list.
+        working = view.without(aborts) if aborts else view
+
         sigma: List[Job] = []
         for uer, job in ranked:
             if uer <= 0.0:
                 break
-            if self._chain_feasible(sigma, job, view, f_m):
+            if self._chain_feasible(sigma, job, working, f_m):
                 sigma = insert_by_critical_time(sigma, job)
+                if obs is not None:
+                    obs.emit(t, EventKind.INSERT, job.key, source=self.name,
+                             uer=uer, sigma_len=len(sigma))
+                    obs.inc("sigma_insertions")
+            elif obs is not None:
+                obs.emit(t, EventKind.REJECT, job.key, source=self.name,
+                         reason="chain-infeasible", uer=uer)
+                obs.inc("sigma_rejections", reason="chain-infeasible")
+        if profiling:
+            obs.record(f"{self.name}.construct", perf_counter() - t0)
 
         if not sigma:
             return Decision(job=None, frequency=f_m, aborts=tuple(aborts))
@@ -126,23 +148,31 @@ class REUA(Scheduler):
         exec_job = head
         guard = 0
         while True:
-            blocker = self.resources.blocker_of(exec_job, view)
+            blocker = self.resources.blocker_of(exec_job, working)
             if blocker is None:
                 break
             exec_job = blocker
             guard += 1
-            if guard > len(view.ready) + 1:
+            if guard > len(working.ready) + 1:
                 raise RuntimeError("blocking cycle detected (should be impossible "
                                    "with whole-job critical sections)")
         if exec_job is not head:
             self.inherited_dispatches += 1
+            if obs is not None:
+                obs.emit(t, EventKind.INHERIT, exec_job.key, source=self.name,
+                         blocked_head=head.key, chain_depth=guard)
+                obs.inc("inherited_dispatches")
 
         if self.use_dvs:
-            working = view.without(aborts) if aborts else view
+            if profiling:
+                t1 = perf_counter()
             f_exe = decide_freq(
                 working, exec_job, self._params,
                 use_fopt_bound=self.use_fopt_bound, method=self.dvs_method,
+                observer=obs, source=self.name,
             )
+            if profiling:
+                obs.record("decide_freq", perf_counter() - t1)
         else:
             f_exe = f_m
         return Decision(job=exec_job, frequency=f_exe, aborts=tuple(aborts))

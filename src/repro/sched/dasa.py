@@ -22,10 +22,12 @@ ordering, decideFreq, f°), not to utility accrual itself.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 from ..core.feasibility import insert_by_critical_time, job_feasible, schedule_feasible
 from ..core.offline import MIN_UER_CYCLES
+from ..obs import EventKind
 from ..sim.job import Job
 from ..sim.scheduler import Decision, Scheduler, SchedulerView
 
@@ -61,12 +63,20 @@ class DASA(Scheduler):
             f = view.scale.at_least(f)
         f_max = view.scale.f_max
 
+        obs = self.observer
+        profiling = obs is not None and obs.profiler is not None
+        t0 = perf_counter() if profiling else 0.0
+
         aborts: List[Job] = []
         ranked: List[Tuple[float, float, Job]] = []
         for job in view.ready:
             if not job_feasible(job, t, f_max):
                 if self.abort_infeasible and job.task.abortable:
                     aborts.append(job)
+                if obs is not None:
+                    obs.emit(t, EventKind.REJECT, job.key, source=self.name,
+                             reason="individually-infeasible")
+                    obs.inc("sigma_rejections", reason="individually-infeasible")
                 continue
             c = max(job.remaining_budget, MIN_UER_CYCLES)
             # PUD: utility if completed after its remaining budget, per
@@ -83,6 +93,16 @@ class DASA(Scheduler):
             tentative = insert_by_critical_time(sigma, job)
             if schedule_feasible(tentative, t, f_max):
                 sigma = tentative
+                if obs is not None:
+                    obs.emit(t, EventKind.INSERT, job.key, source=self.name,
+                             pud=pud, sigma_len=len(tentative))
+                    obs.inc("sigma_insertions")
+            elif obs is not None:
+                obs.emit(t, EventKind.REJECT, job.key, source=self.name,
+                         reason="insertion-infeasible", pud=pud)
+                obs.inc("sigma_rejections", reason="insertion-infeasible")
+        if profiling:
+            obs.record(f"{self.name}.construct", perf_counter() - t0)
 
         head = sigma[0] if sigma else None
         return Decision(job=head, frequency=f, aborts=tuple(aborts))

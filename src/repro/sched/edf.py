@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs import EventKind
 from ..sim.scheduler import Decision, Scheduler, SchedulerView
 from ..sim.job import Job
 
@@ -53,4 +54,8 @@ class EDFStatic(Scheduler):
         if f not in view.scale:
             f = view.scale.at_least(f)
         job = edf_pick(view)
+        obs = self.observer
+        if obs is not None and job is not None:
+            obs.emit(view.time, EventKind.SELECT, job.key, source=self.name,
+                     deadline=job.critical_time, frequency=f)
         return Decision(job=job, frequency=f)

@@ -30,10 +30,12 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Deque, Dict, List, Optional
 
 from ..cpu import Processor, ProcessorStats
 from ..demand import DemandProfiler
+from ..obs import EventKind, Observer
 from .scheduler import Decision, Scheduler, SchedulerView, SchedulingEvent
 from .job import Job, JobStatus
 from .metrics import Metrics
@@ -83,12 +85,14 @@ class Engine:
         processor: Processor,
         record_trace: bool = False,
         profiler: Optional[DemandProfiler] = None,
+        observer: Optional[Observer] = None,
     ):
         self.workload = workload
         self.scheduler = scheduler
         self.processor = processor
         self.record_trace = bool(record_trace)
         self.profiler = profiler
+        self.observer = observer
         self.trace: Optional[Trace] = Trace() if record_trace else None
 
     # ------------------------------------------------------------------
@@ -97,6 +101,13 @@ class Engine:
         horizon = self.workload.horizon
         scheduler = self.scheduler
         cpu = self.processor
+
+        # Observability: `obs is None` must stay the zero-cost default —
+        # every instrumentation site below is guarded by one branch.
+        obs = self.observer
+        if obs is not None:
+            scheduler.bind_observer(obs)
+        profiling = obs is not None and obs.profiler is not None
 
         scheduler.setup(taskset, cpu.scale, cpu.model)
 
@@ -110,6 +121,8 @@ class Engine:
 
         t = 0.0
         event = SchedulingEvent.START
+        #: Job executing in the most recent segment (preemption detection).
+        last_running: Optional[Job] = None
         # Progress guard: every iteration must either advance time or
         # change the job population; bound the zero-progress streak.
         stall_guard = 0
@@ -125,6 +138,10 @@ class Engine:
                 recent_arrivals[job.task.name].append(job.release)
                 if self.trace is not None:
                     self.trace.add_event(t, TraceEventKind.RELEASE, job.key)
+                if obs is not None:
+                    obs.emit(t, EventKind.RELEASE, job.key,
+                             release=job.release, termination=job.termination)
+                    obs.inc("jobs_released", task=job.task.name)
                 arrival_idx += 1
                 event = SchedulingEvent.ARRIVAL
                 advanced = True
@@ -142,6 +159,10 @@ class Engine:
                     ready.remove(job)
                     if self.trace is not None:
                         self.trace.add_event(t, TraceEventKind.EXPIRE, job.key)
+                    if obs is not None:
+                        obs.emit(t, EventKind.EXPIRE, job.key,
+                                 executed=job.executed, demand=job.demand)
+                        obs.inc("jobs_expired", task=job.task.name)
                     event = SchedulingEvent.EXPIRY
                     advanced = True
 
@@ -150,7 +171,16 @@ class Engine:
 
             # --- consult the scheduler ---------------------------------
             view = self._build_view(t, ready, taskset, recent_arrivals, event)
-            decision = scheduler.decide(view)
+            if obs is not None:
+                obs.set_gauge("queue_depth", len(ready))
+                obs.observe("queue_depth_samples", len(ready))
+                obs.inc("scheduler_invocations", event=event.value)
+            if profiling:
+                t0 = perf_counter()
+                decision = scheduler.decide(view)
+                obs.record("engine.decide", perf_counter() - t0)
+            else:
+                decision = scheduler.decide(view)
             for job in decision.aborts:
                 if job.is_finished:
                     raise SimulationError(f"scheduler aborted finished job {job.key}")
@@ -160,6 +190,10 @@ class Engine:
                     ready.remove(job)
                 if self.trace is not None:
                     self.trace.add_event(t, TraceEventKind.ABORT, job.key)
+                if obs is not None:
+                    obs.emit(t, EventKind.ABORT, job.key,
+                             executed=job.executed, budget=job.allocated)
+                    obs.inc("jobs_aborted", task=job.task.name)
                 advanced = True
 
             running = decision.job
@@ -168,6 +202,7 @@ class Engine:
                     raise SimulationError(
                         f"scheduler selected non-ready job {running.key}"
                     )
+                freq_before = cpu.frequency
                 switch_overhead = cpu.set_frequency(decision.frequency)
                 if switch_overhead > 0.0:
                     # Charge the DVS transition as stalled (non-executing) time.
@@ -175,6 +210,26 @@ class Engine:
                     t = min(horizon, t + switch_overhead)
                 if self.trace is not None and switch_overhead >= 0.0:
                     self.trace.add_event(t, TraceEventKind.FREQ, value=cpu.frequency)
+                if obs is not None and cpu.frequency != freq_before:
+                    obs.emit(t, EventKind.FREQ_SWITCH, running.key,
+                             frequency=cpu.frequency, previous=freq_before,
+                             overhead=switch_overhead)
+                    obs.inc("freq_switches")
+
+            if obs is not None and running is not last_running:
+                if (
+                    last_running is not None
+                    and running is not None
+                    and last_running.status is JobStatus.PENDING
+                ):
+                    obs.emit(t, EventKind.PREEMPT, last_running.key,
+                             preempted_by=running.key)
+                    obs.inc("preemptions")
+                if running is not None:
+                    obs.emit(t, EventKind.DISPATCH, running.key,
+                             frequency=cpu.frequency,
+                             remaining_budget=running.remaining_budget)
+                    obs.inc("dispatches", task=running.task.name)
 
             # --- find the next event -----------------------------------
             t_arrival = jobs[arrival_idx].release if arrival_idx < n_jobs else math.inf
@@ -202,6 +257,12 @@ class Engine:
                 cpu.idle(dt)
                 if self.trace is not None:
                     self.trace.add_segment(t, t_next, None, cpu.frequency)
+            if obs is not None:
+                last_running = running
+                if dt > 0.0:
+                    obs.inc("cpu_residency_seconds", dt,
+                            mhz=f"{cpu.frequency:g}",
+                            state="busy" if running is not None else "idle")
             if dt > 0.0:
                 advanced = True
             t = t_next
@@ -219,6 +280,13 @@ class Engine:
                     self.trace.add_event(
                         t, TraceEventKind.COMPLETE, running.key, running.accrued_utility
                     )
+                if obs is not None:
+                    obs.emit(t, EventKind.COMPLETE, running.key,
+                             utility=running.accrued_utility,
+                             sojourn=t - running.release)
+                    obs.inc("jobs_completed", task=running.task.name)
+                    obs.observe("sojourn_seconds", t - running.release)
+                    last_running = None
                 event = SchedulingEvent.COMPLETION
                 advanced = True
 

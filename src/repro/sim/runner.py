@@ -13,6 +13,7 @@ import numpy as np
 
 from ..cpu import EnergyModel, FrequencyScale, Processor
 from ..demand import DemandProfiler
+from ..obs import Observer
 from .scheduler import Scheduler
 from .engine import Engine, SimulationResult
 from .task import TaskSet
@@ -84,12 +85,16 @@ def simulate(
     rng: Optional[np.random.Generator] = None,
     record_trace: bool = False,
     profiler: Optional[DemandProfiler] = None,
+    observer: Optional[Observer] = None,
 ) -> SimulationResult:
     """Run ``scheduler`` over ``workload`` and return the result.
 
     ``workload`` may be a pre-materialised :class:`WorkloadTrace`
     (reproducible, comparable across schedulers) or a :class:`TaskSet`
     plus ``horizon`` (materialised here from ``rng``/``seed``).
+    ``observer`` attaches an observability sink (event log, metrics,
+    profiling) to both the engine and the scheduler; ``None`` keeps the
+    run instrumentation-free.
     """
     platform = platform if platform is not None else Platform()
     trace = _as_workload(workload, horizon, rng, seed)
@@ -99,6 +104,7 @@ def simulate(
         platform.processor(),
         record_trace=record_trace,
         profiler=profiler,
+        observer=observer,
     )
     return engine.run()
 

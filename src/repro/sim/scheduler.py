@@ -184,10 +184,20 @@ class Scheduler(ABC):
         termination time passes (the exception-handler semantics of
         Section 2.2).  ``False`` reproduces the `-NA` (no-abort)
         comparison policies, which keep executing stale jobs.
+    observer:
+        Optional :class:`repro.obs.Observer` the policy emits decision
+        records and timings to.  ``None`` (the default) disables all
+        instrumentation; the engine binds its own observer here before
+        :meth:`setup` so schedulers and engine write to the same sinks.
     """
 
     name: str = "scheduler"
     abort_expired: bool = True
+    observer = None  # type: ignore[assignment]  # Optional[repro.obs.Observer]
+
+    def bind_observer(self, observer) -> None:
+        """Attach (or with ``None``, detach) an observability sink."""
+        self.observer = observer
 
     def setup(self, taskset: TaskSet, scale: FrequencyScale, energy_model: EnergyModel) -> None:
         """One-time initialisation before the simulation starts.

@@ -10,6 +10,7 @@ equivalence) checks, and make simulations debuggable.
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -84,6 +85,63 @@ class Trace:
     def add_event(self, time: float, kind: TraceEventKind, job_key: Optional[str] = None,
                   value: float = 0.0) -> None:
         self.events.append(TraceEvent(time, kind, job_key, value))
+
+    # ------------------------------------------------------------------
+    # JSONL round-trip
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Serialise the trace, one JSON object per line.
+
+        Two row types: ``segment`` (the execution timeline) and
+        ``event`` (the discrete markers).  Floats go through :mod:`json`
+        ``repr``, which round-trips IEEE doubles exactly, so
+        ``Trace.from_jsonl(trace.to_jsonl())`` reproduces the trace
+        bit-for-bit (asserted by the test suite).
+        """
+        lines: List[str] = []
+        for s in self.segments:
+            lines.append(json.dumps({
+                "type": "segment", "start": s.start, "end": s.end,
+                "job": s.job_key, "frequency": s.frequency,
+            }))
+        for e in self.events:
+            lines.append(json.dumps({
+                "type": "event", "time": e.time, "kind": e.kind.value,
+                "job": e.job_key, "value": e.value,
+            }))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trace":
+        """Rebuild a trace from :meth:`to_jsonl` output.
+
+        Rows append verbatim (no re-coalescing), preserving the exact
+        segment list the producer recorded.
+        """
+        trace = cls()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            kind = row.get("type")
+            if kind == "segment":
+                trace.segments.append(Segment(
+                    start=float(row["start"]), end=float(row["end"]),
+                    job_key=row.get("job"), frequency=float(row["frequency"]),
+                ))
+            elif kind == "event":
+                trace.events.append(TraceEvent(
+                    time=float(row["time"]), kind=TraceEventKind(row["kind"]),
+                    job_key=row.get("job"), value=float(row.get("value", 0.0)),
+                ))
+            else:
+                raise ValueError(f"line {lineno}: unknown trace row type {kind!r}")
+        return trace
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self.segments == other.segments and self.events == other.events
 
     # ------------------------------------------------------------------
     # Queries

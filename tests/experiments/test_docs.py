@@ -42,6 +42,21 @@ class TestTutorial:
         assert "OK" in out  # the validator line
 
 
+class TestObservability:
+    def test_all_blocks_execute(self):
+        blocks = _python_blocks(ROOT / "docs" / "observability.md")
+        assert len(blocks) >= 6
+        ns = {}
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            for block in blocks:
+                exec(compile(_shrink(block), "observability.md", "exec"), ns)
+        out = sink.getvalue()
+        assert "frequency decisions" in out
+        assert "fleet dispatches" in out
+        assert "decide_freq" in out  # the profiler and summary sections
+
+
 class TestReadme:
     def test_quickstart_block_executes(self):
         blocks = _python_blocks(ROOT / "README.md")

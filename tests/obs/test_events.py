@@ -1,0 +1,55 @@
+"""EventLog semantics: sequencing, filtering, ordering."""
+
+import pytest
+
+from repro.obs import Event, EventKind, EventLog
+
+
+def test_emit_assigns_monotonic_seq():
+    log = EventLog()
+    log.emit(0.0, EventKind.RELEASE, "T0:0")
+    log.emit(0.0, EventKind.INSERT, "T0:0", source="EUA*", uer=1.5)
+    log.emit(0.5, EventKind.COMPLETE, "T0:0", utility=10.0)
+    assert [e.seq for e in log] == [0, 1, 2]
+    assert len(log) == 3
+
+
+def test_fields_are_kept_per_event():
+    log = EventLog()
+    log.emit(0.1, EventKind.FREQ_DECISION, "T0:0", source="EUA*",
+             frequency=550.0, window_end=0.2, method="lookahead")
+    (e,) = log.of_kind(EventKind.FREQ_DECISION)
+    assert e.fields["frequency"] == 550.0
+    assert e.fields["method"] == "lookahead"
+    assert e.job == "T0:0"
+    assert e.source == "EUA*"
+
+
+def test_filters():
+    log = EventLog()
+    log.emit(0.0, EventKind.RELEASE, "A:0")
+    log.emit(0.0, EventKind.RELEASE, "B:0")
+    log.emit(0.2, EventKind.COMPLETE, "A:0")
+    assert [e.job for e in log.of_kind(EventKind.RELEASE)] == ["A:0", "B:0"]
+    assert [e.kind for e in log.for_job("A:0")] == [
+        EventKind.RELEASE,
+        EventKind.COMPLETE,
+    ]
+
+
+def test_time_ordering_check():
+    log = EventLog()
+    log.emit(0.0, EventKind.RELEASE, "A:0")
+    log.emit(1.0, EventKind.COMPLETE, "A:0")
+    assert log.is_time_ordered()
+    log.append(Event(seq=2, time=0.5, kind=EventKind.RELEASE, job="B:0"))
+    assert not log.is_time_ordered()
+
+
+def test_equality_is_structural():
+    a, b = EventLog(), EventLog()
+    a.emit(0.0, EventKind.RELEASE, "A:0", release=0.0)
+    b.emit(0.0, EventKind.RELEASE, "A:0", release=0.0)
+    assert a == b
+    b.emit(0.1, EventKind.ABORT, "A:0")
+    assert a != b

@@ -1,0 +1,79 @@
+"""MetricsRegistry: instruments, labels, and cross-repetition merging."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def test_counter_get_or_create_and_labels():
+    reg = MetricsRegistry()
+    reg.counter("jobs", task="A").inc()
+    reg.counter("jobs", task="A").inc(2.0)
+    reg.counter("jobs", task="B").inc()
+    assert reg.counter_value("jobs", task="A") == 3.0
+    assert reg.counter_value("jobs", task="B") == 1.0
+    assert reg.counter_value("jobs", task="missing") == 0.0
+    assert len(reg.family("jobs")) == 2
+
+
+def test_counter_rejects_negative():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("jobs").inc(-1.0)
+
+
+def test_gauge_tracks_last_and_mean():
+    reg = MetricsRegistry()
+    g = reg.gauge("queue_depth")
+    for depth in (1.0, 5.0, 3.0):
+        g.set(depth)
+    assert g.value == 3.0
+    assert g.mean == pytest.approx(3.0)
+    assert g.n == 3
+
+
+def test_histogram_percentiles_nearest_rank():
+    reg = MetricsRegistry()
+    h = reg.histogram("latency")
+    for v in range(1, 101):  # 1..100
+        h.observe(float(v))
+    assert h.percentile(50.0) == 50.0
+    assert h.percentile(90.0) == 90.0
+    assert h.percentile(99.0) == 99.0
+    assert h.percentile(100.0) == 100.0
+    assert h.count == 100
+    assert h.mean == pytest.approx(50.5)
+    with pytest.raises(ValueError):
+        h.percentile(101.0)
+
+
+def test_merge_aggregates_across_repetitions():
+    """The experiment-layer contract: per-run registries merge into
+    fleet totals — counters add, histograms pool, gauges keep a pooled
+    mean."""
+    runs = []
+    for rep in range(3):
+        reg = MetricsRegistry()
+        reg.counter("jobs_completed", task="A").inc(10.0 + rep)
+        reg.gauge("queue_depth").set(float(rep))
+        for v in (1.0, 2.0):
+            reg.histogram("sojourn").observe(v + rep)
+        runs.append(reg)
+
+    merged = MetricsRegistry.merged(runs)
+    assert merged.counter_value("jobs_completed", task="A") == 33.0
+    assert merged.gauge("queue_depth").mean == pytest.approx(1.0)
+    assert merged.gauge("queue_depth").n == 3
+    assert merged.histogram("sojourn").count == 6
+    assert merged.histogram("sojourn").percentile(100.0) == 4.0
+
+
+def test_merge_is_incremental_and_label_aware():
+    a = MetricsRegistry()
+    a.counter("residency", mhz="360").inc(0.5)
+    b = MetricsRegistry()
+    b.counter("residency", mhz="360").inc(0.25)
+    b.counter("residency", mhz="1000").inc(1.0)
+    a.merge(b)
+    assert a.counter_value("residency", mhz="360") == 0.75
+    assert a.counter_value("residency", mhz="1000") == 1.0
