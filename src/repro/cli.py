@@ -46,6 +46,7 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
         loads=args.loads or FIGURE2_LOADS,
         seeds=args.seeds or DEFAULT_SEEDS,
         horizon=args.horizon,
+        workers=args.workers,
     )
     print(f"Figure 2 — energy setting {result.energy_setting}")
     print(
@@ -70,6 +71,7 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
         loads=args.loads or FIGURE2_LOADS,
         seeds=args.seeds or DEFAULT_SEEDS,
         horizon=args.horizon,
+        workers=args.workers,
     )
     print("Figure 3 — normalised energy of EUA* under UAM <a, P>")
     print(ascii_table(result.rows(), ["a", "load", "norm_energy"]))
@@ -151,7 +153,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     trace = materialize(taskset, args.horizon, rng)
     platform = Platform(energy_model=energy_setting(args.energy))
-    runs = compare([make_scheduler(n) for n in args.schedulers], trace, platform=platform)
+    runs = compare(
+        [make_scheduler(n) for n in args.schedulers],
+        trace,
+        platform=platform,
+        workers=args.workers,
+    )
     rows = []
     for name, r in runs.items():
         rows.append(
@@ -218,13 +225,15 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
     seeds = tuple(args.seeds) if args.seeds else DEFAULT_SEEDS
     if args.which == "rho":
-        rows = sweep_rho(seeds=seeds, horizon=args.horizon)
+        rows = sweep_rho(seeds=seeds, horizon=args.horizon, workers=args.workers)
         cols = ["rho", "norm_energy", "utility", "min_attainment"]
     elif args.which == "size":
-        rows = sweep_taskset_size(seeds=seeds, horizon=args.horizon)
+        rows = sweep_taskset_size(seeds=seeds, horizon=args.horizon,
+                                  workers=args.workers)
         cols = ["n_tasks", "norm_energy", "utility", "min_attainment"]
     else:  # ladder
-        rows = sweep_ladder_granularity(seeds=seeds, horizon=args.horizon)
+        rows = sweep_ladder_granularity(seeds=seeds, horizon=args.horizon,
+                                        workers=args.workers)
         cols = ["levels", "norm_energy", "utility", "min_attainment"]
     print(f"sensitivity sweep: {args.which}")
     print(ascii_table(rows, cols))
@@ -236,17 +245,18 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
 
     seeds = tuple(args.seeds) if args.seeds else DEFAULT_SEEDS
     if args.which == "dvs":
-        rows = ablate_dvs(seeds=seeds, horizon=args.horizon)
+        rows = ablate_dvs(seeds=seeds, horizon=args.horizon, workers=args.workers)
         cols = ["load", "energy_ratio", "utility_dvs", "utility_fmax"]
     elif args.which == "fopt":
-        rows = ablate_fopt(seeds=seeds, horizon=args.horizon)
+        rows = ablate_fopt(seeds=seeds, horizon=args.horizon, workers=args.workers)
         cols = ["energy_setting", "with_fopt", "without_fopt"]
     elif args.which == "dvs-method":
-        rows = ablate_dvs_method(seeds=seeds, horizon=args.horizon)
+        rows = ablate_dvs_method(seeds=seeds, horizon=args.horizon,
+                                 workers=args.workers)
         cols = ["a", "lookahead_energy", "demand_energy",
                 "lookahead_utility", "demand_utility"]
     else:  # dasa
-        rows = ablate_dasa(seeds=seeds, horizon=args.horizon)
+        rows = ablate_dasa(seeds=seeds, horizon=args.horizon, workers=args.workers)
         cols = ["load", "eua_utility", "dasa_utility", "edf_utility", "energy_ratio"]
     print(f"ablation: {args.which}")
     print(ascii_table(rows, cols))
@@ -342,10 +352,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def workers_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=1,
+                       help="process-pool size for the sweep (1 = serial; "
+                            "results are identical at any setting)")
+
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--loads", type=float, nargs="*", help="load sweep points")
         p.add_argument("--seeds", type=int, nargs="*", help="replication seeds")
         p.add_argument("--horizon", type=float, default=DEFAULT_HORIZON)
+        workers_opt(p)
 
     p2 = sub.add_parser("figure2", help="normalised utility/energy vs load")
     p2.add_argument("--energy", default="E1", choices=list(TABLE2_NAMES))
@@ -370,6 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--seed", type=int, default=11)
     ps.add_argument("--schedulers", nargs="+",
                     default=["EUA*", "LA-EDF", "EDF"])
+    workers_opt(ps)
     ps.set_defaults(func=_cmd_simulate)
 
     pb = sub.add_parser("bound", help="compare EUA* energy to the YDS lower bound")
@@ -383,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
     pa.add_argument("which", choices=["dvs", "fopt", "dvs-method", "dasa"])
     pa.add_argument("--seeds", type=int, nargs="*")
     pa.add_argument("--horizon", type=float, default=DEFAULT_HORIZON)
+    workers_opt(pa)
     pa.set_defaults(func=_cmd_ablate)
 
     pv = sub.add_parser("validate", help="audit a traced run with the validator")
@@ -397,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     px.add_argument("which", choices=["rho", "size", "ladder"])
     px.add_argument("--seeds", type=int, nargs="*")
     px.add_argument("--horizon", type=float, default=DEFAULT_HORIZON)
+    workers_opt(px)
     px.set_defaults(func=_cmd_sensitivity)
 
     def obs_common(p: argparse.ArgumentParser) -> None:

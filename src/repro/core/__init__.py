@@ -7,29 +7,47 @@ from .decide_freq import (
     required_rate_demand,
     required_rate_lookahead,
 )
-from .eua import EUAStar, job_uer
+from .eua import EUAStar, job_uer, job_uer_reference
 from .feasibility import (
+    IncrementalSchedule,
     insert_by_critical_time,
+    insert_by_critical_time_reference,
     job_feasible,
+    job_feasible_reference,
     predicted_completions,
     schedule_feasible,
+    schedule_feasible_reference,
 )
-from .offline import TaskParams, offline_computing, task_uer, uer_optimal_frequency
+from .offline import (
+    TaskParams,
+    clear_offline_cache,
+    offline_computing,
+    offline_computing_reference,
+    task_uer,
+    uer_optimal_frequency,
+)
 
 __all__ = [
     "EUAStar",
     "job_uer",
+    "job_uer_reference",
     "decide_freq",
     "required_rate",
     "required_rate_demand",
     "required_rate_lookahead",
     "future_cycles_due",
     "job_feasible",
+    "job_feasible_reference",
     "schedule_feasible",
+    "schedule_feasible_reference",
     "insert_by_critical_time",
+    "insert_by_critical_time_reference",
     "predicted_completions",
+    "IncrementalSchedule",
     "TaskParams",
     "offline_computing",
+    "offline_computing_reference",
+    "clear_offline_cache",
     "task_uer",
     "uer_optimal_frequency",
 ]

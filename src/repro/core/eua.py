@@ -42,10 +42,15 @@ from ..sim.job import Job
 from ..sim.task import TaskSet
 from ..cpu import EnergyModel, FrequencyScale
 from .decide_freq import decide_freq
-from .feasibility import insert_by_critical_time, job_feasible, schedule_feasible
+from .feasibility import (
+    IncrementalSchedule,
+    insert_by_critical_time,
+    job_feasible,
+    schedule_feasible,
+)
 from .offline import MIN_UER_CYCLES, TaskParams, offline_computing
 
-__all__ = ["EUAStar", "job_uer"]
+__all__ = ["EUAStar", "job_uer", "job_uer_reference"]
 
 
 def job_uer(job: Job, now: float, f_max: float, model: EnergyModel) -> float:
@@ -57,6 +62,11 @@ def job_uer(job: Job, now: float, f_max: float, model: EnergyModel) -> float:
     c = max(job.remaining_budget, MIN_UER_CYCLES)
     utility = job.utility_at(now + c / f_max)
     return utility / (model.energy_per_cycle(f_max) * c)
+
+
+#: Reference alias for the differential test harness (the UER metric
+#: itself; the hot path reuses it via the memoized ``energy_per_cycle``).
+job_uer_reference = job_uer
 
 
 class EUAStar(Scheduler):
@@ -71,6 +81,7 @@ class EUAStar(Scheduler):
         ordering: str = "uer",
         strict_insertion_break: bool = False,
         dvs_method: str = "lookahead",
+        incremental: bool = True,
     ):
         if ordering not in ("uer", "utility_density"):
             raise ValueError(f"unknown ordering {ordering!r}")
@@ -83,6 +94,10 @@ class EUAStar(Scheduler):
         self.ordering = ordering
         self.strict_insertion_break = bool(strict_insertion_break)
         self.dvs_method = dvs_method
+        #: ``False`` rebuilds σ with the naive reference feasibility
+        #: functions — the oracle arm of the differential test harness.
+        #: Both paths are decision-for-decision bit-identical.
+        self.incremental = bool(incremental)
         self._params: Dict[str, TaskParams] = {}
 
     # ------------------------------------------------------------------
@@ -122,6 +137,88 @@ class EUAStar(Scheduler):
         # then release order for determinism.
         ranked.sort(key=lambda e: (-e[0], e[1], e[2].release, e[2].index))
 
+        if self.incremental:
+            head = self._build_sigma_incremental(ranked, t, f_m, obs, profiling)
+        else:
+            head = self._build_sigma_reference(ranked, t, f_m, obs, profiling)
+        if profiling:
+            obs.record(f"{self.name}.construct", perf_counter() - t0)
+
+        if head is None:
+            return Decision(job=None, frequency=f_m, aborts=tuple(aborts))
+        if self.use_dvs:
+            working_view = view.without(aborts) if aborts else view
+            if profiling:
+                t1 = perf_counter()
+            f_exe = decide_freq(
+                working_view,
+                head,
+                self._params,
+                use_fopt_bound=self.use_fopt_bound,
+                method=self.dvs_method,
+                observer=obs,
+                source=self.name,
+            )
+            if profiling:
+                obs.record("decide_freq", perf_counter() - t1)
+        else:
+            f_exe = f_m
+        return Decision(job=head, frequency=f_exe, aborts=tuple(aborts))
+
+    # ------------------------------------------------------------------
+    def _build_sigma_incremental(
+        self,
+        ranked: List[Tuple[float, float, Job]],
+        t: float,
+        f_m: float,
+        obs,
+        profiling: bool,
+    ) -> Optional[Job]:
+        """Lines 12–18 on the :class:`IncrementalSchedule` hot path.
+
+        Returns the head of σ (``None`` when σ stays empty).  Emits the
+        same observability events, in the same order, as the reference
+        builder.
+        """
+        sigma = IncrementalSchedule(t, f_m)
+        for i, (metric, _, job) in enumerate(ranked):
+            if metric <= 0.0:
+                if obs is not None:
+                    for m, _, late in ranked[i:]:
+                        obs.emit(t, EventKind.REJECT, late.key, source=self.name,
+                                 reason="nonpositive-uer", uer=m)
+                        obs.inc("sigma_rejections", reason="nonpositive-uer")
+                break  # sorted: no later job can have positive UER
+            if profiling:
+                t1 = perf_counter()
+                pos = sigma.try_insert(job)
+                obs.record(f"{self.name}.feasibility", perf_counter() - t1)
+            else:
+                pos = sigma.try_insert(job)
+            if pos >= 0:
+                if obs is not None:
+                    obs.emit(t, EventKind.INSERT, job.key, source=self.name,
+                             uer=metric, position=pos, sigma_len=len(sigma))
+                    obs.inc("sigma_insertions")
+            else:
+                if obs is not None:
+                    obs.emit(t, EventKind.REJECT, job.key, source=self.name,
+                             reason="insertion-infeasible", uer=metric)
+                    obs.inc("sigma_rejections", reason="insertion-infeasible")
+                if self.strict_insertion_break:
+                    break
+        return sigma.head
+
+    def _build_sigma_reference(
+        self,
+        ranked: List[Tuple[float, float, Job]],
+        t: float,
+        f_m: float,
+        obs,
+        profiling: bool,
+    ) -> Optional[Job]:
+        """Lines 12–18 with the naive copy-and-rewalk feasibility path
+        (the differential harness's oracle arm)."""
         sigma: List[Job] = []
         for i, (metric, _, job) in enumerate(ranked):
             if metric <= 0.0:
@@ -152,31 +249,7 @@ class EUAStar(Scheduler):
                     obs.inc("sigma_rejections", reason="insertion-infeasible")
                 if self.strict_insertion_break:
                     break
-        if profiling:
-            obs.record(f"{self.name}.construct", perf_counter() - t0)
-
-        if not sigma:
-            return Decision(job=None, frequency=f_m, aborts=tuple(aborts))
-
-        head = sigma[0]
-        if self.use_dvs:
-            working_view = view.without(aborts) if aborts else view
-            if profiling:
-                t1 = perf_counter()
-            f_exe = decide_freq(
-                working_view,
-                head,
-                self._params,
-                use_fopt_bound=self.use_fopt_bound,
-                method=self.dvs_method,
-                observer=obs,
-                source=self.name,
-            )
-            if profiling:
-                obs.record("decide_freq", perf_counter() - t1)
-        else:
-            f_exe = f_m
-        return Decision(job=head, frequency=f_exe, aborts=tuple(aborts))
+        return sigma[0] if sigma else None
 
     # ------------------------------------------------------------------
     def _metric(self, job: Job, t: float, f_m: float, model: EnergyModel) -> float:

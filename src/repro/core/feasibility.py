@@ -7,11 +7,30 @@ allocation — does not exceed the job's termination time.
 
 Prediction uses scheduler-visible budgets (``remaining_budget``), never
 true demands.
+
+Two implementations live here:
+
+* the **naive reference** functions (:func:`job_feasible`,
+  :func:`schedule_feasible`, :func:`insert_by_critical_time`), which
+  re-walk σ from scratch per probe — simple, obviously correct, and
+  kept importable under ``*_reference`` aliases as the equivalence
+  oracle for the differential test harness;
+* :class:`IncrementalSchedule`, the hot-path structure EUA*/REUA build
+  σ with: it maintains the critical-time order and the sequentially
+  folded prefix of predicted completion times, so an insertion probe
+  locates its position by bisection and re-folds only the *suffix* at
+  or after the insertion point instead of copying and re-walking the
+  whole schedule.  The suffix re-fold repeats the reference's exact
+  accumulation order, so every probe verdict — and therefore every
+  schedule, abort set, and frequency decision downstream — is
+  bit-identical to the naive path (see ``docs/performance.md`` for the
+  equivalence contract).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from bisect import bisect_right
+from typing import List, Optional, Sequence
 
 from ..sim.job import Job
 
@@ -20,6 +39,10 @@ __all__ = [
     "schedule_feasible",
     "insert_by_critical_time",
     "predicted_completions",
+    "job_feasible_reference",
+    "schedule_feasible_reference",
+    "insert_by_critical_time_reference",
+    "IncrementalSchedule",
 ]
 
 #: Completion-vs-termination comparisons tolerate this much slack so a
@@ -28,13 +51,26 @@ __all__ = [
 _EPS = 1e-12
 
 
+def _deadline_slack(job: Job) -> float:
+    """Feasibility tolerance for ``job``: ``_EPS`` scaled to the
+    magnitude of its termination time.
+
+    Shared by :func:`job_feasible`, :func:`schedule_feasible` and
+    :class:`IncrementalSchedule` so the single-job and whole-schedule
+    paths can never drift apart (they once duplicated the expression).
+    A completion is feasible iff it is more than this slack *before*
+    the termination time.
+    """
+    return _EPS * max(1.0, abs(job.termination))
+
+
 def job_feasible(job: Job, now: float, f_max: float) -> bool:
     """Can ``job`` alone finish its remaining budget before termination?
 
     Algorithm 1 line 10: individually infeasible jobs are aborted.
     """
     predicted = now + job.remaining_budget / f_max
-    return predicted < job.termination - _EPS * max(1.0, abs(job.termination))
+    return predicted < job.termination - _deadline_slack(job)
 
 
 def predicted_completions(sigma: Sequence[Job], now: float, f_max: float) -> List[float]:
@@ -52,7 +88,7 @@ def schedule_feasible(sigma: Sequence[Job], now: float, f_max: float) -> bool:
     t = now
     for job in sigma:
         t += job.remaining_budget / f_max
-        if t >= job.termination - _EPS * max(1.0, abs(job.termination)):
+        if t >= job.termination - _deadline_slack(job):
             return False
     return True
 
@@ -75,3 +111,92 @@ def insert_by_critical_time(sigma: Sequence[Job], job: Job) -> List[Job]:
             break
     out.insert(pos, job)
     return out
+
+
+#: The naive implementations above double as the reference oracle of the
+#: differential test harness; the aliases keep them importable under an
+#: unambiguous name even if the canonical ones are ever rebound.
+job_feasible_reference = job_feasible
+schedule_feasible_reference = schedule_feasible
+insert_by_critical_time_reference = insert_by_critical_time
+
+
+class IncrementalSchedule:
+    """σ under construction, with O(log n) insertion-point probes.
+
+    Maintains three parallel arrays — jobs in critical-time order, their
+    critical times (for bisection), and the *sequentially folded*
+    predicted completion times at ``f_max``.  :meth:`try_insert` probes
+    feasibility of σ with a candidate added:
+
+    * the insertion position comes from ``bisect_right`` on the critical
+      times (ties place the newcomer after existing entries, exactly
+      like :func:`insert_by_critical_time`);
+    * jobs *before* the position keep their completions bitwise
+      unchanged, and σ's invariant (it only grows through accepted
+      probes) guarantees they remain feasible — no re-check needed;
+    * the candidate and the jobs *after* it are re-folded in the
+      reference accumulation order, so each comparison sees the same
+      floats :func:`schedule_feasible` would compute on the full walk.
+
+    A probe that fails on the candidate's own completion costs O(log n);
+    an accepted or suffix-failing probe costs O(log n + |suffix|).
+    Because UER-ordered insertion tends to append near the tail of σ,
+    the suffix is typically empty and the amortized probe cost is
+    O(log n) — versus the reference's O(n) copy plus O(n) full re-walk
+    per candidate.
+    """
+
+    __slots__ = ("now", "f_max", "_jobs", "_crit", "_completions")
+
+    def __init__(self, now: float, f_max: float):
+        self.now = now
+        self.f_max = f_max
+        self._jobs: List[Job] = []
+        self._crit: List[float] = []
+        self._completions: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self):
+        return iter(self._jobs)
+
+    @property
+    def jobs(self) -> List[Job]:
+        """The current σ as a fresh list (critical-time order)."""
+        return list(self._jobs)
+
+    @property
+    def head(self) -> Optional[Job]:
+        return self._jobs[0] if self._jobs else None
+
+    def completions(self) -> List[float]:
+        """Predicted completion times, aligned with :attr:`jobs`."""
+        return list(self._completions)
+
+    # ------------------------------------------------------------------
+    def try_insert(self, job: Job) -> int:
+        """Insert ``job`` if σ stays feasible; return its position or -1.
+
+        On success σ is updated in place (position, critical-time and
+        completion arrays); on failure σ is untouched.  The verdict is
+        bit-identical to ``schedule_feasible(insert_by_critical_time(σ,
+        job), now, f_max)``.
+        """
+        pos = bisect_right(self._crit, job.critical_time)
+        f_max = self.f_max
+        t = self._completions[pos - 1] if pos else self.now
+        t += job.remaining_budget / f_max
+        if t >= job.termination - _deadline_slack(job):
+            return -1
+        suffix = [t]
+        for other in self._jobs[pos:]:
+            t += other.remaining_budget / f_max
+            if t >= other.termination - _deadline_slack(other):
+                return -1
+            suffix.append(t)
+        self._jobs.insert(pos, job)
+        self._crit.insert(pos, job.critical_time)
+        self._completions[pos:] = suffix
+        return pos

@@ -17,13 +17,21 @@ At ``t = 0`` EUA* computes, for each task ``T_i``:
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..cpu import EnergyModel, FrequencyScale
 from ..sim.task import Task, TaskSet
 
-__all__ = ["TaskParams", "task_uer", "uer_optimal_frequency", "offline_computing"]
+__all__ = [
+    "TaskParams",
+    "task_uer",
+    "uer_optimal_frequency",
+    "offline_computing",
+    "offline_computing_reference",
+    "clear_offline_cache",
+]
 
 #: Floor applied to cycle counts in UER denominators: a job whose budget
 #: is exhausted (actual demand overran ``c_i``) would otherwise divide by
@@ -43,7 +51,12 @@ def task_uer(task: Task, frequency: float, model: EnergyModel, start: float = 0.
     return task.tuf.utility(completion) / (c * model.energy_per_cycle(frequency))
 
 
-def uer_optimal_frequency(task: Task, scale: FrequencyScale, model: EnergyModel) -> float:
+def uer_optimal_frequency(
+    task: Task,
+    scale: FrequencyScale,
+    model: EnergyModel,
+    _epc: Optional[Mapping[float, float]] = None,
+) -> float:
     """``f°_i`` — the ladder level maximising :func:`task_uer`.
 
     Ties favour the level with lower energy per cycle, then the higher
@@ -51,12 +64,20 @@ def uer_optimal_frequency(task: Task, scale: FrequencyScale, model: EnergyModel)
     If every level yields zero UER (the allocation cannot finish inside
     the termination window even at ``f_max``), returns ``f_max`` — the
     task is hopeless at any speed, so don't slow others down.
+
+    ``_epc`` is an optional precomputed ``{level: E(f)}`` table so a
+    caller evaluating many tasks against one ladder (``offlineComputing``)
+    prices each level once instead of once per task per level.
     """
+    if _epc is None:
+        _epc = {f: model.energy_per_cycle(f) for f in scale.levels}
     best_f = scale.f_max
     best = (-1.0, 0.0, 0.0)
+    c = max(task.allocation, MIN_UER_CYCLES)
     for f in scale.levels:
-        uer = task_uer(task, f, model)
-        key = (uer, -model.energy_per_cycle(f), f)
+        epc = _epc[f]
+        uer = task.tuf.utility(c / f) / (c * epc)
+        key = (uer, -epc, f)
         if key > best:
             best = key
             best_f = f
@@ -79,15 +100,64 @@ class TaskParams:
         return self.allocation / self.critical_time
 
 
-def offline_computing(
+def offline_computing_reference(
     taskset: TaskSet, scale: FrequencyScale, model: EnergyModel
 ) -> Dict[str, TaskParams]:
-    """Compute ``{c_i, D_i, f°_i}`` for every task (Algorithm 1, line 3)."""
+    """Compute ``{c_i, D_i, f°_i}`` for every task (Algorithm 1, line 3).
+
+    The uncached reference: always recomputes from the task set.  The
+    memoized front-end :func:`offline_computing` must return equal
+    parameters (the differential suite asserts it).
+    """
+    epc = {f: model.energy_per_cycle(f) for f in scale.levels}
     params: Dict[str, TaskParams] = {}
     for task in taskset:
         params[task.name] = TaskParams(
             allocation=task.allocation,
             critical_time=task.critical_time,
-            optimal_frequency=uer_optimal_frequency(task, scale, model),
+            optimal_frequency=uer_optimal_frequency(task, scale, model, _epc=epc),
         )
     return params
+
+
+#: Memo for :func:`offline_computing`, keyed weakly by task-set identity
+#: so caches die with their task sets.  Inner key: the ladder levels and
+#: energy-model coefficients (both fully determine the result for a
+#: fixed task set — task parameters are frozen after construction).
+_OFFLINE_CACHE: "weakref.WeakKeyDictionary[TaskSet, Dict[tuple, Dict[str, TaskParams]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _platform_key(scale: FrequencyScale, model: EnergyModel) -> Tuple:
+    return (tuple(scale.levels), model.s3, model.s2, model.s1, model.s0)
+
+
+def clear_offline_cache() -> None:
+    """Drop every memoized ``offlineComputing`` result (test hook)."""
+    _OFFLINE_CACHE.clear()
+
+
+def offline_computing(
+    taskset: TaskSet, scale: FrequencyScale, model: EnergyModel
+) -> Dict[str, TaskParams]:
+    """Memoized ``offlineComputing(T)``.
+
+    Repeated runs over the same task set — every scheduler variant in a
+    ``compare()``, every repetition of an ablation arm — share one
+    computation per (task set, ladder, energy model).  Callers receive
+    a fresh dict (the :class:`TaskParams` values are frozen), so no run
+    can corrupt another's parameters.
+    """
+    try:
+        by_platform = _OFFLINE_CACHE.get(taskset)
+    except TypeError:  # unhashable/un-weakref-able stand-in: skip the cache
+        return offline_computing_reference(taskset, scale, model)
+    if by_platform is None:
+        by_platform = {}
+        _OFFLINE_CACHE[taskset] = by_platform
+    key = _platform_key(scale, model)
+    params = by_platform.get(key)
+    if params is None:
+        params = by_platform[key] = offline_computing_reference(taskset, scale, model)
+    return dict(params)

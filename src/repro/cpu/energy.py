@@ -51,6 +51,12 @@ class EnergyModel:
                 raise EnergyError(f"{label} must be finite and >= 0, got {v!r}")
         if self.s3 == self.s2 == self.s1 == self.s0 == 0.0:
             raise EnergyError("at least one coefficient must be positive")
+        # Per-frequency memo for energy_per_cycle: the scheduler hot
+        # paths price the same handful of ladder levels millions of
+        # times per sweep (UER denominators, quantisation, accounting).
+        # Values are the cached results of the exact computation, so
+        # observable behaviour is bit-identical with or without it.
+        object.__setattr__(self, "_epc_cache", {})
 
     # ------------------------------------------------------------------
     # Paper presets (Table 2).  The scanned coefficients are OCR-damaged;
@@ -89,11 +95,19 @@ class EnergyModel:
 
     # ------------------------------------------------------------------
     def energy_per_cycle(self, frequency: float) -> float:
-        """``E(f)`` — expected energy for one (M)cycle at ``frequency``."""
-        if frequency <= 0.0:
-            raise EnergyError(f"frequency must be > 0, got {frequency!r}")
-        f = frequency
-        return self.s3 * f * f + self.s2 * f + self.s1 + self.s0 / f
+        """``E(f)`` — expected energy for one (M)cycle at ``frequency``.
+
+        Memoized per frequency (only valid frequencies are cached, so
+        the ``frequency <= 0`` check still fires on every bad call).
+        """
+        epc = self._epc_cache.get(frequency)
+        if epc is None:
+            if frequency <= 0.0:
+                raise EnergyError(f"frequency must be > 0, got {frequency!r}")
+            f = frequency
+            epc = self.s3 * f * f + self.s2 * f + self.s1 + self.s0 / f
+            self._epc_cache[frequency] = epc
+        return epc
 
     def power(self, frequency: float) -> float:
         """Dynamic system power ``P(f) = f · E(f)``."""

@@ -20,8 +20,24 @@ from .config import (
     AppSetting,
     energy_setting,
 )
-from .figure2 import FIGURE2_SCHEDULERS, Figure2Point, Figure2Result, run_figure2
-from .figure3 import Figure3Result, run_figure3
+from .figure2 import (
+    FIGURE2_SCHEDULERS,
+    Figure2Point,
+    Figure2Result,
+    figure2_units,
+    run_figure2,
+)
+from .figure3 import Figure3Result, figure3_units, run_figure3
+from .parallel import (
+    CompareOutcome,
+    CompareUnit,
+    PlatformSpec,
+    SchedulerSpec,
+    WorkloadSpec,
+    merged_metrics,
+    run_sweep,
+    run_units,
+)
 from .persistence import from_json, load_result, save_result, to_json
 from .reporting import ascii_table, render_obs_summary, rows_to_csv, series_chart
 from .sensitivity import sweep_ladder_granularity, sweep_rho, sweep_taskset_size
@@ -45,8 +61,18 @@ __all__ = [
     "Figure2Point",
     "Figure2Result",
     "run_figure2",
+    "figure2_units",
     "Figure3Result",
     "run_figure3",
+    "figure3_units",
+    "SchedulerSpec",
+    "WorkloadSpec",
+    "PlatformSpec",
+    "CompareUnit",
+    "CompareOutcome",
+    "run_units",
+    "run_sweep",
+    "merged_metrics",
     "TheoremEvidence",
     "check_edf_equivalence",
     "check_assurances",

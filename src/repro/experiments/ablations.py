@@ -8,7 +8,7 @@ plain row dictionaries compatible with
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -16,6 +16,7 @@ from ..core import EUAStar
 from ..sched import DASA, EDFStatic
 from ..sim import Platform, SimulationResult, compare, materialize
 from .config import DEFAULT_HORIZON, DEFAULT_SEEDS, energy_setting
+from .parallel import CompareUnit, PlatformSpec, SchedulerSpec, WorkloadSpec, run_units
 from .workload import synthesize_taskset
 
 __all__ = [
@@ -26,9 +27,13 @@ __all__ = [
     "ablate_dasa",
 ]
 
+#: A grid arm: a picklable spec (parallelisable) or a bare factory
+#: callable (legacy; serial only).
+PolicyArm = Union[SchedulerSpec, Callable[[], object]]
+
 
 def run_policy_grid(
-    factories: Sequence[Callable[[], object]],
+    factories: Sequence[PolicyArm],
     load: float,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     horizon: float = DEFAULT_HORIZON,
@@ -39,14 +44,49 @@ def run_policy_grid(
     arrival_mode: str = "periodic",
     burst_override: Optional[int] = None,
     idle_power: float = 0.0,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
 ) -> Dict[str, List[SimulationResult]]:
-    """Run scheduler factories over shared per-seed workloads.
+    """Run scheduler arms over shared per-seed workloads.
 
     Returns ``{scheduler name: [result per seed]}`` — the primitive
-    behind every ablation bench.
+    behind every ablation bench.  Arms given as :class:`SchedulerSpec`
+    shard across a process pool with ``workers > 1`` (results merged in
+    seed order, identical to serial); bare factory callables are
+    supported for backwards compatibility but run serially.
     """
+    if all(isinstance(f, SchedulerSpec) for f in factories):
+        units = [
+            CompareUnit(
+                key=(seed,),
+                schedulers=tuple(factories),
+                workload=WorkloadSpec(
+                    load=load,
+                    seed=seed,
+                    horizon=horizon,
+                    tuf_shape=tuf_shape,
+                    nu=nu,
+                    rho=rho,
+                    arrival_mode=arrival_mode,
+                    burst_override=burst_override,
+                ),
+                platform=PlatformSpec(energy=energy, idle_power=idle_power),
+            )
+            for seed in seeds
+        ]
+        outcomes = run_units(units, max_workers=workers, chunksize=chunksize)
+        out: Dict[str, List[SimulationResult]] = {}
+        for outcome in outcomes:
+            for name, result in outcome.results.items():
+                out.setdefault(name, []).append(result)
+        return out
+    if workers > 1:
+        raise ValueError(
+            "workers > 1 requires every arm to be a SchedulerSpec "
+            "(bare factory callables cannot be pickled to worker processes)"
+        )
     platform = Platform(energy_model=energy_setting(energy), idle_power=idle_power)
-    out: Dict[str, List[SimulationResult]] = {}
+    out = {}
     for seed in seeds:
         rng = np.random.default_rng(seed)
         taskset = synthesize_taskset(
@@ -73,13 +113,15 @@ def ablate_dvs(
     loads: Sequence[float] = (0.4, 0.8),
     seeds: Sequence[int] = DEFAULT_SEEDS,
     horizon: float = DEFAULT_HORIZON,
+    workers: int = 1,
 ) -> List[Dict[str, float]]:
     """AB2: decideFreq on vs pinned f_max."""
     rows = []
     for load in loads:
         out = run_policy_grid(
-            [lambda: EUAStar(name="EUA*"), lambda: EUAStar(name="noDVS", use_dvs=False)],
-            load=load, seeds=seeds, horizon=horizon,
+            [SchedulerSpec.of(EUAStar, name="EUA*"),
+             SchedulerSpec.of(EUAStar, name="noDVS", use_dvs=False)],
+            load=load, seeds=seeds, horizon=horizon, workers=workers,
         )
         rows.append(
             {
@@ -97,17 +139,18 @@ def ablate_fopt(
     load: float = 0.5,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     horizon: float = DEFAULT_HORIZON,
+    workers: int = 1,
 ) -> List[Dict[str, float]]:
     """AB3: the f° lower bound per energy setting."""
     rows = []
     for energy in ("E1", "E2", "E3"):
         out = run_policy_grid(
             [
-                lambda: EUAStar(name="EUA*"),
-                lambda: EUAStar(name="noFopt", use_fopt_bound=False),
-                lambda: EUAStar(name="fmax", use_dvs=False),
+                SchedulerSpec.of(EUAStar, name="EUA*"),
+                SchedulerSpec.of(EUAStar, name="noFopt", use_fopt_bound=False),
+                SchedulerSpec.of(EUAStar, name="fmax", use_dvs=False),
             ],
-            load=load, seeds=seeds, horizon=horizon, energy=energy,
+            load=load, seeds=seeds, horizon=horizon, energy=energy, workers=workers,
         )
         base = _mean(out["fmax"], lambda r: r.energy)
         rows.append(
@@ -125,19 +168,20 @@ def ablate_dvs_method(
     bursts: Sequence[int] = (1, 3),
     seeds: Sequence[int] = DEFAULT_SEEDS,
     horizon: float = DEFAULT_HORIZON,
+    workers: int = 1,
 ) -> List[Dict[str, float]]:
     """AB7: Algorithm-2 look-ahead vs the safe processor-demand rate."""
     rows = []
     for a in bursts:
         out = run_policy_grid(
             [
-                lambda: EUAStar(name="LA", dvs_method="lookahead"),
-                lambda: EUAStar(name="PD", dvs_method="demand"),
-                lambda: EUAStar(name="noDVS", use_dvs=False),
+                SchedulerSpec.of(EUAStar, name="LA", dvs_method="lookahead"),
+                SchedulerSpec.of(EUAStar, name="PD", dvs_method="demand"),
+                SchedulerSpec.of(EUAStar, name="noDVS", use_dvs=False),
             ],
             load=load, seeds=seeds, horizon=horizon,
             tuf_shape="linear", nu=0.3, rho=0.9,
-            arrival_mode="poisson", burst_override=a,
+            arrival_mode="poisson", burst_override=a, workers=workers,
         )
         base = _mean(out["noDVS"], lambda r: r.energy)
         rows.append(
@@ -156,14 +200,16 @@ def ablate_dasa(
     loads: Sequence[float] = (0.6, 1.5),
     seeds: Sequence[int] = DEFAULT_SEEDS,
     horizon: float = DEFAULT_HORIZON,
+    workers: int = 1,
 ) -> List[Dict[str, float]]:
     """AB8: EUA* vs the energy-oblivious DASA baseline."""
     rows = []
     for load in loads:
         out = run_policy_grid(
-            [lambda: EUAStar(name="EUA*"), lambda: DASA(name="DASA"),
-             lambda: EDFStatic(name="EDF")],
-            load=load, seeds=seeds, horizon=horizon,
+            [SchedulerSpec.of(EUAStar, name="EUA*"),
+             SchedulerSpec.of(DASA, name="DASA"),
+             SchedulerSpec.of(EDFStatic, name="EDF")],
+            load=load, seeds=seeds, horizon=horizon, workers=workers,
         )
         rows.append(
             {

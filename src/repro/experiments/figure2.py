@@ -15,11 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..analysis.stats import SummaryStat, normalized_series
-from ..sched import make_scheduler
-from ..sim import Platform, compare, materialize
 from .config import (
     DEFAULT_HORIZON,
     DEFAULT_SEEDS,
@@ -27,9 +23,15 @@ from .config import (
     FIGURE2_REQUIREMENT,
     TABLE1,
 )
-from .workload import synthesize_taskset
+from .parallel import CompareUnit, PlatformSpec, SchedulerSpec, WorkloadSpec, run_units
 
-__all__ = ["Figure2Point", "Figure2Result", "run_figure2", "FIGURE2_SCHEDULERS"]
+__all__ = [
+    "Figure2Point",
+    "Figure2Result",
+    "run_figure2",
+    "figure2_units",
+    "FIGURE2_SCHEDULERS",
+]
 
 #: The figure's series: EUA*, the strongest RT-DVS baseline with
 #: abortion, its no-abort variant, and the EDF@f_max normaliser.
@@ -76,6 +78,41 @@ class Figure2Result:
         return out
 
 
+def figure2_units(
+    energy_setting_name: str = "E1",
+    loads: Sequence[float] = FIGURE2_LOADS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    horizon: float = DEFAULT_HORIZON,
+    scheduler_names: Sequence[str] = FIGURE2_SCHEDULERS,
+    apps=TABLE1,
+    f_max: float = 1000.0,
+) -> List[CompareUnit]:
+    """The sweep decomposed into independent (load, seed) units."""
+    nu, rho = FIGURE2_REQUIREMENT
+    schedulers = tuple(SchedulerSpec.registry(n) for n in scheduler_names)
+    platform = PlatformSpec(energy=energy_setting_name, f_max=f_max)
+    return [
+        CompareUnit(
+            key=(load, seed),
+            schedulers=schedulers,
+            workload=WorkloadSpec(
+                load=load,
+                seed=seed,
+                horizon=horizon,
+                tuf_shape="step",
+                nu=nu,
+                rho=rho,
+                arrival_mode="periodic",
+                apps=tuple(apps),
+                f_max=f_max,
+            ),
+            platform=platform,
+        )
+        for load in loads
+        for seed in seeds
+    ]
+
+
 def run_figure2(
     energy_setting_name: str = "E1",
     loads: Sequence[float] = FIGURE2_LOADS,
@@ -84,37 +121,29 @@ def run_figure2(
     scheduler_names: Sequence[str] = FIGURE2_SCHEDULERS,
     apps=TABLE1,
     f_max: float = 1000.0,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
 ) -> Figure2Result:
     """Run the Figure 2 experiment for one energy setting.
 
     Every (load, seed) pair synthesises a fresh periodic step-TUF task
     set and materialises one workload trace; all schedulers then run on
-    that identical trace.
+    that identical trace.  ``workers > 1`` shards the (load, seed)
+    units across a process pool; the merge preserves (load, seed)
+    order, so the result is identical to the serial sweep.
     """
-    from .config import energy_setting  # local import to avoid cycles
-
     if BASELINE not in scheduler_names:
         raise ValueError(f"scheduler list must include the {BASELINE!r} normaliser")
-    nu, rho = FIGURE2_REQUIREMENT
-    platform = Platform.powernow_k6(energy_setting(energy_setting_name, f_max))
+    units = figure2_units(
+        energy_setting_name, loads, seeds, horizon, scheduler_names, apps, f_max
+    )
+    outcomes = run_units(units, max_workers=workers, chunksize=chunksize)
+    by_load: Dict[float, List[Dict[str, object]]] = {}
+    for outcome in outcomes:
+        by_load.setdefault(outcome.key[0], []).append(outcome.results)
     result = Figure2Result(energy_setting=energy_setting_name)
     for load in loads:
-        runs = []
-        for seed in seeds:
-            rng = np.random.default_rng(seed)
-            taskset = synthesize_taskset(
-                target_load=load,
-                rng=rng,
-                apps=apps,
-                tuf_shape="step",
-                nu=nu,
-                rho=rho,
-                f_max=f_max,
-                arrival_mode="periodic",
-            )
-            trace = materialize(taskset, horizon, rng)
-            schedulers = [make_scheduler(n) for n in scheduler_names]
-            runs.append(compare(schedulers, trace, platform=platform))
+        runs = by_load[load]
         result.points.append(
             Figure2Point(
                 load=load,

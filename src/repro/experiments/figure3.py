@@ -15,13 +15,10 @@ arrivals spoil slack estimation (at ϱ=0.5 the paper reads ≈0.26 for
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.stats import SummaryStat, summarize
 from ..core import EUAStar
-from ..sim import Platform, compare, materialize
 from .config import (
     DEFAULT_HORIZON,
     DEFAULT_SEEDS,
@@ -29,11 +26,10 @@ from .config import (
     FIGURE3_LOADS,
     FIGURE3_REQUIREMENT,
     TABLE1,
-    energy_setting,
 )
-from .workload import synthesize_taskset
+from .parallel import CompareUnit, PlatformSpec, SchedulerSpec, WorkloadSpec, run_units
 
-__all__ = ["Figure3Result", "run_figure3"]
+__all__ = ["Figure3Result", "run_figure3", "figure3_units"]
 
 
 @dataclass
@@ -54,6 +50,46 @@ class Figure3Result:
         return out
 
 
+def figure3_units(
+    bursts: Sequence[int] = FIGURE3_BURSTS,
+    loads: Sequence[float] = FIGURE3_LOADS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    horizon: float = DEFAULT_HORIZON,
+    apps=TABLE1,
+    f_max: float = 1000.0,
+    energy_setting_name: str = "E1",
+) -> List[CompareUnit]:
+    """The sweep decomposed into independent (a, load, seed) units."""
+    nu, rho = FIGURE3_REQUIREMENT
+    schedulers = (
+        SchedulerSpec.of(EUAStar, name="EUA*"),
+        SchedulerSpec.of(EUAStar, name="EUA*-noDVS", use_dvs=False),
+    )
+    platform = PlatformSpec(energy=energy_setting_name, f_max=f_max)
+    return [
+        CompareUnit(
+            key=(a, load, seed),
+            schedulers=schedulers,
+            workload=WorkloadSpec(
+                load=load,
+                seed=seed,
+                horizon=horizon,
+                tuf_shape="linear",
+                nu=nu,
+                rho=rho,
+                arrival_mode="poisson",
+                burst_override=a,
+                apps=tuple(apps),
+                f_max=f_max,
+            ),
+            platform=platform,
+        )
+        for a in bursts
+        for load in loads
+        for seed in seeds
+    ]
+
+
 def run_figure3(
     bursts: Sequence[int] = FIGURE3_BURSTS,
     loads: Sequence[float] = FIGURE3_LOADS,
@@ -62,39 +98,26 @@ def run_figure3(
     apps=TABLE1,
     f_max: float = 1000.0,
     energy_setting_name: str = "E1",
+    workers: int = 1,
+    chunksize: Optional[int] = None,
 ) -> Figure3Result:
-    """Run the Figure 3 experiment."""
-    nu, rho = FIGURE3_REQUIREMENT
-    platform = Platform.powernow_k6(energy_setting(energy_setting_name, f_max))
+    """Run the Figure 3 experiment.
+
+    ``workers > 1`` shards the (a, load, seed) units across a process
+    pool with a seed-order-preserving merge — values are identical to
+    the serial sweep.
+    """
+    units = figure3_units(
+        bursts, loads, seeds, horizon, apps, f_max, energy_setting_name
+    )
+    outcomes = run_units(units, max_workers=workers, chunksize=chunksize)
+    ratios: Dict[Tuple[int, float], List[float]] = {}
+    for outcome in outcomes:
+        a, load, _ = outcome.key
+        denom = outcome.results["EUA*-noDVS"].energy
+        ratio = outcome.results["EUA*"].energy / denom if denom > 0 else 1.0
+        ratios.setdefault((a, load), []).append(ratio)
     result = Figure3Result()
     for a in bursts:
-        by_load: Dict[float, SummaryStat] = {}
-        for load in loads:
-            ratios: List[float] = []
-            for seed in seeds:
-                rng = np.random.default_rng(seed)
-                taskset = synthesize_taskset(
-                    target_load=load,
-                    rng=rng,
-                    apps=apps,
-                    tuf_shape="linear",
-                    nu=nu,
-                    rho=rho,
-                    f_max=f_max,
-                    arrival_mode="poisson",
-                    burst_override=a,
-                )
-                trace = materialize(taskset, horizon, rng)
-                runs = compare(
-                    [
-                        EUAStar(name="EUA*"),
-                        EUAStar(name="EUA*-noDVS", use_dvs=False),
-                    ],
-                    trace,
-                    platform=platform,
-                )
-                denom = runs["EUA*-noDVS"].energy
-                ratios.append(runs["EUA*"].energy / denom if denom > 0 else 1.0)
-            by_load[load] = summarize(ratios)
-        result.energy[a] = by_load
+        result.energy[a] = {load: summarize(ratios[(a, load)]) for load in loads}
     return result

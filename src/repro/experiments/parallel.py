@@ -1,0 +1,316 @@
+"""Process-pool sweep execution for the experiment drivers.
+
+Every figure/ablation/sensitivity sweep in this package decomposes into
+independent *units* — one ``compare()`` over one materialised workload
+(a seed × setting × scheduler-list cell).  This module makes those
+units picklable and runs them over a :class:`~concurrent.futures.\
+ProcessPoolExecutor` with chunked dispatch and a **deterministic
+merge**: results come back in submission order regardless of worker
+interleaving, so a sweep at ``max_workers=4`` is value-identical to the
+same sweep at ``max_workers=1`` (the determinism suite asserts it).
+
+Building blocks
+---------------
+:class:`SchedulerSpec`
+    A picklable scheduler recipe — a registry name, or a class plus
+    constructor kwargs (policies themselves are stateful and must be
+    built fresh inside each worker).
+:class:`WorkloadSpec` / :class:`PlatformSpec`
+    Everything a worker needs to resynthesise the unit's task set,
+    materialise its trace, and rebuild its platform, reproducing the
+    serial drivers' RNG discipline exactly (one ``default_rng(seed)``
+    shared by synthesis and materialisation).
+:class:`CompareUnit` → :func:`run_units` → :class:`CompareOutcome`
+    The sweep primitive.  ``collect_metrics=True`` attaches a
+    metrics-only :class:`~repro.obs.Observer` per scheduler; merge the
+    registries across outcomes with :func:`merged_metrics` (merge order
+    = unit order = repetition order, matching the serial convention in
+    ``docs/observability.md``).
+:func:`run_sweep`
+    The generic order-preserving pool map used by :func:`run_units` and
+    by :func:`repro.sim.runner.compare`'s ``workers`` argument.
+
+``max_workers=1`` (the default everywhere) never touches
+``multiprocessing`` — sweeps degrade gracefully to the serial path, and
+pool construction failures (restricted environments without ``fork``/
+semaphores) fall back to serial with a warning rather than aborting the
+experiment.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from ..cpu import FrequencyScale
+from ..obs import MetricsRegistry, Observer
+from ..sim.engine import SimulationResult
+from ..sim.runner import Platform, simulate
+from ..sim.task import TaskSet
+from ..sim.workload import materialize
+from .config import TABLE1, AppSetting, energy_setting
+from .workload import synthesize_taskset
+
+__all__ = [
+    "SchedulerSpec",
+    "WorkloadSpec",
+    "PlatformSpec",
+    "CompareUnit",
+    "CompareOutcome",
+    "run_units",
+    "run_sweep",
+    "merged_metrics",
+    "default_chunksize",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+# ----------------------------------------------------------------------
+# Picklable specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """A picklable recipe for one scheduler instance.
+
+    Either a registry name (``SchedulerSpec.registry("EUA*")``) or a
+    scheduler class plus constructor kwargs
+    (``SchedulerSpec.of(EUAStar, name="PD", dvs_method="demand")``).
+    ``build()`` returns a fresh instance — never share one policy
+    object across runs.
+    """
+
+    registry_name: Optional[str] = None
+    module: Optional[str] = None
+    qualname: Optional[str] = None
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def registry(cls, name: str) -> "SchedulerSpec":
+        return cls(registry_name=name)
+
+    @classmethod
+    def of(cls, scheduler_cls: type, **kwargs: object) -> "SchedulerSpec":
+        return cls(
+            module=scheduler_cls.__module__,
+            qualname=scheduler_cls.__qualname__,
+            kwargs=tuple(sorted(kwargs.items())),
+        )
+
+    def build(self):
+        if self.registry_name is not None:
+            from ..sched import make_scheduler
+
+            return make_scheduler(self.registry_name)
+        if self.module is None or self.qualname is None:
+            raise ValueError("empty SchedulerSpec: use .registry() or .of()")
+        obj = import_module(self.module)
+        for part in self.qualname.split("."):
+            obj = getattr(obj, part)
+        return obj(**dict(self.kwargs))
+
+    @property
+    def display_name(self) -> str:
+        if self.registry_name is not None:
+            return self.registry_name
+        for k, v in self.kwargs:
+            if k == "name":
+                return str(v)
+        return self.qualname or "<scheduler>"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One synthesised workload: the ``synthesize_taskset`` +
+    ``materialize`` arguments plus the seed that fixes every draw.
+
+    The worker reproduces the serial drivers' discipline exactly: a
+    single ``np.random.default_rng(seed)`` feeds task-set synthesis and
+    then trace materialisation, so a unit's workload is bit-identical
+    however (and wherever) it runs.
+    """
+
+    load: float
+    seed: int
+    horizon: float
+    tuf_shape: str = "step"
+    nu: float = 1.0
+    rho: float = 0.96
+    arrival_mode: str = "periodic"
+    burst_override: Optional[int] = None
+    apps: Tuple[AppSetting, ...] = TABLE1
+    f_max: float = 1000.0
+
+    def build(self):
+        rng = np.random.default_rng(self.seed)
+        taskset = synthesize_taskset(
+            target_load=self.load,
+            rng=rng,
+            apps=self.apps,
+            tuf_shape=self.tuf_shape,
+            nu=self.nu,
+            rho=self.rho,
+            f_max=self.f_max,
+            arrival_mode=self.arrival_mode,
+            burst_override=self.burst_override,
+        )
+        trace = materialize(taskset, self.horizon, rng)
+        return taskset, trace
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A picklable :class:`~repro.sim.Platform` recipe.
+
+    ``scale_levels=None`` selects the paper's PowerNow! ladder; the
+    energy model comes from the Table 2 setting name evaluated at
+    ``f_max``.
+    """
+
+    energy: str = "E1"
+    f_max: float = 1000.0
+    scale_levels: Optional[Tuple[float, ...]] = None
+    idle_power: float = 0.0
+    switch_time: float = 0.0
+    switch_energy: float = 0.0
+
+    def build(self) -> Platform:
+        scale = (
+            FrequencyScale(self.scale_levels)
+            if self.scale_levels is not None
+            else FrequencyScale.powernow_k6()
+        )
+        return Platform(
+            scale=scale,
+            energy_model=energy_setting(self.energy, self.f_max),
+            idle_power=self.idle_power,
+            switch_time=self.switch_time,
+            switch_energy=self.switch_energy,
+        )
+
+
+@dataclass(frozen=True)
+class CompareUnit:
+    """One sweep cell: run every scheduler on one materialised workload."""
+
+    key: Tuple
+    schedulers: Tuple[SchedulerSpec, ...]
+    workload: WorkloadSpec
+    platform: PlatformSpec = PlatformSpec()
+    record_trace: bool = False
+    collect_metrics: bool = False
+
+
+@dataclass
+class CompareOutcome:
+    """What one :class:`CompareUnit` produced.
+
+    ``results`` preserves the unit's scheduler order; ``metrics`` (one
+    registry per scheduler, same order) is populated only when the unit
+    asked for ``collect_metrics``.  ``taskset`` is the synthesised task
+    set the workload ran on — analyses like ``verify_assurances`` need
+    it next to the results.
+    """
+
+    key: Tuple
+    results: Dict[str, SimulationResult]
+    taskset: TaskSet
+    metrics: Dict[str, MetricsRegistry] = field(default_factory=dict)
+
+
+def _run_compare_unit(unit: CompareUnit) -> CompareOutcome:
+    """Execute one unit (top-level so it pickles under ``spawn``)."""
+    taskset, trace = unit.workload.build()
+    platform = unit.platform.build()
+    results: Dict[str, SimulationResult] = {}
+    metrics: Dict[str, MetricsRegistry] = {}
+    for spec in unit.schedulers:
+        scheduler = spec.build()
+        if scheduler.name in results:
+            raise ValueError(f"duplicate scheduler name {scheduler.name!r}")
+        observer = Observer(events=False, metrics=True) if unit.collect_metrics else None
+        results[scheduler.name] = simulate(
+            trace,
+            scheduler,
+            platform,
+            record_trace=unit.record_trace,
+            observer=observer,
+        )
+        if observer is not None:
+            metrics[scheduler.name] = observer.metrics
+    return CompareOutcome(key=unit.key, results=results, taskset=taskset, metrics=metrics)
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+def default_chunksize(n_items: int, max_workers: int) -> int:
+    """Chunk so each worker sees ~4 chunks — large enough to amortise
+    pickling, small enough to keep the pool load-balanced."""
+    return max(1, n_items // (4 * max_workers) or 1)
+
+
+def run_sweep(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    max_workers: int = 1,
+    chunksize: Optional[int] = None,
+) -> List[R]:
+    """Order-preserving map of ``fn`` over ``items``.
+
+    ``max_workers <= 1`` runs serially in-process.  Otherwise the items
+    are dispatched in chunks to a process pool; results are returned in
+    input order (deterministic merge).  ``fn`` and every item must be
+    picklable.  If the pool cannot be created — sandboxed environments
+    without working semaphores, for instance — the sweep falls back to
+    the serial path with a warning instead of failing.
+    """
+    items = list(items)
+    if max_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    if chunksize is None:
+        chunksize = default_chunksize(len(items), max_workers)
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+    except (OSError, PermissionError, ImportError) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); running sweep serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(item) for item in items]
+
+
+def run_units(
+    units: Sequence[CompareUnit],
+    max_workers: int = 1,
+    chunksize: Optional[int] = None,
+) -> List[CompareOutcome]:
+    """Run sweep units, serially or on a process pool.
+
+    Outcomes are returned in unit order whatever the worker
+    interleaving, so downstream aggregation (summary statistics, merged
+    metrics registries) is independent of ``max_workers``.
+    """
+    return run_sweep(_run_compare_unit, units, max_workers=max_workers, chunksize=chunksize)
+
+
+def merged_metrics(outcomes: Iterable[CompareOutcome]) -> Dict[str, MetricsRegistry]:
+    """Fold per-unit registries into one registry per scheduler.
+
+    Merge order is outcome order × the unit's scheduler order — i.e.
+    repetition order, exactly what a serial loop calling
+    ``MetricsRegistry.merge`` per run would produce.
+    """
+    out: Dict[str, MetricsRegistry] = {}
+    for outcome in outcomes:
+        for name, registry in outcome.metrics.items():
+            out.setdefault(name, MetricsRegistry()).merge(registry)
+    return out

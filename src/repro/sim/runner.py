@@ -109,6 +109,12 @@ def simulate(
     return engine.run()
 
 
+def _simulate_unit(args) -> SimulationResult:
+    """One ``compare`` arm (top-level so process pools can pickle it)."""
+    trace, scheduler, platform, record_trace = args
+    return simulate(trace, scheduler, platform, record_trace=record_trace)
+
+
 def compare(
     schedulers: Sequence[Scheduler],
     workload: Union[WorkloadTrace, TaskSet],
@@ -117,19 +123,39 @@ def compare(
     seed: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     record_trace: bool = False,
+    workers: int = 1,
 ) -> Dict[str, SimulationResult]:
     """Run every scheduler over the identical materialised workload.
 
     Returns ``{scheduler.name: result}``.  This is the primitive behind
     all the paper's normalised comparisons — utility and energy of each
     policy divided by the EDF-at-``f_max`` run on the same jobs.
+
+    ``workers > 1`` runs the scheduler arms on a process pool (each arm
+    is an independent simulation over the pickled trace); results are
+    merged in scheduler order, so the returned mapping is identical to
+    the serial one — simulations are deterministic, and the per-arm
+    float streams never interact.  Schedulers must be picklable for the
+    parallel path (every registry policy is).
     """
     platform = platform if platform is not None else Platform()
     trace = _as_workload(workload, horizon, rng, seed)
+    names = [s.name for s in schedulers]
+    for name in names:
+        if names.count(name) > 1:
+            raise ValueError(f"duplicate scheduler name {name!r}")
+    if workers > 1:
+        # Local import: repro.experiments.parallel imports this module.
+        from ..experiments.parallel import run_sweep
+
+        outs = run_sweep(
+            _simulate_unit,
+            [(trace, s, platform, record_trace) for s in schedulers],
+            max_workers=workers,
+        )
+        return dict(zip(names, outs))
     results: Dict[str, SimulationResult] = {}
     for scheduler in schedulers:
-        if scheduler.name in results:
-            raise ValueError(f"duplicate scheduler name {scheduler.name!r}")
         results[scheduler.name] = simulate(
             trace, scheduler, platform, record_trace=record_trace
         )

@@ -1,14 +1,18 @@
 """Tests for schedule feasibility (repro.core.feasibility)."""
 
+import math
+
 import pytest
 
-from repro.arrivals import UAMSpec
 from repro.core import (
+    IncrementalSchedule,
     insert_by_critical_time,
     job_feasible,
     predicted_completions,
     schedule_feasible,
 )
+from repro.core.feasibility import _deadline_slack
+from repro.arrivals import UAMSpec
 from repro.demand import DeterministicDemand
 from repro.sim import Job, Task
 from repro.tuf import StepTUF
@@ -90,3 +94,127 @@ class TestInsertByCriticalTime:
         out = insert_by_critical_time(original, j2)
         assert original == [j1]
         assert out == [j2, j1]
+
+
+class TestDeadlineSlackBoundary:
+    """The shared ``_deadline_slack`` guard, probed at the exact edge.
+
+    Historically ``job_feasible`` and ``schedule_feasible`` duplicated
+    the tolerance expression and could scale it differently; the shared
+    helper makes the single-job and whole-schedule verdicts identical by
+    construction.  These tests pin the boundary semantics: a completion
+    *at* the termination (or within the magnitude-scaled slack band
+    before it) is infeasible, one safely before it is feasible.
+    """
+
+    F_MAX = 1000.0
+
+    def _exact_job(self):
+        # window 0.25 s, budget 125 Mcycles at 1000 MHz -> 0.125 s of
+        # work; both are dyadic so now + exec reproduces the termination
+        # time exactly in floating point.
+        return _job("X", release=0.0, window=0.25, mean=125.0)
+
+    def test_slack_value_small_magnitude(self):
+        job = self._exact_job()
+        assert _deadline_slack(job) == 1e-12  # |termination| <= 1 -> floor
+
+    def test_slack_scales_with_termination_magnitude(self):
+        big = _job("B", release=0.0, window=2.0e6, mean=1000.0)
+        assert big.termination == 2.0e6
+        assert _deadline_slack(big) == pytest.approx(2.0e-6)
+
+    def test_completion_exactly_at_termination_infeasible(self):
+        job = self._exact_job()
+        now = 0.125
+        assert now + job.remaining_budget / self.F_MAX == job.termination
+        assert not job_feasible(job, now=now, f_max=self.F_MAX)
+
+    def test_completion_one_ulp_before_termination_infeasible(self):
+        # One ULP of headroom is inside the slack band: still rejected.
+        job = self._exact_job()
+        now = math.nextafter(job.termination, 0.0) - 0.125
+        assert now + 0.125 == math.nextafter(job.termination, 0.0)
+        assert not job_feasible(job, now=now, f_max=self.F_MAX)
+
+    def test_completion_one_ulp_after_termination_infeasible(self):
+        job = self._exact_job()
+        now = math.nextafter(job.termination, 1.0) - 0.125
+        assert now + 0.125 > job.termination
+        assert not job_feasible(job, now=now, f_max=self.F_MAX)
+
+    def test_completion_beyond_slack_band_feasible(self):
+        job = self._exact_job()
+        now = 0.125 - 1e-9  # completion 1 ns early: clear of the band
+        assert job_feasible(job, now=now, f_max=self.F_MAX)
+
+    def test_large_magnitude_band_scales(self):
+        # termination 2e6 s -> slack 2e-6 s.  A completion 1e-7 s early
+        # is inside the band (infeasible); 1e-4 s early is outside.
+        big = _job("B", release=0.0, window=2.0e6, mean=1000.0)
+        exec_time = big.remaining_budget / self.F_MAX
+        assert not job_feasible(big, now=2.0e6 - exec_time - 1e-7, f_max=self.F_MAX)
+        assert job_feasible(big, now=2.0e6 - exec_time - 1e-4, f_max=self.F_MAX)
+
+    @pytest.mark.parametrize("delta", [0.0, 1e-13, -1e-13, 1e-9, -1e-9, 1e-6])
+    def test_job_and_schedule_paths_agree(self, delta):
+        # The asymmetry fix: the single-job probe and the whole-schedule
+        # walk must give the same verdict at every boundary offset.
+        job = self._exact_job()
+        now = 0.125 - delta
+        assert job_feasible(job, now, self.F_MAX) == schedule_feasible(
+            [job], now, self.F_MAX
+        )
+
+    @pytest.mark.parametrize("delta", [0.0, 1e-13, -1e-13, 1e-9, -1e-9, 1e-6])
+    def test_incremental_probe_matches_reference_at_boundary(self, delta):
+        job = self._exact_job()
+        now = 0.125 - delta
+        inc = IncrementalSchedule(now, self.F_MAX)
+        ref_ok = schedule_feasible(
+            insert_by_critical_time([], job), now, self.F_MAX
+        )
+        assert (inc.try_insert(job) >= 0) == ref_ok
+
+
+class TestIncrementalSchedule:
+    def test_insert_ordering_matches_reference(self):
+        j1 = _job("A", release=0.0, window=0.3, mean=50.0)
+        j2 = _job("B", release=0.0, window=0.1, mean=50.0)
+        j3 = _job("C", release=0.0, window=0.2, mean=50.0)
+        inc = IncrementalSchedule(0.0, 1000.0)
+        for j in (j1, j2, j3):
+            assert inc.try_insert(j) >= 0
+        assert [j.task.name for j in inc.jobs] == ["B", "C", "A"]
+
+    def test_equal_critical_times_insert_after(self):
+        j1 = _job("A", release=0.0, window=0.2, mean=50.0)
+        j2 = _job("B", release=0.0, window=0.2, mean=50.0)
+        inc = IncrementalSchedule(0.0, 1000.0)
+        assert inc.try_insert(j1) == 0
+        assert inc.try_insert(j2) == 1
+        assert [j.task.name for j in inc.jobs] == ["A", "B"]
+
+    def test_failed_probe_leaves_sigma_untouched(self):
+        j1 = _job("A", window=0.2, mean=150.0)
+        j2 = _job("B", window=0.2, mean=100.0)
+        inc = IncrementalSchedule(0.0, 1000.0)
+        assert inc.try_insert(j1) == 0
+        before = (inc.jobs, inc.completions())
+        assert inc.try_insert(j2) == -1
+        assert (inc.jobs, inc.completions()) == before
+
+    def test_completions_match_predicted_completions(self):
+        j1 = _job("A", window=1.0, mean=100.0)
+        j2 = _job("B", window=1.0, mean=200.0)
+        inc = IncrementalSchedule(0.5, 1000.0)
+        inc.try_insert(j1)
+        inc.try_insert(j2)
+        assert inc.completions() == predicted_completions(inc.jobs, 0.5, 1000.0)
+
+    def test_head_and_len(self):
+        inc = IncrementalSchedule(0.0, 1000.0)
+        assert inc.head is None and len(inc) == 0
+        j = _job("A", window=0.5)
+        inc.try_insert(j)
+        assert inc.head is j and len(inc) == 1

@@ -57,6 +57,18 @@ class TestObservability:
         assert "decide_freq" in out  # the profiler and summary sections
 
 
+class TestPerformance:
+    def test_all_blocks_execute(self):
+        blocks = _python_blocks(ROOT / "docs" / "performance.md")
+        assert blocks, "performance doc must contain a runnable example"
+        ns = {}
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            for block in blocks:
+                exec(compile(_shrink(block), "performance.md", "exec"), ns)
+        assert "[" in sink.getvalue()  # the printed per-load utility list
+
+
 class TestReadme:
     def test_quickstart_block_executes(self):
         blocks = _python_blocks(ROOT / "README.md")

@@ -1,0 +1,81 @@
+"""Shared fixture logic for the golden-trace regression suite.
+
+One fixed-seed Table-1 workload per scheduler; the full structured
+decision/event log (``repro.obs`` JSONL) is committed under
+``tests/golden/`` and every run must reproduce it byte-for-byte (modulo
+JSON parsing — the diff compares parsed objects so a cosmetic
+serialisation change fails loudly but legibly).
+
+Regenerate with ``python tests/golden/regenerate.py`` after an
+*intentional* behaviour change, and say why in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.experiments import synthesize_taskset
+from repro.obs import Observer, events_to_jsonl
+from repro.resources import REUA, ResourceMap
+from repro.sched import make_scheduler
+from repro.sim import Platform, materialize, simulate
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: The frozen workload: Table-1 periodic step-TUF synthesis.
+SEED = 11
+LOAD = 0.8
+HORIZON = 0.4
+
+#: scheduler label -> (filename, factory).  REUA is not in the registry
+#: (it needs a resource map), so it gets an explicit factory.
+CASES = {
+    "EUA*": ("eua_star.jsonl", lambda: make_scheduler("EUA*")),
+    "DASA": ("dasa.jsonl", lambda: make_scheduler("DASA")),
+    "EDF": ("edf.jsonl", lambda: make_scheduler("EDF")),
+    "REUA": ("reua.jsonl", lambda: REUA(ResourceMap({}))),
+}
+
+
+def record_events_jsonl(label: str) -> str:
+    """Run the fixed workload under ``label``'s scheduler and return the
+    structured event log as JSONL text."""
+    filename, factory = CASES[label]
+    rng = np.random.default_rng(SEED)
+    taskset = synthesize_taskset(LOAD, rng)
+    trace = materialize(taskset, HORIZON, rng)
+    observer = Observer(events=True, metrics=False)
+    simulate(trace, factory(), Platform(), observer=observer)
+    return events_to_jsonl(observer.events)
+
+
+def golden_path(label: str) -> Path:
+    return GOLDEN_DIR / CASES[label][0]
+
+
+def parse_jsonl(text: str) -> List[Dict]:
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def diff_events(expected: List[Dict], actual: List[Dict]) -> List[str]:
+    """Human-readable mismatch report between two parsed event streams."""
+    problems: List[str] = []
+    if len(expected) != len(actual):
+        problems.append(f"event count: golden={len(expected)} replay={len(actual)}")
+    for i, (e, a) in enumerate(zip(expected, actual)):
+        if e != a:
+            keys = sorted(set(e) | set(a))
+            fields = [
+                f"{k}: golden={e.get(k)!r} replay={a.get(k)!r}"
+                for k in keys
+                if e.get(k) != a.get(k)
+            ]
+            problems.append(f"event #{i}: " + "; ".join(fields))
+            if len(problems) >= 10:
+                problems.append("... (further diffs suppressed)")
+                break
+    return problems
