@@ -6,7 +6,7 @@ pays, just less than under E1.  The bench checks exactly that ordering:
 E1 savings > E2 savings > (no savings) and the same utility shape.
 """
 
-from repro.experiments import FIGURE2_SCHEDULERS, ascii_table, run_figure2
+from repro.experiments import ascii_table, run_figure2
 
 
 def _run(loads, seeds, horizon):

@@ -42,6 +42,7 @@ from .demand import (
     UniformDemand,
     chebyshev_allocation,
 )
+from .runtime import AdaptiveRuntime, RuntimeConfig, ViolationPolicy
 from .sched import (
     CCEDF,
     LAEDF,
@@ -138,4 +139,8 @@ __all__ = [
     "available_schedulers",
     "offline_computing",
     "uer_optimal_frequency",
+    # runtime
+    "AdaptiveRuntime",
+    "RuntimeConfig",
+    "ViolationPolicy",
 ]

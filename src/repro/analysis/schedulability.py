@@ -8,7 +8,6 @@ workload is in, i.e. when EUA*'s timeliness assurances apply.
 
 from __future__ import annotations
 
-import math
 from typing import List, Tuple
 
 from ..sim.task import Task, TaskSet

@@ -15,9 +15,11 @@ from .uam import (
     UAMError,
     UAMSpec,
     UAMTracker,
+    effective_window,
     first_violation,
     is_uam_compliant,
     max_count_in_any_window,
+    next_admissible_time,
     thin_to_uam,
 )
 
@@ -25,9 +27,11 @@ __all__ = [
     "UAMSpec",
     "UAMError",
     "UAMTracker",
+    "effective_window",
     "max_count_in_any_window",
     "is_uam_compliant",
     "first_violation",
+    "next_admissible_time",
     "thin_to_uam",
     "ArrivalGenerator",
     "PeriodicArrivals",

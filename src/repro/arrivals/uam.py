@@ -21,9 +21,11 @@ from typing import List, Sequence
 __all__ = [
     "UAMSpec",
     "UAMError",
+    "effective_window",
     "max_count_in_any_window",
     "is_uam_compliant",
     "first_violation",
+    "next_admissible_time",
     "thin_to_uam",
     "UAMTracker",
 ]
@@ -39,9 +41,23 @@ class UAMError(ValueError):
 _TOL_REL = 1e-9
 
 
-def _effective_window(window: float) -> float:
-    """The window shrunk by the comparison tolerance."""
+def effective_window(window: float) -> float:
+    """The window shrunk by the comparison tolerance.
+
+    This is the **single source of truth for the boundary**: a gap of
+    exactly ``P`` (or undershooting it by at most a few ulps of float
+    accumulation) spans the full window, so an arrival landing exactly
+    at the trailing edge ``t = t_prev + P`` opens a *new* window and
+    never counts against the old one.  Every consumer — the compliance
+    checks below, :class:`UAMTracker`, the runtime's compliance monitor
+    and the generators' thinning — compares gaps against this shrunk
+    window so their notions of "inside the window" can never diverge.
+    """
     return window - _TOL_REL * max(1.0, abs(window))
+
+
+#: Backwards-compatible private alias (pre-1.1 internal name).
+_effective_window = effective_window
 
 
 @dataclass(frozen=True)
@@ -130,6 +146,28 @@ def first_violation(times: Sequence[float], spec: UAMSpec):
         if times[k + a] - times[k] < w:
             return k + a
     return None
+
+
+def next_admissible_time(recent: Sequence[float], spec: UAMSpec, t: float) -> float:
+    """Earliest instant ``>= t`` at which one more arrival keeps the
+    stream ``⟨a, P⟩``-compliant, given the sorted arrivals already
+    accepted (only the last ``a`` matter).
+
+    With fewer than ``a`` prior arrivals — or with the a-th most recent
+    at least the (tolerance-shrunk) window before ``t`` — the answer is
+    ``t`` itself; otherwise the window opened by the a-th most recent
+    arrival must close first: ``recent[-a] + P``.  Shares
+    :func:`effective_window` with the compliance checks, so an arrival
+    admitted at the returned instant always passes
+    :func:`is_uam_compliant`.
+    """
+    a = spec.max_arrivals
+    if len(recent) < a:
+        return t
+    anchor = recent[-a]
+    if t - anchor >= effective_window(spec.window):
+        return t
+    return anchor + spec.window
 
 
 def thin_to_uam(times: Sequence[float], spec: UAMSpec) -> List[float]:

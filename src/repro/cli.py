@@ -325,6 +325,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    from .experiments.adaptive import compare_adaptive, uam_violating_trace
+    from .runtime import RuntimeConfig
+
+    config = RuntimeConfig(
+        policy=args.policy,
+        drift_detector=args.detector,
+        drift_threshold=args.drift_threshold,
+        min_samples=args.min_samples,
+        headroom=args.headroom,
+    )
+    trace = None
+    if args.scenario == "uam-burst":
+        trace = uam_violating_trace(
+            seed=args.seed, load=args.load, horizon=args.horizon,
+            burst_factor=args.burst_factor,
+        )
+    cmp = compare_adaptive(
+        trace=trace,
+        seed=args.seed,
+        load=args.load,
+        horizon=args.horizon,
+        drift_at=args.drift_at,
+        drift_factor=args.drift_factor,
+        config=config,
+    )
+    print(f"scenario={args.scenario} seed={args.seed} load={args.load} "
+          f"policy={args.policy} detector={args.detector} "
+          f"threshold={args.drift_threshold}")
+    print(ascii_table(cmp.rows(), ["arm", "utility", "norm_utility", "energy",
+                                   "completed", "expired", "aborted", "shed"]))
+    print("runtime counters: "
+          + "  ".join(f"{k}={v:g}" for k, v in sorted(cmp.runtime_summary.items())))
+    print(f"utility gain: {cmp.utility_gain:+.3f}   "
+          f"energy saving: {cmp.energy_saving:+.4g}   "
+          f"frontier improved: {cmp.improves_frontier}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .obs import MetricsRegistry, Observer, Profiler
     from .experiments import render_obs_summary
@@ -447,6 +486,30 @@ def build_parser() -> argparse.ArgumentParser:
     pt = sub.add_parser("theorems", help="verify the timeliness theorems")
     pt.add_argument("--load", type=float, default=0.6)
     pt.set_defaults(func=_cmd_theorems)
+
+    prt = sub.add_parser(
+        "runtime",
+        help="static vs adaptive EUA* under demand drift or UAM bursts",
+    )
+    prt.add_argument("--scenario", choices=["drift", "uam-burst"], default="drift")
+    prt.add_argument("--seed", type=int, default=11)
+    prt.add_argument("--load", type=float, default=0.9)
+    prt.add_argument("--horizon", type=float, default=2.0)
+    prt.add_argument("--policy", choices=["shed", "defer", "admit-and-flag"],
+                     default="shed", help="UAM violation policy")
+    prt.add_argument("--detector", choices=["zscore", "cusum"], default="zscore")
+    prt.add_argument("--drift-threshold", type=float, default=4.0,
+                     help="z threshold (zscore) or decision level h (cusum)")
+    prt.add_argument("--min-samples", type=int, default=8)
+    prt.add_argument("--headroom", type=float, default=1.0,
+                     help="admission capacity derating (>= 1)")
+    prt.add_argument("--drift-at", type=float, default=0.3,
+                     help="drift onset as a fraction of the horizon")
+    prt.add_argument("--drift-factor", type=float, default=2.0,
+                     help="true-demand scale after onset (drift scenario)")
+    prt.add_argument("--burst-factor", type=int, default=2,
+                     help="simultaneous copies per arrival (uam-burst scenario)")
+    prt.set_defaults(func=_cmd_runtime)
 
     sub.add_parser("table1", help="print the Table 1 settings").set_defaults(func=_cmd_table1)
     sub.add_parser("table2", help="print the Table 2 energy models").set_defaults(func=_cmd_table2)

@@ -21,6 +21,7 @@ from .feasibility import (
 from .offline import (
     TaskParams,
     clear_offline_cache,
+    invalidate_offline_cache,
     offline_computing,
     offline_computing_reference,
     task_uer,
@@ -48,6 +49,7 @@ __all__ = [
     "offline_computing",
     "offline_computing_reference",
     "clear_offline_cache",
+    "invalidate_offline_cache",
     "task_uer",
     "uer_optimal_frequency",
 ]

@@ -31,6 +31,7 @@ __all__ = [
     "offline_computing",
     "offline_computing_reference",
     "clear_offline_cache",
+    "invalidate_offline_cache",
 ]
 
 #: Floor applied to cycle counts in UER denominators: a job whose budget
@@ -136,6 +137,21 @@ def _platform_key(scale: FrequencyScale, model: EnergyModel) -> Tuple:
 def clear_offline_cache() -> None:
     """Drop every memoized ``offlineComputing`` result (test hook)."""
     _OFFLINE_CACHE.clear()
+
+
+def invalidate_offline_cache(taskset: TaskSet) -> None:
+    """Drop the memoized results for one task set.
+
+    Required after :meth:`repro.sim.task.Task.reallocate` — the memo
+    assumes task parameters are frozen, so an adaptive runtime that
+    overrides an allocation must invalidate before the next
+    ``offline_computing`` call (and again after restoring the original
+    allocation in its ``finalize()``).
+    """
+    try:
+        _OFFLINE_CACHE.pop(taskset, None)
+    except TypeError:  # un-weakref-able stand-in was never cached
+        pass
 
 
 def offline_computing(

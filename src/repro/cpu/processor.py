@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from .energy import EnergyError, EnergyModel
 from .frequency import FrequencyError, FrequencyScale

@@ -24,6 +24,19 @@ class WelfordEstimator:
     Exposes both the population variance (``variance``) — the quantity
     the Chebyshev allocation needs when the stream *is* the population —
     and the unbiased sample variance (``sample_variance``).
+
+    **Small-sample contract** (the adaptive runtime's
+    :class:`repro.runtime.AdaptiveProfiler` depends on this being
+    deterministic, so it is frozen and pinned by tests):
+
+    * ``mean`` and ``variance`` with ``n == 0`` raise
+      :class:`~repro.demand.distributions.DemandError` — never a
+      ``ZeroDivisionError`` or a NaN falling out of the arithmetic;
+    * ``variance`` with ``n == 1`` returns exactly ``0.0`` (a single
+      observation *is* its population);
+    * ``sample_variance`` with ``n < 2`` raises ``DemandError`` — the
+      unbiased estimator is undefined, and returning 0.0 would silently
+      understate spread in a Chebyshev allocation.
     """
 
     def __init__(self) -> None:
@@ -50,20 +63,30 @@ class WelfordEstimator:
 
     @property
     def mean(self) -> float:
+        """Running mean; raises ``DemandError`` when ``n == 0``."""
         if self._n == 0:
             raise DemandError("no observations yet")
         return self._mean
 
     @property
     def variance(self) -> float:
-        """Population variance (M2 / n)."""
+        """Population variance (M2 / n).
+
+        Raises ``DemandError`` when ``n == 0``; returns exactly ``0.0``
+        when ``n == 1`` (see the class small-sample contract).
+        """
         if self._n == 0:
             raise DemandError("no observations yet")
         return self._m2 / self._n
 
     @property
     def sample_variance(self) -> float:
-        """Unbiased sample variance (M2 / (n − 1))."""
+        """Unbiased sample variance (M2 / (n − 1)).
+
+        Raises ``DemandError`` when ``n < 2`` (see the class
+        small-sample contract) — callers needing a total function for
+        tiny windows should branch to :attr:`variance`.
+        """
         if self._n < 2:
             raise DemandError("need at least two observations")
         return self._m2 / (self._n - 1)

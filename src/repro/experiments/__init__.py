@@ -1,5 +1,11 @@
 """The paper's experimental evaluation, reproducible end to end."""
 
+from .adaptive import (
+    AdaptiveComparison,
+    compare_adaptive,
+    drifting_trace,
+    uam_violating_trace,
+)
 from .ablations import (
     ablate_dasa,
     ablate_dvs,
@@ -80,6 +86,10 @@ __all__ = [
     "render_obs_summary",
     "series_chart",
     "rows_to_csv",
+    "AdaptiveComparison",
+    "compare_adaptive",
+    "drifting_trace",
+    "uam_violating_trace",
     "run_policy_grid",
     "ablate_dvs",
     "ablate_fopt",

@@ -17,7 +17,7 @@ records the reconstruction.  What the text does state unambiguously:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..cpu import EnergyModel, FrequencyScale
 

@@ -12,7 +12,7 @@ requested sweep point — exactly the paper's procedure.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

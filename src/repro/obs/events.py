@@ -55,6 +55,14 @@ class EventKind(enum.Enum):
     FREQ_SWITCH = "freq_switch"
     #: Engine: a different job started executing.
     DISPATCH = "dispatch"
+    #: Runtime: observed demand drifted away from the declared moments.
+    DRIFT_DETECTED = "drift_detected"
+    #: Runtime: per-task parameters re-derived from observed moments.
+    REALLOCATION = "reallocation"
+    #: Runtime: an arrival exceeded its task's UAM envelope ``<a, P>``.
+    UAM_VIOLATION = "uam_violation"
+    #: Runtime: admission control shed, deferred or evicted work.
+    ADMISSION_DECISION = "admission_decision"
 
 
 @dataclass(frozen=True)

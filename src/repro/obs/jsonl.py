@@ -14,7 +14,7 @@ import json
 from typing import Dict, Iterable, List
 
 from .events import Event, EventKind, EventLog
-from .metrics import Gauge, Histogram, MetricsRegistry
+from .metrics import Histogram, MetricsRegistry
 from .profiling import Profiler
 
 __all__ = [

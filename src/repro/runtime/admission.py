@@ -1,0 +1,112 @@
+"""Overload admission control at release time.
+
+EUA* already degrades gracefully under overload — infeasible jobs are
+left out of σ and eventually aborted — but it pays for that discovery
+in wasted cycles: a job admitted into an overloaded system may execute
+for a while before the feasibility check finally evicts it.  The
+:class:`AdmissionController` moves that decision to the release instant:
+it projects the ready set plus the incoming job at the maximum frequency
+``f_m`` (the same ``feasible()`` predicate as Algorithm 1, over
+remaining Chebyshev budgets in critical-time order) and, when the
+projection overflows, sheds the lowest-UER work first — preferring to
+keep high utility-per-energy jobs, the paper's own ordering metric.
+
+Verdicts:
+
+* **admit** — projection feasible, possibly after evicting lower-UER
+  ready jobs (returned in ``evictions`` for the engine to shed);
+* **reject** — the incoming job is itself the lowest-UER loser (or is
+  individually infeasible); nothing already admitted is disturbed.
+
+A feasible arrival produces a silent admit — no event, no state — which
+the disabled-runtime differential test relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.eua import job_uer
+from ..core.feasibility import insert_by_critical_time, job_feasible, schedule_feasible
+from ..cpu import EnergyModel
+from ..sim.job import Job
+
+__all__ = ["AdmissionVerdict", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionVerdict:
+    """Outcome of one release-time admission check."""
+
+    #: Whether the incoming job may enter the ready set.
+    admit: bool
+    #: Already-ready jobs to shed so the projection fits (admit only).
+    evictions: Tuple[Job, ...] = ()
+    #: Why a non-trivial verdict was reached (diagnostics / events).
+    reason: str = "feasible"
+
+    @property
+    def disturbs(self) -> bool:
+        """True when the verdict requires engine action beyond admit."""
+        return not self.admit or bool(self.evictions)
+
+
+class AdmissionController:
+    """Projects demand at ``f_m`` and sheds lowest-UER work on overload.
+
+    Parameters
+    ----------
+    headroom:
+        Capacity derating factor ``>= 1``: the projection must fit at
+        ``f_m / headroom``.  ``1.0`` (default) admits everything EUA*
+        could conceivably finish; larger values reserve slack for
+        demand overruns (the ``1 − ρ`` tail the budgets admit).
+    """
+
+    def __init__(self, headroom: float = 1.0):
+        if headroom < 1.0:
+            raise ValueError(f"headroom must be >= 1, got {headroom!r}")
+        self.headroom = float(headroom)
+        #: Counters (diagnostics / summary).
+        self.admitted = 0
+        self.rejected = 0
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        job: Job,
+        t: float,
+        ready: Sequence[Job],
+        f_max: float,
+        model: EnergyModel,
+    ) -> AdmissionVerdict:
+        """Decide whether ``job``, released at ``t``, may join ``ready``."""
+        f_cap = f_max / self.headroom
+        if not job_feasible(job, t, f_cap):
+            self.rejected += 1
+            return AdmissionVerdict(False, reason="individually-infeasible")
+
+        sigma: List[Job] = []
+        for existing in sorted(ready, key=lambda j: j.critical_time):
+            sigma = insert_by_critical_time(sigma, existing)
+        sigma = insert_by_critical_time(sigma, job)
+        if schedule_feasible(sigma, t, f_cap):
+            self.admitted += 1
+            return AdmissionVerdict(True)
+
+        # Overload: drop the globally lowest-UER job until the
+        # projection fits or the incoming job itself is the loser.
+        dropped: List[Job] = []
+        while True:
+            loser = min(sigma, key=lambda j: job_uer(j, t, f_max, model))
+            if loser is job:
+                self.rejected += 1
+                return AdmissionVerdict(False, reason="lowest-uer")
+            sigma = [j for j in sigma if j is not loser]
+            dropped.append(loser)
+            if schedule_feasible(sigma, t, f_cap):
+                self.admitted += 1
+                self.evicted += len(dropped)
+                return AdmissionVerdict(True, tuple(dropped), reason="evicted-lower-uer")

@@ -1,0 +1,230 @@
+"""Online drift detection over per-job demand observations.
+
+The paper's offline computing step freezes ``c_i``/``f°_i`` from the
+*declared* moments ``E(Y_i)``/``Var(Y_i)``.  When the observed demand
+stream drifts away from those moments, every Chebyshev bound derived
+from them silently loses its assurance level.  The detectors here watch
+a stream of observations against a declared baseline and report when
+the evidence of a changed distribution crosses a configurable
+threshold; the :class:`~repro.runtime.profiler.AdaptiveProfiler` then
+re-derives the allocation from the observed window.
+
+Two classic tests are provided:
+
+* :class:`ZScoreDrift` — a batch z-test on the window mean (fires when
+  ``|x̄ − μ₀| · √n / σ₀`` exceeds the threshold), optionally combined
+  with a variance-ratio test.  Sensitive to abrupt level shifts.
+* :class:`CUSUMDrift` — a two-sided standardized CUSUM (Page test):
+  accumulates excess standardized residuals beyond a slack ``k`` and
+  fires when either side exceeds ``h``.  Sensitive to small sustained
+  drifts a windowed z-test averages away.
+
+Both keep their own :class:`~repro.demand.estimator.WelfordEstimator`
+window so the caller can read the observed moments that justified the
+alarm (``window_mean`` / ``window_variance``) and re-baseline with
+:meth:`DriftDetector.rebaseline` after reacting.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from ..demand.distributions import DemandError
+from ..demand.estimator import WelfordEstimator
+
+__all__ = ["DriftDetector", "ZScoreDrift", "CUSUMDrift", "make_drift_detector"]
+
+#: Relative floor applied to the baseline standard deviation so a
+#: declared-deterministic demand (``Var = 0``) still yields finite
+#: standardized residuals (any deviation then standardizes huge and
+#: fires promptly, which is the right behaviour for a constant model).
+_STD_FLOOR_REL = 1e-9
+
+
+def _floored_std(mean: float, std: float) -> float:
+    return max(std, _STD_FLOOR_REL * max(1.0, abs(mean)))
+
+
+class DriftDetector(ABC):
+    """Watches observations against a declared (mean, std) baseline."""
+
+    def __init__(self, mean: float = 0.0, std: float = 1.0, min_samples: int = 2):
+        if min_samples < 1:
+            raise DemandError(f"min_samples must be >= 1, got {min_samples!r}")
+        self.min_samples = int(min_samples)
+        self.baseline_mean = 0.0
+        self.baseline_std = 1.0
+        self.window = WelfordEstimator()
+        self.rebaseline(mean, std)
+
+    # ------------------------------------------------------------------
+    def rebaseline(self, mean: float, std: float) -> None:
+        """Accept (mean, std) as the new no-drift hypothesis and reset
+        all accumulated evidence and the observation window."""
+        if not math.isfinite(mean) or not math.isfinite(std) or std < 0.0:
+            raise DemandError(f"baseline must be finite with std >= 0, got ({mean!r}, {std!r})")
+        self.baseline_mean = float(mean)
+        self.baseline_std = float(std)
+        self.window = WelfordEstimator()
+        self._reset_evidence()
+
+    def observe(self, value: float) -> bool:
+        """Fold one observation; ``True`` when drift is detected.
+
+        A detector never fires before ``min_samples`` observations have
+        accumulated since the last (re-)baseline.
+        """
+        self.window.update(value)
+        fired = self._update_evidence(value)
+        return fired and self.window.count >= self.min_samples
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self.window.count
+
+    @property
+    def window_mean(self) -> float:
+        return self.window.mean
+
+    @property
+    def window_variance(self) -> float:
+        """Observed variance of the current window.
+
+        Unbiased (sample) variance when two or more observations exist;
+        for a single observation the population variance ``0.0`` — the
+        :class:`~repro.demand.estimator.WelfordEstimator` small-sample
+        contract makes both branches deterministic.
+        """
+        if self.window.count >= 2:
+            return self.window.sample_variance
+        return self.window.variance
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _update_evidence(self, value: float) -> bool:
+        """Fold ``value`` into the test statistic; ``True`` on alarm."""
+
+    @abstractmethod
+    def _reset_evidence(self) -> None:
+        """Clear the accumulated test statistic."""
+
+
+class ZScoreDrift(DriftDetector):
+    """Batch z-test on the window mean against the baseline.
+
+    Fires when ``|window_mean − μ₀| · √n / σ₀ > threshold``.  With
+    ``variance_ratio`` set, additionally fires when the window's sample
+    variance leaves ``[σ₀²/r, σ₀²·r]`` (variance drift can starve a
+    Chebyshev allocation even at an unchanged mean).
+    """
+
+    def __init__(
+        self,
+        mean: float = 0.0,
+        std: float = 1.0,
+        threshold: float = 4.0,
+        min_samples: int = 8,
+        variance_ratio: float = 0.0,
+    ):
+        if threshold <= 0.0:
+            raise DemandError(f"threshold must be > 0, got {threshold!r}")
+        if variance_ratio < 0.0 or variance_ratio == 1.0:
+            raise DemandError(
+                f"variance_ratio must be 0 (disabled) or != 1, got {variance_ratio!r}"
+            )
+        self.threshold = float(threshold)
+        self.variance_ratio = float(variance_ratio)
+        super().__init__(mean, std, min_samples)
+
+    @property
+    def statistic(self) -> float:
+        """The current z statistic (0.0 before any observation)."""
+        n = self.window.count
+        if n == 0:
+            return 0.0
+        sigma = _floored_std(self.baseline_mean, self.baseline_std)
+        return abs(self.window.mean - self.baseline_mean) * math.sqrt(n) / sigma
+
+    def _update_evidence(self, value: float) -> bool:
+        if self.statistic > self.threshold:
+            return True
+        if self.variance_ratio > 0.0 and self.window.count >= 2 and self.baseline_std > 0.0:
+            r = max(self.variance_ratio, 1.0 / self.variance_ratio)
+            ratio = self.window.sample_variance / (self.baseline_std * self.baseline_std)
+            if ratio > r or ratio < 1.0 / r:
+                return True
+        return False
+
+    def _reset_evidence(self) -> None:
+        pass  # the statistic derives entirely from the window
+
+
+class CUSUMDrift(DriftDetector):
+    """Two-sided standardized CUSUM (Page, 1954).
+
+    Per observation, the standardized residual ``u = (x − μ₀)/σ₀``
+    updates ``S⁺ = max(0, S⁺ + u − k)`` and ``S⁻ = max(0, S⁻ − u − k)``;
+    the detector fires when either sum exceeds ``h``.  ``k`` (the
+    allowance, in σ units) sets the smallest drift considered
+    meaningful; ``h`` trades detection delay against false alarms.
+    """
+
+    def __init__(
+        self,
+        mean: float = 0.0,
+        std: float = 1.0,
+        k: float = 0.5,
+        h: float = 5.0,
+        min_samples: int = 2,
+    ):
+        if k < 0.0:
+            raise DemandError(f"allowance k must be >= 0, got {k!r}")
+        if h <= 0.0:
+            raise DemandError(f"decision level h must be > 0, got {h!r}")
+        self.k = float(k)
+        self.h = float(h)
+        self.s_hi = 0.0
+        self.s_lo = 0.0
+        super().__init__(mean, std, min_samples)
+
+    @property
+    def statistic(self) -> float:
+        """The larger of the two one-sided CUSUM sums."""
+        return max(self.s_hi, self.s_lo)
+
+    def _update_evidence(self, value: float) -> bool:
+        sigma = _floored_std(self.baseline_mean, self.baseline_std)
+        u = (value - self.baseline_mean) / sigma
+        self.s_hi = max(0.0, self.s_hi + u - self.k)
+        self.s_lo = max(0.0, self.s_lo - u - self.k)
+        return self.statistic > self.h
+
+    def _reset_evidence(self) -> None:
+        self.s_hi = 0.0
+        self.s_lo = 0.0
+
+
+def make_drift_detector(
+    kind: str,
+    mean: float,
+    std: float,
+    threshold: float = 4.0,
+    min_samples: int = 8,
+    cusum_k: float = 0.5,
+    variance_ratio: float = 0.0,
+) -> DriftDetector:
+    """Factory keyed by the CLI/experiment knob names.
+
+    ``threshold`` maps to the z threshold for ``"zscore"`` and to the
+    decision level ``h`` for ``"cusum"``.
+    """
+    if kind == "zscore":
+        return ZScoreDrift(
+            mean, std, threshold=threshold, min_samples=min_samples,
+            variance_ratio=variance_ratio,
+        )
+    if kind == "cusum":
+        return CUSUMDrift(mean, std, k=cusum_k, h=threshold, min_samples=min_samples)
+    raise DemandError(f"unknown drift detector {kind!r} (expected 'zscore' or 'cusum')")

@@ -1,0 +1,136 @@
+"""Online UAM compliance monitoring and violation policies.
+
+The paper *assumes* every arrival stream honours its declared UAM
+envelope ``⟨a_i, P_i⟩`` — Theorem 1 and every Chebyshev budget derived
+from ``C_i = a_i · c_i`` are vacuous against a stream that bursts past
+``a_i`` arrivals per window.  The :class:`UAMComplianceMonitor` checks
+each arrival against the task's envelope *online* (sliding window of the
+last ``a_i`` accepted arrival instants, the same ``t_{k+a} − t_k >= P``
+rule as :func:`repro.arrivals.uam.is_uam_compliant`) and applies a
+configurable :class:`ViolationPolicy` to non-compliant arrivals:
+
+* ``shed`` — drop the job.  The accepted stream stays compliant by
+  construction: at most ``a_i`` accepted arrivals in any ``P_i`` window.
+* ``defer`` — delay the job's release to the earliest compliant instant
+  (:func:`repro.arrivals.uam.next_admissible_time` over accepted times
+  *and* already-granted reservations, so deferred jobs keep their
+  arrival order and never collide with each other).
+* ``admit-and-flag`` — let the job through untouched but record the
+  violation (monitoring-only deployments).
+
+All three report every violation to the caller so it can emit a
+``UAM_VIOLATION`` event; compliant arrivals produce no output at all,
+which the disabled-runtime differential test relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+from ..arrivals.uam import UAMError, effective_window, next_admissible_time
+from ..sim.task import Task, TaskSet
+
+__all__ = ["ViolationPolicy", "Violation", "UAMComplianceMonitor"]
+
+
+class ViolationPolicy(enum.Enum):
+    """What to do with an arrival that overflows its UAM window."""
+
+    SHED = "shed"
+    DEFER = "defer"
+    ADMIT_AND_FLAG = "admit-and-flag"
+
+    @classmethod
+    def parse(cls, name: str) -> "ViolationPolicy":
+        for member in cls:
+            if member.value == name:
+                return member
+        choices = ", ".join(m.value for m in cls)
+        raise UAMError(f"unknown violation policy {name!r} (expected one of: {choices})")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One arrival that overflowed its task's UAM envelope."""
+
+    task: str
+    #: The offending arrival instant.
+    time: float
+    #: The window-opening arrival it collided with (``recent[-a]``).
+    window_anchor: float
+    #: Arrivals currently counted inside the trailing window (== a).
+    window_count: int
+    #: The policy applied.
+    policy: ViolationPolicy
+    #: For ``DEFER``: the compliant release granted.  ``None`` otherwise.
+    deferred_to: Optional[float] = None
+
+
+class UAMComplianceMonitor:
+    """Sliding-window UAM admission check with a pluggable policy.
+
+    Per task it keeps the last ``a_i`` *effective* arrival instants — the
+    admitted arrivals plus, under ``defer``, the deferred releases it has
+    granted (reservations).  An arrival at ``t`` violates the envelope
+    iff ``a_i`` effective instants already lie inside the trailing
+    (tolerance-shrunk) window ``(t − P_i, t]``; the boundary semantics
+    are exactly :func:`repro.arrivals.uam.effective_window`'s, so this
+    monitor and the offline checks can never disagree about an edge
+    arrival.
+    """
+
+    def __init__(self, taskset: TaskSet, policy: ViolationPolicy = ViolationPolicy.SHED):
+        self.policy = policy
+        self._times: Dict[str, Deque[float]] = {
+            task.name: deque(maxlen=task.uam.max_arrivals) for task in taskset
+        }
+        self._tasks: Dict[str, Task] = {task.name: task for task in taskset}
+        #: Violations observed, per task (diagnostics).
+        self.violations: Dict[str, int] = {task.name: 0 for task in taskset}
+
+    # ------------------------------------------------------------------
+    def check(self, task: Task, t: float) -> Optional[Violation]:
+        """Process one arrival of ``task`` at ``t``.
+
+        Returns ``None`` for a compliant arrival (recorded, no further
+        action) or a :class:`Violation` describing the policy's verdict.
+        The caller owns acting on it: dropping the job for ``SHED``,
+        re-releasing at ``deferred_to`` for ``DEFER``.
+        """
+        times = self._times[task.name]
+        spec = task.uam
+        a = spec.max_arrivals
+        if len(times) == a and t - times[0] < effective_window(spec.window):
+            self.violations[task.name] += 1
+            anchor = times[0]
+            deferred_to: Optional[float] = None
+            if self.policy is ViolationPolicy.DEFER:
+                # Reservations are themselves effective arrivals: chain
+                # from the later of "now" and the last grant so deferred
+                # jobs stay ordered and mutually compliant.
+                deferred_to = next_admissible_time(list(times), spec, max(t, times[-1]))
+                times.append(deferred_to)
+            elif self.policy is ViolationPolicy.ADMIT_AND_FLAG:
+                times.append(t)
+            return Violation(
+                task=task.name,
+                time=t,
+                window_anchor=anchor,
+                window_count=a,
+                policy=self.policy,
+                deferred_to=deferred_to,
+            )
+        times.append(t)
+        return None
+
+    # ------------------------------------------------------------------
+    @property
+    def total_violations(self) -> int:
+        return sum(self.violations.values())
+
+    def effective_times(self, task_name: str) -> list:
+        """The trailing effective arrival instants (tests/diagnostics)."""
+        return list(self._times[task_name])

@@ -1,0 +1,107 @@
+"""Online demand profiling with drift-triggered re-allocation input.
+
+The :class:`AdaptiveProfiler` is the closed-loop half of the paper's
+"determined through either online or off-line profiling" remark
+(Section 2.3): per completed job it feeds the *actually executed* cycle
+count into a per-task :class:`~repro.runtime.drift.DriftDetector`
+baselined at the declared moments ``E(Y_i)`` / ``Var(Y_i)``.  When a
+detector fires it returns a :class:`DriftReport` carrying the observed
+window moments, from which the :class:`~repro.runtime.adaptive.AdaptiveRuntime`
+re-derives the Chebyshev allocation ``c_i`` and re-runs
+``offlineComputing``.
+
+Observable only through completions: jobs shed, expired or aborted never
+reach the profiler, so the observation stream is censored toward jobs
+that fit the current allocation.  Under upward drift jobs still complete
+(the engine executes true demand, budgets only gate the scheduler), so
+mean shifts remain visible; the censoring mainly delays detection, which
+the CUSUM detector tolerates better than the windowed z-test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..demand.distributions import DemandError
+from ..sim.task import Task, TaskSet
+from .drift import DriftDetector
+
+__all__ = ["DriftReport", "AdaptiveProfiler"]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Evidence that one task's demand left its declared distribution."""
+
+    task: str
+    #: Observations accumulated since the last (re-)baseline.
+    samples: int
+    #: Declared (or previously re-baselined) moments.
+    baseline_mean: float
+    baseline_std: float
+    #: Observed window moments that triggered the alarm.
+    observed_mean: float
+    observed_variance: float
+    #: The detector's test statistic at alarm time.
+    statistic: float
+
+
+class AdaptiveProfiler:
+    """Per-task demand observation with drift detection.
+
+    Parameters
+    ----------
+    detector_factory:
+        ``(mean, std) -> DriftDetector`` — built once per task at
+        :meth:`register` time, baselined at the task's declared moments.
+    """
+
+    def __init__(self, detector_factory: Callable[[float, float], DriftDetector]):
+        self._factory = detector_factory
+        self._detectors: Dict[str, DriftDetector] = {}
+        #: Total observations folded in, across all tasks (diagnostics).
+        self.observations = 0
+        #: Total drift alarms raised, across all tasks (diagnostics).
+        self.alarms = 0
+
+    # ------------------------------------------------------------------
+    def register(self, task: Task) -> None:
+        """Start watching ``task``, baselined at its declared moments."""
+        mean = task.demand.mean
+        std = task.demand.variance ** 0.5
+        self._detectors[task.name] = self._factory(mean, std)
+
+    def register_all(self, taskset: TaskSet) -> None:
+        for task in taskset:
+            self.register(task)
+
+    def detector(self, task_name: str) -> DriftDetector:
+        try:
+            return self._detectors[task_name]
+        except KeyError:
+            raise DemandError(f"task {task_name!r} is not registered") from None
+
+    # ------------------------------------------------------------------
+    def observe(self, task_name: str, cycles: float) -> Optional[DriftReport]:
+        """Fold one completed job's executed cycles; report drift if the
+        task's detector fires."""
+        det = self.detector(task_name)
+        self.observations += 1
+        if not det.observe(cycles):
+            return None
+        self.alarms += 1
+        return DriftReport(
+            task=task_name,
+            samples=det.count,
+            baseline_mean=det.baseline_mean,
+            baseline_std=det.baseline_std,
+            observed_mean=det.window_mean,
+            observed_variance=det.window_variance,
+            statistic=getattr(det, "statistic", 0.0),
+        )
+
+    def rebaseline(self, task_name: str, mean: float, std: float) -> None:
+        """Accept new moments after a re-allocation; resets the task's
+        accumulated evidence so one drift episode raises one alarm."""
+        self.detector(task_name).rebaseline(mean, std)

@@ -11,7 +11,7 @@ is textbook EDF; Horn's rule makes it optimal during underloads).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from ..obs import EventKind
 from ..sim.scheduler import Decision, Scheduler, SchedulerView

@@ -27,21 +27,25 @@ handlers are modelled as zero-cost (the paper does not charge them).
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from ..cpu import Processor, ProcessorStats
 from ..demand import DemandProfiler
 from ..obs import EventKind, Observer
-from .scheduler import Decision, Scheduler, SchedulerView, SchedulingEvent
+from .scheduler import Scheduler, SchedulerView, SchedulingEvent
 from .job import Job, JobStatus
 from .metrics import Metrics
 from .task import TaskSet
 from .trace import Trace, TraceEventKind
 from .workload import WorkloadTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime imports sim)
+    from ..runtime import AdaptiveRuntime
 
 __all__ = ["Engine", "SimulationResult", "SimulationError"]
 
@@ -86,6 +90,7 @@ class Engine:
         record_trace: bool = False,
         profiler: Optional[DemandProfiler] = None,
         observer: Optional[Observer] = None,
+        runtime: Optional["AdaptiveRuntime"] = None,
     ):
         self.workload = workload
         self.scheduler = scheduler
@@ -93,10 +98,34 @@ class Engine:
         self.record_trace = bool(record_trace)
         self.profiler = profiler
         self.observer = observer
+        self.runtime = runtime
         self.trace: Optional[Trace] = Trace() if record_trace else None
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
+        """Execute the simulation.
+
+        With an adaptive runtime attached the main loop is wrapped in
+        ``try/finally`` so ``runtime.finalize()`` always restores the
+        task allocations the runtime may have mutated — even when the
+        run raises — keeping task sets safe to share across arms.
+        """
+        rt = self.runtime
+        if rt is None:
+            return self._run()
+        rt.bind(
+            self.workload.taskset,
+            self.processor.scale,
+            self.processor.model,
+            self.scheduler,
+            self.observer,
+        )
+        try:
+            return self._run()
+        finally:
+            rt.finalize()
+
+    def _run(self) -> SimulationResult:
         taskset: TaskSet = self.workload.taskset
         horizon = self.workload.horizon
         scheduler = self.scheduler
@@ -119,6 +148,13 @@ class Engine:
         ready: List[Job] = []
         recent_arrivals: Dict[str, Deque[float]] = {t.name: deque() for t in taskset}
 
+        # Adaptive runtime (optional): deferred re-releases wait here,
+        # ordered by their granted release instant (seq breaks ties —
+        # jobs are not comparable).
+        rt = self.runtime
+        deferred_heap: List[Tuple[float, int, Job]] = []
+        deferred_seq = 0
+
         t = 0.0
         event = SchedulingEvent.START
         #: Job executing in the most recent segment (preemption detection).
@@ -132,8 +168,40 @@ class Engine:
             advanced = False
 
             # --- release arrivals due now -----------------------------
-            while arrival_idx < n_jobs and jobs[arrival_idx].release <= t + EPS_TIME:
-                job = jobs[arrival_idx]
+            # Deferred re-releases (runtime `defer` policy) and fresh
+            # arrivals drain through the same gate; with no runtime the
+            # heap stays empty and the gate is a straight admit.
+            while True:
+                if deferred_heap and deferred_heap[0][0] <= t + EPS_TIME:
+                    job = heapq.heappop(deferred_heap)[2]
+                    from_deferred = True
+                elif arrival_idx < n_jobs and jobs[arrival_idx].release <= t + EPS_TIME:
+                    job = jobs[arrival_idx]
+                    arrival_idx += 1
+                    from_deferred = False
+                else:
+                    break
+                event = SchedulingEvent.ARRIVAL
+                advanced = True
+                if rt is not None:
+                    verdict = rt.on_arrival(job, t, ready, deferred=from_deferred)
+                    if verdict.action == "shed":
+                        job.status = JobStatus.SHED
+                        job.abort_time = t
+                        if self.trace is not None:
+                            self.trace.add_event(t, TraceEventKind.ABORT, job.key)
+                        continue
+                    if verdict.action == "defer":
+                        job.release = verdict.release
+                        heapq.heappush(deferred_heap, (job.release, deferred_seq, job))
+                        deferred_seq += 1
+                        continue
+                    for victim in verdict.evictions:
+                        victim.status = JobStatus.SHED
+                        victim.abort_time = t
+                        ready.remove(victim)
+                        if self.trace is not None:
+                            self.trace.add_event(t, TraceEventKind.ABORT, victim.key)
                 ready.append(job)
                 recent_arrivals[job.task.name].append(job.release)
                 if self.trace is not None:
@@ -142,9 +210,6 @@ class Engine:
                     obs.emit(t, EventKind.RELEASE, job.key,
                              release=job.release, termination=job.termination)
                     obs.inc("jobs_released", task=job.task.name)
-                arrival_idx += 1
-                event = SchedulingEvent.ARRIVAL
-                advanced = True
 
             # --- raise termination exceptions -------------------------
             if scheduler.abort_expired:
@@ -233,6 +298,8 @@ class Engine:
 
             # --- find the next event -----------------------------------
             t_arrival = jobs[arrival_idx].release if arrival_idx < n_jobs else math.inf
+            if deferred_heap:
+                t_arrival = min(t_arrival, deferred_heap[0][0])
             t_term = math.inf
             if scheduler.abort_expired:
                 for j in ready:
@@ -274,6 +341,8 @@ class Engine:
                 running.accrued_utility = running.utility_at(t)
                 ready.remove(running)
                 scheduler.on_completion(running, t)
+                if rt is not None:
+                    rt.on_completion(running, t)
                 if self.profiler is not None:
                     self.profiler.record(running.task.name, running.executed)
                 if self.trace is not None:
@@ -302,6 +371,7 @@ class Engine:
                 if (
                     running is None
                     and arrival_idx >= n_jobs
+                    and not deferred_heap
                     and (t_term is math.inf)
                 ):
                     break

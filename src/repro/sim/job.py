@@ -24,6 +24,7 @@ class JobStatus(enum.Enum):
     COMPLETED = "completed"  # finished all demanded cycles
     ABORTED = "aborted"  # dropped by the scheduler (infeasible)
     EXPIRED = "expired"  # termination time reached mid-execution
+    SHED = "shed"  # dropped by the runtime admission layer (never or no longer scheduled)
 
 
 class Job:

@@ -26,6 +26,7 @@ class TaskMetrics:
     completed: int = 0
     aborted: int = 0
     expired: int = 0
+    shed: int = 0
     unfinished: int = 0
     accrued_utility: float = 0.0
     max_possible_utility: float = 0.0
@@ -90,6 +91,8 @@ class Metrics:
                 tm.aborted += 1
             elif job.status is JobStatus.EXPIRED:
                 tm.expired += 1
+            elif job.status is JobStatus.SHED:
+                tm.shed += 1
             else:
                 tm.unfinished += 1
 
@@ -137,6 +140,10 @@ class Metrics:
         return sum(tm.expired for tm in self.per_task.values())
 
     @property
+    def shed(self) -> int:
+        return sum(tm.shed for tm in self.per_task.values())
+
+    @property
     def unfinished(self) -> int:
         return sum(tm.unfinished for tm in self.per_task.values())
 
@@ -161,6 +168,7 @@ class Metrics:
             "completed": float(self.completed),
             "aborted": float(self.aborted),
             "expired": float(self.expired),
+            "shed": float(self.shed),
             "unfinished": float(self.unfinished),
             "busy_time": self.processor.busy_time,
             "idle_time": self.processor.idle_time,

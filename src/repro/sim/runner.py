@@ -7,7 +7,7 @@ how the paper's normalised utility/energy figures are produced.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -18,6 +18,9 @@ from .scheduler import Scheduler
 from .engine import Engine, SimulationResult
 from .task import TaskSet
 from .workload import WorkloadTrace, materialize
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime imports sim)
+    from ..runtime import AdaptiveRuntime
 
 __all__ = ["Platform", "simulate", "compare"]
 
@@ -86,6 +89,7 @@ def simulate(
     record_trace: bool = False,
     profiler: Optional[DemandProfiler] = None,
     observer: Optional[Observer] = None,
+    runtime: Optional["AdaptiveRuntime"] = None,
 ) -> SimulationResult:
     """Run ``scheduler`` over ``workload`` and return the result.
 
@@ -94,7 +98,10 @@ def simulate(
     plus ``horizon`` (materialised here from ``rng``/``seed``).
     ``observer`` attaches an observability sink (event log, metrics,
     profiling) to both the engine and the scheduler; ``None`` keeps the
-    run instrumentation-free.
+    run instrumentation-free.  ``runtime`` attaches an
+    :class:`~repro.runtime.AdaptiveRuntime` (online re-allocation, UAM
+    enforcement, admission control); it is single-use — pass a fresh
+    instance per run.
     """
     platform = platform if platform is not None else Platform()
     trace = _as_workload(workload, horizon, rng, seed)
@@ -105,6 +112,7 @@ def simulate(
         record_trace=record_trace,
         profiler=profiler,
         observer=observer,
+        runtime=runtime,
     )
     return engine.run()
 

@@ -155,6 +155,25 @@ class Task:
             raise TaskModelError(f"frequency must be > 0, got {frequency!r}")
         return self.min_feasible_frequency / frequency
 
+    def reallocate(self, allocation: float) -> None:
+        """Override the Chebyshev allocation ``c_i`` with a profiled value.
+
+        This is the *only* supported mutation of a task after
+        construction, and it exists for the online adaptation layer
+        (:mod:`repro.runtime`): when observed demand drifts away from
+        the declared distribution, the runtime re-derives ``c_i`` from
+        the profiled moments and installs it here so every consumer —
+        job budgets, ``remaining_window_cycles``, ``decideFreq`` — sees
+        the refreshed value.  Callers that share the task set across
+        runs must restore the original allocation afterwards (the
+        runtime's ``finalize()`` does) and must invalidate the
+        ``offlineComputing`` memo (:func:`repro.core.offline.invalidate_offline_cache`)
+        before re-deriving scheduler parameters.
+        """
+        if allocation <= 0.0 or not math.isfinite(allocation):
+            raise TaskModelError(f"allocation must be finite and > 0, got {allocation!r}")
+        self._allocation = float(allocation)
+
     # ------------------------------------------------------------------
     def scaled_demand(self, k: float) -> "Task":
         """A copy of the task with demand ``k · Y`` (load sweeps).

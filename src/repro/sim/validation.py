@@ -10,7 +10,6 @@ numbers).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import List
 

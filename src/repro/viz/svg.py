@@ -13,7 +13,7 @@ series, axis ticks, a legend, and an optional reference line at y=1
 from __future__ import annotations
 
 import html
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 __all__ = ["LineChart", "render_figure2", "render_figure3"]
 

@@ -66,6 +66,53 @@ class TestWelford:
         assert ea.count == 1
 
 
+class TestSmallSampleContract:
+    """The frozen small-sample contract (see the WelfordEstimator
+    docstring) — the adaptive runtime branches on exactly these
+    behaviours, so they are pinned individually."""
+
+    def test_mean_n0_raises_demand_error(self):
+        with pytest.raises(DemandError):
+            WelfordEstimator().mean
+
+    def test_variance_n0_raises_demand_error(self):
+        with pytest.raises(DemandError):
+            WelfordEstimator().variance
+
+    def test_variance_n1_is_exactly_zero(self):
+        for value in (5.0, -3.25, 1e-12, 1e12):
+            est = WelfordEstimator()
+            est.update(value)
+            assert est.variance == 0.0  # exact, not approx
+
+    def test_sample_variance_n0_and_n1_raise(self):
+        est = WelfordEstimator()
+        with pytest.raises(DemandError):
+            est.sample_variance
+        est.update(1.0)
+        with pytest.raises(DemandError):
+            est.sample_variance
+        est.update(2.0)
+        assert est.sample_variance == pytest.approx(0.5)
+
+    def test_never_zero_division_or_nan(self):
+        """The contract errors are typed DemandErrors, never arithmetic
+        accidents leaking out of the update recurrences."""
+        est = WelfordEstimator()
+        for exc_prop in ("mean", "variance", "sample_variance"):
+            with pytest.raises(DemandError):
+                getattr(est, exc_prop)
+
+    def test_deterministic_across_identical_streams(self):
+        a, b = WelfordEstimator(), WelfordEstimator()
+        stream = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        a.update_many(stream)
+        b.update_many(stream)
+        assert (a.count, a.mean, a.variance, a.sample_variance) == (
+            b.count, b.mean, b.variance, b.sample_variance
+        )
+
+
 class TestProfiler:
     def test_records_per_task(self):
         p = DemandProfiler()

@@ -11,7 +11,6 @@ import io
 import re
 from pathlib import Path
 
-import pytest
 
 ROOT = Path(__file__).resolve().parents[2]
 
@@ -67,6 +66,21 @@ class TestPerformance:
             for block in blocks:
                 exec(compile(_shrink(block), "performance.md", "exec"), ns)
         assert "[" in sink.getvalue()  # the printed per-load utility list
+
+
+class TestRuntimeDoc:
+    def test_all_blocks_execute(self):
+        blocks = _python_blocks(ROOT / "docs" / "runtime.md")
+        assert blocks, "runtime doc must contain a runnable example"
+        ns = {}
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            for block in blocks:
+                exec(compile(_shrink(block), "runtime.md", "exec"), ns)
+        out = sink.getvalue()
+        assert "reallocations:" in out
+        # The drift scenario really adapts — the doc's claim is live.
+        assert not out.strip().endswith("reallocations: 0")
 
 
 class TestReadme:

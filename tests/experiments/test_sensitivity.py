@@ -1,6 +1,5 @@
 """Tests for sensitivity sweeps (repro.experiments.sensitivity)."""
 
-import pytest
 
 from repro.experiments import (
     sweep_ladder_granularity,

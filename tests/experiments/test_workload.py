@@ -10,7 +10,6 @@ from repro.arrivals import (
     ScatteredUAMArrivals,
 )
 from repro.experiments import TABLE1, synthesize_taskset
-from repro.experiments.workload import VAR_PER_MEAN
 from repro.tuf import LinearTUF, StepTUF
 
 

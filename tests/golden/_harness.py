@@ -19,8 +19,10 @@ from typing import Dict, List
 import numpy as np
 
 from repro.experiments import synthesize_taskset
+from repro.experiments.adaptive import drifting_trace
 from repro.obs import Observer, events_to_jsonl
 from repro.resources import REUA, ResourceMap
+from repro.runtime import AdaptiveRuntime, RuntimeConfig
 from repro.sched import make_scheduler
 from repro.sim import Platform, materialize, simulate
 
@@ -31,6 +33,14 @@ SEED = 11
 LOAD = 0.8
 HORIZON = 0.4
 
+#: The adaptive-runtime case replays the canonical drift scenario from
+#: ``repro.experiments.adaptive`` instead (the compliant short-horizon
+#: workload above never trips the detectors, so its runtime log would
+#: be indistinguishable from plain EUA*).
+ADAPTIVE_LABEL = "EUA*-adaptive"
+ADAPTIVE_LOAD = 0.9
+ADAPTIVE_HORIZON = 1.0
+
 #: scheduler label -> (filename, factory).  REUA is not in the registry
 #: (it needs a resource map), so it gets an explicit factory.
 CASES = {
@@ -38,6 +48,7 @@ CASES = {
     "DASA": ("dasa.jsonl", lambda: make_scheduler("DASA")),
     "EDF": ("edf.jsonl", lambda: make_scheduler("EDF")),
     "REUA": ("reua.jsonl", lambda: REUA(ResourceMap({}))),
+    ADAPTIVE_LABEL: ("eua_star_adaptive.jsonl", lambda: make_scheduler("EUA*")),
 }
 
 
@@ -45,11 +56,19 @@ def record_events_jsonl(label: str) -> str:
     """Run the fixed workload under ``label``'s scheduler and return the
     structured event log as JSONL text."""
     filename, factory = CASES[label]
-    rng = np.random.default_rng(SEED)
-    taskset = synthesize_taskset(LOAD, rng)
-    trace = materialize(taskset, HORIZON, rng)
     observer = Observer(events=True, metrics=False)
-    simulate(trace, factory(), Platform(), observer=observer)
+    if label == ADAPTIVE_LABEL:
+        platform = Platform.powernow_k6()
+        trace = drifting_trace(
+            seed=SEED, load=ADAPTIVE_LOAD, horizon=ADAPTIVE_HORIZON, platform=platform
+        )
+        runtime = AdaptiveRuntime(RuntimeConfig())
+        simulate(trace, factory(), platform, observer=observer, runtime=runtime)
+    else:
+        rng = np.random.default_rng(SEED)
+        taskset = synthesize_taskset(LOAD, rng)
+        trace = materialize(taskset, HORIZON, rng)
+        simulate(trace, factory(), Platform(), observer=observer)
     return events_to_jsonl(observer.events)
 
 

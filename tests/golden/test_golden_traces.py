@@ -14,6 +14,7 @@ import json
 import pytest
 
 from ._harness import (
+    ADAPTIVE_LABEL,
     CASES,
     diff_events,
     golden_path,
@@ -60,3 +61,13 @@ def test_golden_traces_differ_across_schedulers():
     # EUA* and REUA with an empty resource map agree on decisions by
     # design (no blockers to charge) but must both be present and valid.
     assert json.loads(texts["REUA"].splitlines()[0])["type"] == "event"
+
+
+def test_adaptive_golden_contains_runtime_events():
+    """The adaptive case exists to freeze the runtime layer's behaviour:
+    its golden log must actually exercise that layer, not degenerate into
+    a plain EUA* trace."""
+    kinds = {e["kind"] for e in parse_jsonl(golden_path(ADAPTIVE_LABEL).read_text())}
+    assert "drift_detected" in kinds
+    assert "reallocation" in kinds
+    assert "admission_decision" in kinds

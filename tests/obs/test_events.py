@@ -1,6 +1,5 @@
 """EventLog semantics: sequencing, filtering, ordering."""
 
-import pytest
 
 from repro.obs import Event, EventKind, EventLog
 

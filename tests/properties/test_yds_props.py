@@ -1,6 +1,5 @@
 """Property-based tests for the YDS lower bound."""
 
-import itertools
 
 import pytest
 from hypothesis import given, settings

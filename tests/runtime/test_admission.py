@@ -1,0 +1,97 @@
+"""Unit tests for the overload admission controller (repro.runtime.admission)."""
+
+import pytest
+
+from repro.arrivals import UAMSpec
+from repro.cpu import EnergyModel, FrequencyScale
+from repro.demand import DeterministicDemand
+from repro.runtime.admission import AdmissionController
+from repro.sim import Job, Task
+from repro.tuf import StepTUF
+
+SCALE = FrequencyScale.powernow_k6()
+MODEL = EnergyModel.e1()
+F_MAX = SCALE.f_max
+
+
+def make_job(name, height, busy_seconds, release=0.0, deadline=1.0, index=0):
+    """A job whose Chebyshev budget takes ``busy_seconds`` at f_max."""
+    task = Task(
+        name,
+        StepTUF(height=height, deadline=deadline),
+        DeterministicDemand(busy_seconds * F_MAX),
+        UAMSpec(1, deadline),
+    )
+    return Job(task, index, release, busy_seconds * F_MAX)
+
+
+class TestAdmit:
+    def test_feasible_job_admitted_silently(self):
+        ctl = AdmissionController()
+        verdict = ctl.evaluate(make_job("a", 10.0, 0.3), 0.0, [], F_MAX, MODEL)
+        assert verdict.admit and not verdict.evictions
+        assert not verdict.disturbs
+        assert ctl.admitted == 1 and ctl.rejected == 0
+
+    def test_feasible_alongside_ready_set(self):
+        ctl = AdmissionController()
+        ready = [make_job("a", 10.0, 0.3), make_job("b", 10.0, 0.3, index=1)]
+        verdict = ctl.evaluate(make_job("c", 10.0, 0.3), 0.0, ready, F_MAX, MODEL)
+        assert verdict.admit and not verdict.evictions
+
+
+class TestReject:
+    def test_individually_infeasible(self):
+        ctl = AdmissionController()
+        # Needs 1.5s at f_max but terminates at 1.0.
+        verdict = ctl.evaluate(make_job("a", 10.0, 1.5), 0.0, [], F_MAX, MODEL)
+        assert not verdict.admit
+        assert verdict.reason == "individually-infeasible"
+        assert verdict.disturbs
+
+    def test_lowest_uer_incoming_rejected_without_disturbing_ready(self):
+        ctl = AdmissionController()
+        ready = [make_job("hi1", 100.0, 0.4), make_job("hi2", 100.0, 0.4, index=1)]
+        verdict = ctl.evaluate(make_job("lo", 1.0, 0.4), 0.0, ready, F_MAX, MODEL)
+        assert not verdict.admit
+        assert verdict.reason == "lowest-uer"
+        assert verdict.evictions == ()
+        assert ctl.evicted == 0
+
+
+class TestEvict:
+    def test_low_uer_ready_job_evicted_for_high_uer_arrival(self):
+        ctl = AdmissionController()
+        low = make_job("lo", 1.0, 0.4)
+        high = make_job("hi", 100.0, 0.4)
+        ready = [low, high]
+        verdict = ctl.evaluate(make_job("hi2", 100.0, 0.4, index=1), 0.0, ready, F_MAX, MODEL)
+        assert verdict.admit
+        assert verdict.evictions == (low,)
+        assert verdict.reason == "evicted-lower-uer"
+        assert ctl.evicted == 1
+
+    def test_evicts_only_as_much_as_needed(self):
+        ctl = AdmissionController()
+        ready = [
+            make_job("lo1", 1.0, 0.3),
+            make_job("lo2", 2.0, 0.3, index=1),
+            make_job("hi", 100.0, 0.3, index=2),
+        ]
+        # One eviction (0.3s) is enough to fit the 0.3s arrival.
+        verdict = ctl.evaluate(make_job("hi2", 100.0, 0.3, index=3), 0.0, ready, F_MAX, MODEL)
+        assert verdict.admit
+        assert len(verdict.evictions) == 1
+        assert verdict.evictions[0].task.name == "lo1"  # lowest UER first
+
+
+class TestHeadroom:
+    def test_headroom_tightens_admission(self):
+        # 0.9s of work fits a 1.0 deadline at f_max but not at f_max/1.2.
+        job = make_job("a", 10.0, 0.9)
+        assert AdmissionController(1.0).evaluate(job, 0.0, [], F_MAX, MODEL).admit
+        assert not AdmissionController(1.2).evaluate(job, 0.0, [], F_MAX, MODEL).admit
+
+    def test_invalid_headroom(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0.5)

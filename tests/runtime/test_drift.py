@@ -1,0 +1,128 @@
+"""Unit tests for the drift detectors (repro.runtime.drift)."""
+
+import pytest
+
+from repro.demand.distributions import DemandError
+from repro.runtime.drift import CUSUMDrift, ZScoreDrift, make_drift_detector
+
+
+class TestZScoreDrift:
+    def test_fires_on_level_shift(self):
+        det = ZScoreDrift(10.0, 1.0, threshold=3.0, min_samples=4)
+        fired = [det.observe(15.0) for _ in range(6)]
+        # |15-10|*sqrt(n)/1 = 5*sqrt(n) > 3 immediately, but min_samples
+        # gates the first three observations.
+        assert fired == [False, False, False, True, True, True]
+
+    def test_silent_on_baseline_stream(self):
+        det = ZScoreDrift(10.0, 2.0, threshold=4.0, min_samples=4)
+        for value in (9.0, 11.0, 10.0, 10.5, 9.5, 10.0, 10.2, 9.8):
+            assert not det.observe(value)
+
+    def test_never_fires_before_min_samples(self):
+        det = ZScoreDrift(10.0, 1.0, threshold=0.5, min_samples=100)
+        assert not any(det.observe(50.0) for _ in range(99))
+        assert det.observe(50.0)
+
+    def test_rebaseline_resets_window_and_evidence(self):
+        det = ZScoreDrift(10.0, 1.0, threshold=3.0, min_samples=2)
+        det.observe(20.0)
+        assert det.observe(20.0)
+        det.rebaseline(20.0, 1.0)
+        assert det.count == 0
+        assert not det.observe(20.0)
+        assert not det.observe(20.0)
+
+    def test_zero_variance_baseline_uses_std_floor(self):
+        det = ZScoreDrift(10.0, 0.0, threshold=4.0, min_samples=1)
+        # Any deviation from a declared-deterministic demand standardises
+        # huge thanks to the relative floor — no ZeroDivisionError.
+        assert det.observe(10.001)
+
+    def test_variance_ratio_gate(self):
+        det = ZScoreDrift(10.0, 1.0, threshold=100.0, min_samples=2, variance_ratio=4.0)
+        # Mean preserved, spread exploded: z stays tiny, ratio fires.
+        det.observe(4.0)
+        assert det.observe(16.0)
+
+    def test_statistic_zero_before_observations(self):
+        assert ZScoreDrift(10.0, 1.0).statistic == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"threshold": 0.0},
+        {"threshold": -1.0},
+        {"variance_ratio": -0.5},
+        {"variance_ratio": 1.0},
+        {"min_samples": 0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(DemandError):
+            ZScoreDrift(10.0, 1.0, **kwargs)
+
+    def test_invalid_baseline(self):
+        det = ZScoreDrift(10.0, 1.0)
+        with pytest.raises(DemandError):
+            det.rebaseline(float("nan"), 1.0)
+        with pytest.raises(DemandError):
+            det.rebaseline(10.0, -1.0)
+
+
+class TestCUSUMDrift:
+    def test_accumulates_small_sustained_drift(self):
+        # 1.5 sigma sustained: each step adds 1.0 to S+; h=5 -> fires at
+        # the 6th observation.  A windowed z-test with threshold 100
+        # would never see this.
+        det = CUSUMDrift(10.0, 1.0, k=0.5, h=5.0, min_samples=2)
+        fired = [det.observe(11.5) for _ in range(8)]
+        assert fired.index(True) == 5
+
+    def test_two_sided(self):
+        det = CUSUMDrift(10.0, 1.0, k=0.5, h=3.0, min_samples=2)
+        assert any(det.observe(8.5) for _ in range(6))
+
+    def test_slack_absorbs_in_model_noise(self):
+        det = CUSUMDrift(10.0, 1.0, k=0.5, h=5.0, min_samples=2)
+        for value in (10.3, 9.7, 10.4, 9.6, 10.2, 9.8, 10.1, 9.9):
+            assert not det.observe(value)
+
+    def test_rebaseline_clears_sums(self):
+        det = CUSUMDrift(10.0, 1.0, k=0.5, h=2.0, min_samples=2)
+        det.observe(14.0)
+        assert det.observe(14.0)
+        det.rebaseline(14.0, 1.0)
+        assert det.statistic == 0.0
+        assert not det.observe(14.0)
+
+    @pytest.mark.parametrize("kwargs", [{"k": -0.1}, {"h": 0.0}])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(DemandError):
+            CUSUMDrift(10.0, 1.0, **kwargs)
+
+
+class TestWindowMoments:
+    def test_single_observation_variance_is_zero(self):
+        det = ZScoreDrift(10.0, 1.0)
+        det.observe(12.0)
+        assert det.window_mean == 12.0
+        assert det.window_variance == 0.0
+
+    def test_multi_observation_uses_sample_variance(self):
+        det = ZScoreDrift(10.0, 1.0, threshold=1e9)
+        for value in (8.0, 12.0):
+            det.observe(value)
+        assert det.window_mean == pytest.approx(10.0)
+        assert det.window_variance == pytest.approx(8.0)  # unbiased: 2*4/1
+
+
+class TestFactory:
+    def test_builds_each_kind(self):
+        z = make_drift_detector("zscore", 10.0, 1.0, threshold=3.5, min_samples=5)
+        assert isinstance(z, ZScoreDrift)
+        assert z.threshold == 3.5 and z.min_samples == 5
+        c = make_drift_detector("cusum", 10.0, 1.0, threshold=6.0, cusum_k=0.25)
+        assert isinstance(c, CUSUMDrift)
+        assert c.h == 6.0 and c.k == 0.25
+
+    def test_unknown_kind(self):
+        with pytest.raises(DemandError):
+            make_drift_detector("ewma", 10.0, 1.0)

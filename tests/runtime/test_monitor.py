@@ -1,0 +1,142 @@
+"""Unit tests for the UAM compliance monitor (repro.runtime.monitor)."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals import BurstUAMArrivals, UAMError, UAMSpec, is_uam_compliant
+from repro.demand import DeterministicDemand
+from repro.runtime.monitor import UAMComplianceMonitor, ViolationPolicy
+from repro.sim import Task, TaskSet
+from repro.tuf import StepTUF
+
+
+def make_task(a=2, window=1.0, name="t"):
+    return Task(
+        name,
+        StepTUF(height=10.0, deadline=window),
+        DeterministicDemand(5.0),
+        UAMSpec(a, window),
+        arrivals=BurstUAMArrivals(UAMSpec(a, window)) if a > 1 else None,
+    )
+
+
+def feed(monitor, task, times):
+    """Run a sequence of arrivals; return (admitted, violations)."""
+    admitted, violations = [], []
+    for t in times:
+        v = monitor.check(task, t)
+        if v is None:
+            admitted.append(t)
+        else:
+            violations.append(v)
+    return admitted, violations
+
+
+class TestShedPolicy:
+    def test_burst_past_envelope_is_shed(self):
+        task = make_task(a=2, window=1.0)
+        mon = UAMComplianceMonitor(TaskSet([task]), ViolationPolicy.SHED)
+        admitted, violations = feed(mon, task, [0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0])
+        assert admitted == [0.0, 0.0, 1.0, 1.0]
+        assert len(violations) == 3
+        assert mon.total_violations == 3
+
+    def test_accepted_stream_always_compliant(self):
+        """The shed invariant: at most a_i accepted arrivals per window."""
+        rng = np.random.default_rng(7)
+        for a, window in [(1, 0.5), (2, 1.0), (3, 0.25)]:
+            task = make_task(a=a, window=window)
+            mon = UAMComplianceMonitor(TaskSet([task]), ViolationPolicy.SHED)
+            times = np.sort(rng.uniform(0.0, 10.0, size=200))
+            admitted, _ = feed(mon, task, times)
+            assert is_uam_compliant(admitted, task.uam)
+
+    def test_compliant_stream_never_flags(self):
+        task = make_task(a=2, window=1.0)
+        mon = UAMComplianceMonitor(TaskSet([task]), ViolationPolicy.SHED)
+        admitted, violations = feed(mon, task, [0.0, 0.3, 1.0, 1.3, 2.0, 2.3])
+        assert violations == []
+        assert len(admitted) == 6
+
+
+class TestDeferPolicy:
+    def test_defers_to_window_close(self):
+        task = make_task(a=2, window=1.0)
+        mon = UAMComplianceMonitor(TaskSet([task]), ViolationPolicy.DEFER)
+        _, violations = feed(mon, task, [0.0, 0.0, 0.0, 0.0])
+        assert [v.deferred_to for v in violations] == [1.0, 1.0]
+
+    def test_grants_preserve_order_and_compliance(self):
+        task = make_task(a=2, window=1.0)
+        mon = UAMComplianceMonitor(TaskSet([task]), ViolationPolicy.DEFER)
+        arrivals = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1]
+        effective = []
+        for t in arrivals:
+            v = mon.check(task, t)
+            effective.append(t if v is None else v.deferred_to)
+        # Deferred releases never reorder relative to arrival order...
+        assert effective == sorted(effective)
+        # ...and the effective stream honours the envelope.
+        assert is_uam_compliant(effective, task.uam)
+
+    def test_random_torture_stays_ordered_and_compliant(self):
+        rng = np.random.default_rng(23)
+        task = make_task(a=3, window=0.5)
+        mon = UAMComplianceMonitor(TaskSet([task]), ViolationPolicy.DEFER)
+        times = np.sort(rng.uniform(0.0, 4.0, size=150))
+        effective = []
+        for t in times:
+            v = mon.check(task, t)
+            effective.append(t if v is None else v.deferred_to)
+        assert effective == sorted(effective)
+        assert is_uam_compliant(effective, task.uam)
+
+    def test_deferral_is_never_in_the_past(self):
+        task = make_task(a=1, window=1.0)
+        mon = UAMComplianceMonitor(TaskSet([task]), ViolationPolicy.DEFER)
+        for t in [0.0, 0.2, 0.4]:
+            v = mon.check(task, t)
+            if v is not None:
+                assert v.deferred_to >= t
+
+
+class TestAdmitAndFlagPolicy:
+    def test_flags_but_admits(self):
+        task = make_task(a=2, window=1.0)
+        mon = UAMComplianceMonitor(TaskSet([task]), ViolationPolicy.ADMIT_AND_FLAG)
+        _, violations = feed(mon, task, [0.0, 0.0, 0.0, 0.0])
+        assert len(violations) == 2
+        for v in violations:
+            assert v.deferred_to is None
+            assert v.policy is ViolationPolicy.ADMIT_AND_FLAG
+        # Flagged arrivals still count in the window, so the count keeps
+        # reflecting the true (violating) stream.
+        assert mon.effective_times(task.name) == [0.0, 0.0]
+
+
+class TestBoundary:
+    def test_arrival_exactly_at_trailing_edge_opens_new_window(self):
+        task = make_task(a=1, window=1.0)
+        mon = UAMComplianceMonitor(TaskSet([task]), ViolationPolicy.SHED)
+        assert mon.check(task, 0.0) is None
+        # t = t_prev + P: the old window is half-open, so this is legal.
+        assert mon.check(task, 1.0) is None
+        # Strictly inside the window: violation.
+        assert mon.check(task, 1.5) is not None
+
+    def test_float_accumulation_undershoot_tolerated(self):
+        task = make_task(a=1, window=0.1)
+        mon = UAMComplianceMonitor(TaskSet([task]), ViolationPolicy.SHED)
+        # 30 * 0.1 accumulated in floats undershoots 3.0 by a few ulps.
+        t = 0.0
+        for _ in range(30):
+            assert mon.check(task, t) is None
+            t += 0.1
+
+
+def test_policy_parse():
+    assert ViolationPolicy.parse("shed") is ViolationPolicy.SHED
+    assert ViolationPolicy.parse("defer") is ViolationPolicy.DEFER
+    assert ViolationPolicy.parse("admit-and-flag") is ViolationPolicy.ADMIT_AND_FLAG
+    with pytest.raises(UAMError):
+        ViolationPolicy.parse("drop")

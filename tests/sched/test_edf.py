@@ -1,6 +1,5 @@
 """Tests for EDF policies (repro.sched.edf)."""
 
-import pytest
 
 from repro.arrivals import UAMSpec
 from repro.cpu import EnergyModel, FrequencyScale

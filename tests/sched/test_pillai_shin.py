@@ -1,6 +1,5 @@
 """Tests for the Pillai-Shin RT-DVS baselines (repro.sched.pillai_shin)."""
 
-import pytest
 
 from repro.arrivals import UAMSpec
 from repro.cpu import EnergyModel, FrequencyScale

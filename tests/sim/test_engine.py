@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.arrivals import TraceArrivals, UAMSpec
+from repro.arrivals import UAMSpec
 from repro.cpu import EnergyModel, FrequencyScale, Processor
 from repro.demand import DemandProfiler, DeterministicDemand
 from repro.sched import Decision, EDFStatic, Scheduler

@@ -4,7 +4,6 @@ import subprocess
 import sys
 
 import numpy as np
-import pytest
 
 from repro.cpu import EnergyModel, FrequencyScale
 from repro.sched import EDFStatic

@@ -1,6 +1,5 @@
 """Tests for Task/TaskSet (repro.sim.task)."""
 
-import math
 
 import pytest
 

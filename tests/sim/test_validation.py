@@ -6,7 +6,7 @@ import pytest
 from repro.core import EUAStar
 from repro.cpu import EnergyModel
 from repro.sched import EDFStatic, LAEDF
-from repro.sim import Platform, materialize, simulate, validate_result
+from repro.sim import materialize, simulate, validate_result
 from repro.sim.trace import Segment
 
 
