@@ -1,0 +1,67 @@
+"""BENCH_*.json artifact emission for the CI regression gate.
+
+Every benchmark that feeds the gate calls :func:`write_bench_artifact`
+with a flat ``{metric: value}`` dict.  The file lands in
+``$REPRO_BENCH_ARTIFACTS`` (CI sets this and uploads the directory) or
+``benchmarks/artifacts/`` locally, and
+``benchmarks/check_regression.py`` compares it against the committed
+baseline of the same name under ``benchmarks/baselines/``.
+
+Only metrics that appear in a baseline are gated, so a benchmark is
+free to record informational numbers (wall-clock timings on shared CI
+runners, for instance) that nobody wants a 10% tolerance on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+
+def artifacts_dir() -> Path:
+    """Where BENCH_*.json files go (env override for CI)."""
+    override = os.environ.get("REPRO_BENCH_ARTIFACTS")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent / "artifacts"
+
+
+def baselines_dir() -> Path:
+    return Path(__file__).resolve().parent / "baselines"
+
+
+def write_bench_artifact(
+    name: str,
+    metrics: Mapping[str, float],
+    directions: Optional[Mapping[str, str]] = None,
+    meta: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``directions`` maps a metric to ``"higher"`` (bigger is better) or
+    ``"lower"``; unlisted metrics default to ``"higher"``.  The gate
+    reads the direction from the *baseline*, but recording it here lets
+    ``check_regression.py --update`` build baselines from scratch.
+    """
+    directions = dict(directions or {})
+    for key, direction in directions.items():
+        if direction not in ("higher", "lower"):
+            raise ValueError(f"{key}: direction must be 'higher' or 'lower'")
+    payload: Dict[str, object] = {
+        "name": name,
+        "metrics": {k: float(v) for k, v in sorted(metrics.items())},
+        "directions": {k: directions.get(k, "higher") for k in sorted(metrics)},
+        "meta": {
+            **(dict(meta) if meta else {}),
+            "python": platform.python_version(),
+            "platform": sys.platform,
+        },
+    }
+    path = artifacts_dir() / f"BENCH_{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -10,6 +10,8 @@ EDF@f_max) and asserts the paper's shape:
   accrues at least as much utility as every baseline.
 """
 
+from _artifacts import write_bench_artifact
+
 from repro.experiments import (
     FIGURE2_SCHEDULERS,
     ascii_table,
@@ -47,6 +49,23 @@ def test_figure2_e1(benchmark, bench_loads, bench_seeds, bench_horizon):
             assert util["LA-EDF-NA"] <= 0.5 * util["LA-EDF"]  # domino effect
             for name in ("EUA*", "LA-EDF"):
                 assert energy[name] >= 0.90  # convergence to f_max
+
+    # Simulation-derived metrics are deterministic in (loads, seeds,
+    # horizon), so the committed baseline gates them tightly in CI.
+    metrics, directions = {}, {}
+    for point in result.points:
+        for name in FIGURE2_SCHEDULERS:
+            ku = f"norm_utility/{point.load:g}/{name}"
+            ke = f"norm_energy/{point.load:g}/{name}"
+            metrics[ku] = point.utility[name].mean
+            metrics[ke] = point.energy[name].mean
+            directions[ku] = "higher"
+            directions[ke] = "lower"
+    write_bench_artifact(
+        "figure2_e1", metrics, directions,
+        meta={"loads": list(bench_loads), "seeds": list(bench_seeds),
+              "horizon": bench_horizon, "energy_setting": ENERGY_SETTING},
+    )
 
     print()
     print(f"Figure 2(a)+(b) — energy setting {ENERGY_SETTING}:")

@@ -23,6 +23,8 @@ import time
 
 import numpy as np
 
+from _artifacts import write_bench_artifact
+
 from repro.core import EUAStar
 from repro.cpu import EnergyModel, FrequencyScale, Processor
 from repro.demand import NormalDemand
@@ -120,6 +122,12 @@ def test_obs_overhead(benchmark):
     # Even a 4x-padded count of every guarded operation, each priced at
     # a full (over-measured) branch, stays well under the 5% budget.
     assert out["guard_bound_frac"] < 0.05
+
+    write_bench_artifact(
+        "obs_overhead", out,
+        directions={k: "lower" for k in out},
+        meta={"rounds": ROUNDS, "horizon": HORIZON, "load": LOAD},
+    )
 
     print()
     print("OBS — observability overhead:")

@@ -30,6 +30,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np  # noqa: E402
 
+from _artifacts import write_bench_artifact  # noqa: E402
 from repro.core import EUAStar  # noqa: E402
 from repro.experiments import synthesize_taskset  # noqa: E402
 from repro.experiments.figure2 import figure2_units  # noqa: E402
@@ -58,7 +59,7 @@ def _usable_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def bench_sweep_speedup() -> None:
+def bench_sweep_speedup() -> dict:
     units = lambda: figure2_units(  # noqa: E731 - rebuild per run
         loads=SWEEP_LOADS, seeds=SWEEP_SEEDS, horizon=SWEEP_HORIZON
     )
@@ -95,6 +96,11 @@ def bench_sweep_speedup() -> None:
     else:
         print(f"[sweep] >= 2x gate SKIPPED: only {cpus} usable CPU(s); "
               f"need >= {SWEEP_WORKERS}")
+    return {
+        "sweep_speedup": speedup,
+        "sweep_serial_s": t_serial,
+        "sweep_parallel_s": t_parallel,
+    }
 
 
 def _time_policy(policy_factory, trace) -> float:
@@ -106,7 +112,7 @@ def _time_policy(policy_factory, trace) -> float:
     return best
 
 
-def bench_decision_fastpath() -> None:
+def bench_decision_fastpath() -> dict:
     rng = np.random.default_rng(11)
     taskset = synthesize_taskset(MICRO_LOAD, rng)
     trace = materialize(taskset, MICRO_HORIZON, rng)
@@ -124,12 +130,26 @@ def bench_decision_fastpath() -> None:
         f"reference {t_ref:.4f}s (allowed margin {MICRO_MARGIN:.0%})"
     )
     print(f"[micro] no-regression gate (<= {1 + MICRO_MARGIN:.2f}x reference): PASS")
+    return {
+        "micro_incremental_over_reference": ratio,
+        "micro_reference_s": t_ref,
+        "micro_incremental_s": t_inc,
+    }
 
 
 def main() -> int:
-    bench_sweep_speedup()
+    metrics = bench_sweep_speedup()
     print()
-    bench_decision_fastpath()
+    metrics.update(bench_decision_fastpath())
+    # Wall-clock numbers on shared CI runners are informational; the
+    # hard gates live in the asserts above, not in a committed baseline.
+    write_bench_artifact(
+        "parallel_speedup", metrics,
+        directions={k: ("higher" if k == "sweep_speedup" else "lower")
+                    for k in metrics},
+        meta={"workers": SWEEP_WORKERS, "loads": list(SWEEP_LOADS),
+              "seeds": list(SWEEP_SEEDS), "horizon": SWEEP_HORIZON},
+    )
     return 0
 
 

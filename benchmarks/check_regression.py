@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: BENCH_*.json artifacts vs baselines.
+
+Run from the repository root after the benchmarks have emitted their
+artifacts (see ``benchmarks/_artifacts.py``)::
+
+    python benchmarks/check_regression.py            # gate (exit 1 on regression)
+    python benchmarks/check_regression.py --update   # rewrite the baselines
+
+Rules:
+
+* Every baseline file ``benchmarks/baselines/BENCH_<name>.json`` must
+  have a matching artifact; a missing artifact fails the gate (a bench
+  that silently stopped running is itself a regression).
+* Only metrics listed in the baseline are gated.  Each entry is
+  ``{"value": v, "direction": "higher"|"lower"[, "tolerance": t]}``;
+  the default tolerance is 10%.  ``direction: "higher"`` means the
+  metric regresses when it drops below ``v * (1 - t)``; ``"lower"``
+  when it rises above ``v * (1 + t)``.
+* Artifacts with no baseline are reported as informational only —
+  commit a baseline (``--update`` seeds one from the artifact) to start
+  gating them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _artifacts import artifacts_dir, baselines_dir  # noqa: E402
+
+DEFAULT_TOLERANCE = 0.10
+
+
+def _load(path: Path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _check_one(baseline_path: Path, artifact_path: Path) -> List[str]:
+    """Return regression messages for one baseline/artifact pair."""
+    baseline = _load(baseline_path)
+    artifact = _load(artifact_path)
+    measured = artifact.get("metrics", {})
+    failures = []
+    for key, spec in sorted(baseline.get("metrics", {}).items()):
+        if key not in measured:
+            failures.append(f"{key}: metric missing from artifact")
+            continue
+        value = measured[key]
+        base = spec["value"]
+        direction = spec.get("direction", "higher")
+        tol = spec.get("tolerance", DEFAULT_TOLERANCE)
+        if direction == "higher":
+            limit = base * (1.0 - tol)
+            regressed = value < limit - 1e-15
+        else:
+            limit = base * (1.0 + tol)
+            regressed = value > limit + 1e-15
+        arrow = ">=" if direction == "higher" else "<="
+        status = "REGRESSED" if regressed else "ok"
+        print(f"  {key}: {value:.6g} (baseline {base:.6g}, "
+              f"gate {arrow} {limit:.6g}) {status}")
+        if regressed:
+            failures.append(
+                f"{key}: {value:.6g} vs baseline {base:.6g} "
+                f"({direction} is better, tolerance {tol:.0%})"
+            )
+    return failures
+
+
+def _update_baselines(art_dir: Path, base_dir: Path) -> int:
+    base_dir.mkdir(parents=True, exist_ok=True)
+    artifacts = sorted(art_dir.glob("BENCH_*.json"))
+    if not artifacts:
+        print(f"no artifacts under {art_dir}; run the benchmarks first")
+        return 1
+    for artifact_path in artifacts:
+        artifact = _load(artifact_path)
+        target = base_dir / artifact_path.name
+        old = _load(target).get("metrics", {}) if target.exists() else {}
+        metrics = {}
+        for key, value in sorted(artifact.get("metrics", {}).items()):
+            spec = dict(old.get(key, {}))
+            spec["value"] = value
+            spec.setdefault("direction",
+                            artifact.get("directions", {}).get(key, "higher"))
+            metrics[key] = spec
+        target.write_text(json.dumps(
+            {"name": artifact["name"], "metrics": metrics},
+            indent=2, sort_keys=True,
+        ) + "\n")
+        print(f"wrote {target} ({len(metrics)} gated metrics)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--artifacts", type=Path, default=None,
+                        help="artifact directory (default: benchmarks/artifacts "
+                             "or $REPRO_BENCH_ARTIFACTS)")
+    parser.add_argument("--baselines", type=Path, default=None)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baselines from the current artifacts")
+    args = parser.parse_args(argv)
+
+    art_dir = args.artifacts or artifacts_dir()
+    base_dir = args.baselines or baselines_dir()
+    if args.update:
+        return _update_baselines(art_dir, base_dir)
+
+    baselines = sorted(base_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines under {base_dir}; nothing to gate")
+        return 0
+
+    all_failures = []
+    for baseline_path in baselines:
+        artifact_path = art_dir / baseline_path.name
+        print(f"{baseline_path.name}:")
+        if not artifact_path.exists():
+            print("  artifact missing — did the benchmark run?")
+            all_failures.append(f"{baseline_path.name}: artifact missing")
+            continue
+        failures = _check_one(baseline_path, artifact_path)
+        all_failures.extend(f"{baseline_path.name}: {msg}" for msg in failures)
+
+    ungated = [p.name for p in sorted(art_dir.glob("BENCH_*.json"))
+               if not (base_dir / p.name).exists()]
+    if ungated:
+        print("informational (no baseline): " + ", ".join(ungated))
+
+    if all_failures:
+        print(f"\n{len(all_failures)} benchmark regression(s):")
+        for msg in all_failures:
+            print(f"  {msg}")
+        return 1
+    print("\nbenchmark regression gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,7 +55,7 @@ def rebudget_trace(trace: WorkloadTrace, model: TaskSet) -> WorkloadTrace:
     return WorkloadTrace(model, trace.horizon, specs)
 
 
-def build_day0() -> TaskSet:
+def build_day0() -> "tuple[TaskSet, dict]":
     """Conservative launch configuration: WCET-style demand guesses."""
     # True behaviour (unknown to the scheduler): a two-mode filter.
     tracking_truth = MarkovModulatedDemand(

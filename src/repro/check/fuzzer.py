@@ -1,0 +1,535 @@
+"""Differential scenario fuzzer.
+
+Generates adversarial workloads — bursty UAM edges, near-1.0
+utilisation, degenerate TUFs, single-frequency platforms — and runs the
+scheduler zoo over each under the :class:`InvariantChecker`, plus two
+cross-scheduler metamorphic oracles:
+
+* **dominance** (Theorem 2 corollary): on periodic step-TUF underload
+  with no demand overruns, EUA* with the deterministic processor-demand
+  DVS method must accrue at least EDF-at-``f_max``'s utility.  The
+  lookahead method is excluded — it is *statistically* safe only
+  (pathological phasings may shed a few cycles), so asserting hard
+  dominance for it would false-positive.
+* **time scaling**: stretching every time quantity by λ=2 (releases,
+  TUF terminations, UAM windows) and every cycle quantity by λ=2
+  (demands, allocations) leaves all required *rates* unchanged, so the
+  decision trace must be preserved event for event (times ×λ, cycle
+  fields ×λ, UERs ×1/λ, frequencies and utilities invariant).  λ=2 is
+  exact in IEEE arithmetic — power-of-two scaling, ``sqrt(4x) =
+  2·sqrt(x)`` and ``(2a)/(2b) = a/b`` are all bit-exact — so the
+  comparison tolerance only has to absorb the engine's absolute-epsilon
+  constants (see ``docs/testing.md``).
+
+Failures shrink to minimal workloads saved under ``tests/corpus/``.
+The budget is a *scenario count* (deterministic in ``seed``), not a
+wall-clock limit, so CI runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..arrivals import (
+    BurstUAMArrivals,
+    PoissonUAMArrivals,
+    ScatteredUAMArrivals,
+    UAMSpec,
+)
+from ..cpu import FrequencyScale
+from ..demand import NormalDemand
+from ..experiments.config import energy_setting
+from ..obs import Observer
+from ..resources import REUA, ResourceMap
+from ..sched import make_scheduler
+from ..sim.runner import Platform, simulate
+from ..sim.task import Task, TaskSet
+from ..sim.workload import JobSpec, WorkloadTrace, materialize
+from ..tuf import LinearTUF, StepTUF
+from .corpus import case_from_trace, save_case
+from .invariants import InvariantChecker, InvariantViolation
+from .shrink import shrink_workload
+
+__all__ = [
+    "Scenario",
+    "FuzzFinding",
+    "FuzzReport",
+    "generate_scenarios",
+    "build_workload",
+    "run_check",
+    "run_fuzz",
+]
+
+#: Relative tolerance for cross-run float comparisons.
+_TOL = 1e-9
+
+#: Scheduler zoo exercised under the invariant checker.  REUA gets an
+#: empty resource map — pure scheduling, no blocking chains.
+_ZOO: Dict[str, object] = {
+    "EUA*": lambda: make_scheduler("EUA*"),
+    "EUA*-demand": lambda: make_scheduler("EUA*-demand"),
+    "DASA": lambda: make_scheduler("DASA"),
+    "EDF": lambda: make_scheduler("EDF"),
+    "LA-EDF": lambda: make_scheduler("LA-EDF"),
+    "REUA": lambda: REUA(ResourceMap({})),
+}
+
+_PLATFORMS = {
+    "powernow": lambda: FrequencyScale.powernow_k6(),
+    "single": lambda: FrequencyScale.single(1000.0),
+    "coarse": lambda: FrequencyScale.uniform(250.0, 1000.0, 3),
+    "fine": lambda: FrequencyScale.uniform(100.0, 1000.0, 12),
+}
+
+#: Dominance-oracle underload margin (stays clear of the feasibility
+#: cliff, where admission-order effects are legitimate).
+_DOMINANCE_LOAD = 0.88
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One generated fuzz scenario (fully determined by its fields)."""
+
+    seed: int
+    n_tasks: int
+    target_load: float
+    horizon: float
+    platform: str  # key into _PLATFORMS
+    energy: str  # "E1" | "E2" | "E3"
+    arrival_mode: str  # "periodic" | "burst" | "scattered" | "poisson"
+    tuf_shape: str  # "step" | "linear" | "mixed"
+    nu: float  # statistical requirement for linear TUFs
+
+
+@dataclass
+class FuzzFinding:
+    """One oracle failure (before/after shrinking)."""
+
+    oracle: str  # "invariant" | "exception" | "dominance" | "scaling"
+    scheduler: str  # zoo label ("" for cross-scheduler oracles)
+    invariant: Optional[str]
+    message: str
+    scenario: Scenario
+    corpus_path: Optional[str] = None
+
+
+@dataclass
+class FuzzReport:
+    """Everything one fuzz run produced."""
+
+    budget: int
+    seed: int
+    scenarios_run: int = 0
+    findings: List[FuzzFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+# ----------------------------------------------------------------------
+# Scenario generation
+# ----------------------------------------------------------------------
+def generate_scenarios(budget: int, seed: int) -> List[Scenario]:
+    """Stratified adversarial scenarios, deterministic in ``seed``.
+
+    Strata rotate so every small budget still covers the interesting
+    corners: dominance-eligible periodic underload, bursty UAM edges,
+    near-saturation loads, degenerate-TUF overload, and a grab bag.
+    """
+    rng = np.random.default_rng(seed)
+    scenarios: List[Scenario] = []
+    for i in range(budget):
+        stratum = i % 5
+        if stratum == 0:  # periodic step underload (dominance-eligible)
+            arrival, tuf = "periodic", "step"
+            load = float(rng.uniform(0.4, 0.85))
+        elif stratum == 1:  # bursty UAM window edges
+            arrival, tuf = "burst", "step"
+            load = float(rng.uniform(0.5, 1.1))
+        elif stratum == 2:  # near-1.0 utilisation
+            arrival = str(rng.choice(["periodic", "scattered"]))
+            tuf = str(rng.choice(["step", "linear"]))
+            load = float(rng.uniform(0.92, 1.05))
+        elif stratum == 3:  # degenerate TUFs under overload
+            arrival = str(rng.choice(["burst", "poisson"]))
+            tuf = str(rng.choice(["linear", "mixed"]))
+            load = float(rng.uniform(0.8, 1.6))
+        else:  # grab bag
+            arrival = str(rng.choice(["periodic", "burst", "scattered", "poisson"]))
+            tuf = str(rng.choice(["step", "linear", "mixed"]))
+            load = float(rng.uniform(0.2, 1.8))
+        platform = str(rng.choice(
+            ["powernow", "single", "coarse", "fine"], p=[0.4, 0.2, 0.2, 0.2]
+        ))
+        scenarios.append(Scenario(
+            seed=int(rng.integers(0, 2**31)),
+            n_tasks=int(rng.integers(2, 6)),
+            target_load=load,
+            horizon=float(rng.uniform(0.4, 1.2)),
+            platform=platform,
+            energy=str(rng.choice(["E1", "E2", "E3"])),
+            arrival_mode=arrival,
+            tuf_shape=tuf,
+            nu=float(rng.choice([0.3, 0.7, 0.95])),
+        ))
+    return scenarios
+
+
+def build_workload(scenario: Scenario) -> Tuple[WorkloadTrace, Platform]:
+    """Materialise a scenario: task set, platform, and fixed job trace.
+
+    ``verify=False``: the checker is the UAM auditor here — a buggy
+    arrival *producer* must reach the invariant layer, not be caught by
+    the producer's own verification.
+    """
+    rng = np.random.default_rng(scenario.seed)
+    scale = _PLATFORMS[scenario.platform]()
+    model = energy_setting(scenario.energy, scale.f_max)
+    platform = Platform(scale, model)
+
+    equal_windows = scenario.seed % 5 == 0
+    base_window = float(rng.uniform(0.03, 0.4))
+    tasks: List[Task] = []
+    for i in range(scenario.n_tasks):
+        if equal_windows:
+            window = base_window
+        else:
+            window = float(np.exp(rng.uniform(math.log(0.03), math.log(0.4))))
+        umax = float(10.0 ** rng.uniform(0.0, 3.0))
+        if scenario.tuf_shape == "mixed":
+            shape = "step" if i % 2 == 0 else "linear"
+        else:
+            shape = scenario.tuf_shape
+        if shape == "step":
+            tuf, nu = StepTUF(umax, window), 1.0
+        else:
+            tuf, nu = LinearTUF(umax, window), scenario.nu
+        a = 1 if scenario.arrival_mode == "periodic" else int(rng.integers(2, 5))
+        spec = UAMSpec(a, window)
+        if scenario.arrival_mode == "periodic":
+            arrivals = None
+        elif scenario.arrival_mode == "burst":
+            arrivals = BurstUAMArrivals(spec, randomize=bool(rng.integers(0, 2)))
+        elif scenario.arrival_mode == "scattered":
+            arrivals = ScatteredUAMArrivals(spec, spread=float(rng.uniform(0.5, 1.0)))
+        else:
+            arrivals = PoissonUAMArrivals(spec, rate=0.8 * spec.peak_rate)
+        mean = float(rng.uniform(0.05, 0.3)) * window * scale.f_max / a
+        rel_std = float(rng.uniform(0.01, 0.2))
+        tasks.append(Task(
+            f"T{i}",
+            tuf,
+            NormalDemand(mean, (rel_std * mean) ** 2),
+            spec,
+            arrivals=arrivals,
+            nu=nu,
+            rho=float(rng.uniform(0.9, 0.99)),
+        ))
+    taskset = TaskSet(tasks).scaled_to_load(scenario.target_load, scale.f_max)
+    trace = materialize(
+        taskset, scenario.horizon, np.random.default_rng(scenario.seed + 1), verify=False
+    )
+    return trace, platform
+
+
+# ----------------------------------------------------------------------
+# Oracles (shared with corpus replay)
+# ----------------------------------------------------------------------
+def run_invariant_oracle(
+    trace: WorkloadTrace, platform: Platform, label: str
+) -> Tuple[List[InvariantViolation], Optional[str]]:
+    """Run one zoo scheduler under a collect-mode checker.
+
+    Returns ``(violations, error)`` where ``error`` is a formatted
+    exception if the run itself blew up.
+    """
+    checker = InvariantChecker(mode="collect")
+    try:
+        simulate(trace, _ZOO[label](), platform, checker=checker)
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        return checker.violations, f"{type(exc).__name__}: {exc}"
+    return checker.violations, None
+
+
+def run_dominance_oracle(trace: WorkloadTrace, platform: Platform) -> Optional[str]:
+    """EUA*-demand utility must reach EDF-at-``f_max``'s (Theorem 2)."""
+    eua = simulate(trace, _ZOO["EUA*-demand"](), platform)
+    edf = simulate(trace, _ZOO["EDF"](), platform)
+    eua_u = eua.metrics.accrued_utility
+    edf_u = edf.metrics.accrued_utility
+    tol = _TOL * max(1.0, abs(edf_u))
+    if eua_u < edf_u - tol:
+        return (
+            f"EUA*-demand accrued {eua_u} < EDF-at-f_max {edf_u} on "
+            f"periodic step-TUF underload"
+        )
+    return None
+
+
+def dominance_applies(scenario: Scenario, trace: WorkloadTrace) -> bool:
+    """Preconditions: periodic, step TUFs, ν=1, clear underload, and no
+    demand overrun (a job whose true demand exceeds its budget may
+    legitimately expire under EUA* while EDF finishes it)."""
+    if scenario.arrival_mode != "periodic" or scenario.tuf_shape != "step":
+        return False
+    if scenario.target_load >= _DOMINANCE_LOAD:
+        return False
+    return all(spec.demand <= spec.task.allocation for spec in trace)
+
+
+# -- time scaling -------------------------------------------------------
+_SCALING_LAMBDA = 2.0
+_TIME_FIELDS = frozenset(
+    {"release", "termination", "sojourn", "window_start", "window_end",
+     "overhead", "deadline"}
+)
+_CYCLE_FIELDS = frozenset({"remaining_budget", "executed", "demand", "budget"})
+
+
+def _scale_tuf(tuf, lam: float):
+    if isinstance(tuf, StepTUF):
+        return StepTUF(tuf.max_utility, tuf.termination * lam)
+    if isinstance(tuf, LinearTUF):
+        return LinearTUF(tuf.max_utility, tuf.termination * lam)
+    raise ValueError(f"cannot scale TUF {type(tuf).__name__}")
+
+
+def scale_workload(trace: WorkloadTrace, lam: float) -> WorkloadTrace:
+    """Stretch all times by ``lam`` and all cycle demands by ``lam``."""
+    scaled: Dict[str, Task] = {}
+    for task in trace.taskset:
+        spec = UAMSpec(task.uam.max_arrivals, task.uam.window * lam)
+        scaled[task.name] = Task(
+            task.name,
+            _scale_tuf(task.tuf, lam),
+            task.demand.scaled(lam),
+            spec,
+            arrivals=BurstUAMArrivals(spec) if spec.max_arrivals > 1 else None,
+            nu=task.nu,
+            rho=task.rho,
+            abortable=task.abortable,
+        )
+    jobs = [
+        JobSpec(scaled[j.task.name], j.index, j.release * lam, j.demand * lam)
+        for j in trace
+    ]
+    return WorkloadTrace(TaskSet(scaled.values()), trace.horizon * lam, jobs)
+
+
+def _close(a: float, b: float) -> bool:
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= _TOL * max(1.0, abs(a), abs(b))
+
+
+def run_scaling_oracle(trace: WorkloadTrace, platform: Platform) -> Optional[str]:
+    """λ=2 time scaling must preserve EUA*'s decision trace."""
+    lam = _SCALING_LAMBDA
+    base_obs, scaled_obs = Observer(metrics=False), Observer(metrics=False)
+    try:
+        simulate(trace, _ZOO["EUA*"](), platform, observer=base_obs)
+    except Exception:
+        return None  # a crashing base run belongs to the exception oracle
+    try:
+        simulate(scale_workload(trace, lam), _ZOO["EUA*"](), platform,
+                 observer=scaled_obs)
+    except Exception as exc:  # noqa: BLE001
+        return f"scaled run crashed while base run succeeded: {exc}"
+
+    base, scaled = base_obs.events.events, scaled_obs.events.events
+    if len(base) != len(scaled):
+        return f"event count changed under λ={lam}: {len(base)} -> {len(scaled)}"
+    for a, b in zip(base, scaled):
+        if a.kind is not b.kind or a.job != b.job or a.source != b.source:
+            return (
+                f"event {a.seq} changed under λ={lam}: "
+                f"{a.kind.value}/{a.job} -> {b.kind.value}/{b.job}"
+            )
+        if not _close(a.time * lam, b.time):
+            return f"event {a.seq} time {a.time}×λ != {b.time}"
+        if set(a.fields) != set(b.fields):
+            return f"event {a.seq} fields changed: {sorted(a.fields)} -> {sorted(b.fields)}"
+        for key, va in a.fields.items():
+            vb = b.fields[key]
+            if isinstance(va, bool) or not isinstance(va, (int, float)):
+                if va != vb:
+                    return f"event {a.seq} field {key}: {va!r} -> {vb!r}"
+                continue
+            if key in _TIME_FIELDS:
+                expect = va * lam
+            elif key in _CYCLE_FIELDS:
+                expect = va * lam
+            elif key == "uer":
+                expect = va / lam
+            else:  # frequencies, rates, utilities, positions: invariant
+                expect = va
+            if not _close(expect, float(vb)):
+                return (
+                    f"event {a.seq} ({a.kind.value}) field {key}: "
+                    f"expected {expect}, got {vb}"
+                )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Fuzz driver
+# ----------------------------------------------------------------------
+def _fuzz_one(scenario: Scenario) -> List[FuzzFinding]:
+    trace, platform = build_workload(scenario)
+    findings: List[FuzzFinding] = []
+    for label in _ZOO:
+        violations, error = run_invariant_oracle(trace, platform, label)
+        for violation in violations:
+            findings.append(FuzzFinding(
+                oracle="invariant", scheduler=label,
+                invariant=violation.invariant, message=str(violation),
+                scenario=scenario,
+            ))
+        if error is not None:
+            findings.append(FuzzFinding(
+                oracle="exception", scheduler=label, invariant=None,
+                message=error, scenario=scenario,
+            ))
+    if dominance_applies(scenario, trace):
+        message = run_dominance_oracle(trace, platform)
+        if message is not None:
+            findings.append(FuzzFinding(
+                oracle="dominance", scheduler="", invariant=None,
+                message=message, scenario=scenario,
+            ))
+    message = run_scaling_oracle(trace, platform)
+    if message is not None:
+        findings.append(FuzzFinding(
+            oracle="scaling", scheduler="", invariant=None,
+            message=message, scenario=scenario,
+        ))
+    return findings
+
+
+def _predicate_for(finding: FuzzFinding, platform: Platform):
+    """Does a candidate workload still exhibit ``finding``'s failure?"""
+    if finding.oracle in ("invariant", "exception"):
+        label, want = finding.scheduler, finding.invariant
+
+        def predicate(candidate: WorkloadTrace) -> bool:
+            violations, error = run_invariant_oracle(candidate, platform, label)
+            if finding.oracle == "exception":
+                return error is not None
+            return any(v.invariant == want for v in violations)
+
+        return predicate
+    if finding.oracle == "dominance":
+        return lambda candidate: run_dominance_oracle(candidate, platform) is not None
+    return lambda candidate: run_scaling_oracle(candidate, platform) is not None
+
+
+def _slug(text: str) -> str:
+    return "".join(c if c.isalnum() else "-" for c in text.lower()).strip("-") or "x"
+
+
+def run_fuzz(
+    budget: int = 100,
+    seed: int = 0,
+    corpus_dir: Optional[Path] = None,
+    shrink: bool = True,
+    max_shrink_evals: int = 200,
+    log=None,
+) -> FuzzReport:
+    """Fuzz ``budget`` scenarios; shrink and save each distinct failure.
+
+    Findings are deduplicated by ``(oracle, invariant, scheduler)`` —
+    at most three instances of each signature are kept (and at most one
+    shrunk to a corpus file), so a systemic bug does not flood the
+    report.
+    """
+    report = FuzzReport(budget=budget, seed=seed)
+    seen: Dict[Tuple[str, Optional[str], str], int] = {}
+    for scenario in generate_scenarios(budget, seed):
+        report.scenarios_run += 1
+        for finding in _fuzz_one(scenario):
+            key = (finding.oracle, finding.invariant, finding.scheduler)
+            seen[key] = seen.get(key, 0) + 1
+            if seen[key] > 3:
+                continue
+            if seen[key] == 1 and corpus_dir is not None:
+                trace, platform = build_workload(scenario)
+                if shrink:
+                    trace = shrink_workload(
+                        trace, _predicate_for(finding, platform),
+                        max_evals=max_shrink_evals,
+                    )
+                case = case_from_trace(
+                    trace, platform,
+                    oracle=finding.oracle, scheduler=finding.scheduler,
+                    invariant=finding.invariant,
+                    note=f"{finding.message} (scenario seed {scenario.seed})",
+                )
+                name = "_".join(
+                    _slug(p) for p in
+                    (finding.oracle, finding.invariant or "x",
+                     finding.scheduler or "x", str(scenario.seed))
+                )
+                finding.corpus_path = str(save_case(case, Path(corpus_dir) / f"{name}.json"))
+            report.findings.append(finding)
+            if log is not None:
+                log(f"[{finding.oracle}] {finding.message}")
+    return report
+
+
+# ----------------------------------------------------------------------
+# One-shot checking (CLI `check`)
+# ----------------------------------------------------------------------
+@dataclass
+class CheckReport:
+    """Outcome of running one scheduler under the invariant checker."""
+
+    scheduler: str
+    violations: List[InvariantViolation]
+    accrued_utility: float
+    energy: float
+    jobs: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_check(
+    scheduler: str = "EUA*",
+    load: float = 0.8,
+    seed: int = 11,
+    horizon: float = 2.0,
+    energy: str = "E1",
+    arrivals: str = "periodic",
+    tuf: str = "step",
+) -> CheckReport:
+    """Audit one synthesized workload under the invariant checker."""
+    from ..experiments.workload import synthesize_taskset
+
+    rng = np.random.default_rng(seed)
+    nu = 1.0 if tuf == "step" else 0.7
+    scale = FrequencyScale.powernow_k6()
+    taskset = synthesize_taskset(
+        load, rng, tuf_shape=tuf, nu=nu, f_max=scale.f_max, arrival_mode=arrivals
+    )
+    platform = Platform(scale, energy_setting(energy, scale.f_max))
+    trace = materialize(taskset, horizon, np.random.default_rng(seed + 1), verify=False)
+    checker = InvariantChecker(mode="collect")
+    if scheduler in _ZOO:
+        sched = _ZOO[scheduler]()
+    else:
+        sched = make_scheduler(scheduler)
+    result = simulate(trace, sched, platform, checker=checker)
+    return CheckReport(
+        scheduler=sched.name,
+        violations=checker.violations,
+        accrued_utility=result.metrics.accrued_utility,
+        energy=result.metrics.energy,
+        jobs=len(result.jobs),
+    )

@@ -1,0 +1,109 @@
+"""Seeded bugs for mutation-testing the checker and fuzzer.
+
+Each context manager monkeypatches one production function with a
+subtly wrong variant — the classes of defect the invariant layer exists
+to catch — and restores the original on exit.  The test suite asserts
+that a bounded fuzz budget flags every mutation and shrinks it to a
+corpus repro (``tests/check/test_mutations.py``).
+
+The checker's independence rules (own UER formula, own UAM window walk)
+are what make these detectable: a mutation can never patch both the
+production path and the reference the checker compares against.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from contextlib import contextmanager
+
+__all__ = ["flipped_uer_order", "uam_window_off_by_one", "missnapped_floor"]
+
+
+@contextmanager
+def flipped_uer_order():
+    """Invert the UER ranking: the most valuable-per-joule jobs sort last.
+
+    Caught by ``sigma_head`` — the checker's independently coded UER
+    metric still ranks correctly, so the reconstructed σ head disagrees
+    with the dispatch whenever two ready jobs have distinct UERs.
+    """
+    from ..core import eua
+
+    original = eua.job_uer
+
+    def flipped(job, now, f_max, model):
+        value = original(job, now, f_max, model)
+        return 1.0 / value if value > 0.0 else value
+
+    eua.job_uer = flipped
+    try:
+        yield
+    finally:
+        eua.job_uer = original
+
+
+@contextmanager
+def uam_window_off_by_one():
+    """Release bursts one tolerance step early at the UAM window edge.
+
+    Burst ``k+1`` lands at ``k·P·(1 − 1e-7)`` — *inside* the effective
+    window ``P·(1 − 1e-9)`` opened by burst ``k`` — so any window holds
+    ``2a > a`` arrivals.  Caught by the checker's ``uam_envelope``
+    sliding window (the fuzzer materialises with ``verify=False``
+    precisely so producer bugs reach the checker).
+    """
+    from ..arrivals.generators import BurstUAMArrivals
+
+    original = BurstUAMArrivals.generate
+
+    def patched(self, horizon, rng=None):
+        rng = self._rng(rng)
+        a = self.spec.max_arrivals
+        period = self.spec.window * (1.0 - 1e-7)
+        times = []
+        k = 0
+        while True:
+            t = self.phase + k * period
+            if t >= horizon:
+                break
+            size = int(rng.integers(1, a + 1)) if self.randomize else a
+            times.extend([float(t)] * size)
+            k += 1
+        return times
+
+    BurstUAMArrivals.generate = patched
+    try:
+        yield
+    finally:
+        BurstUAMArrivals.generate = original
+
+
+@contextmanager
+def missnapped_floor():
+    """Fatten the frequency snap tolerance so near-misses snap *down*.
+
+    ``selectFreq`` then behaves like ``floor`` for rates within 15% of a
+    ladder level — systematic under-clocking.  Caught by
+    ``frequency_sufficient`` (the dispatch frequency no longer covers
+    the assurance rate) and, independently, by the dominance oracle
+    (the slow EUA* arm sheds utility that EDF-at-``f_max`` keeps).
+    """
+    from ..cpu.frequency import FrequencyScale
+
+    original = FrequencyScale._snap_index
+
+    def patched(self, x):
+        levels = self._levels
+        i = bisect_left(levels, x)
+        if i > 0 and math.isclose(levels[i - 1], x, rel_tol=0.15):
+            return i - 1
+        if i < len(levels) and math.isclose(levels[i], x, rel_tol=1e-12):
+            return i
+        return None
+
+    FrequencyScale._snap_index = patched
+    try:
+        yield
+    finally:
+        FrequencyScale._snap_index = original

@@ -1,0 +1,110 @@
+"""Workload shrinking: reduce a failing trace to a minimal repro.
+
+Given a :class:`~repro.sim.workload.WorkloadTrace` and a predicate that
+returns ``True`` while the candidate still exhibits the failure, the
+shrinker greedily applies reductions in decreasing order of power:
+
+1. drop whole tasks (and their jobs);
+2. delta-debug the job list (ddmin-style chunk removal);
+3. drop tasks left without jobs;
+4. trim the horizon to the last job's TUF window.
+
+Every candidate is re-validated through the predicate, so the result is
+always a genuine repro of the *same* failure (shrinking can never
+replace one bug with another).  The predicate-call budget bounds total
+work — fuzzing wants a small repro quickly, not a globally minimal one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..sim.task import TaskSet
+from ..sim.workload import JobSpec, WorkloadTrace
+
+__all__ = ["shrink_workload"]
+
+
+def shrink_workload(
+    trace: WorkloadTrace,
+    predicate: Callable[[WorkloadTrace], bool],
+    max_evals: int = 200,
+) -> WorkloadTrace:
+    """Return the smallest still-failing reduction of ``trace`` found.
+
+    ``predicate(candidate)`` must return ``True`` iff the candidate
+    still fails the same way.  The input trace is assumed failing; if
+    the budget runs out the best reduction so far is returned.
+    """
+    evals = 0
+
+    def check(candidate: WorkloadTrace) -> bool:
+        nonlocal evals
+        if evals >= max_evals:
+            return False
+        evals += 1
+        try:
+            return bool(predicate(candidate))
+        except Exception:
+            # A predicate crash is not the tracked failure.
+            return False
+
+    current = trace
+
+    # --- 1. drop whole tasks ------------------------------------------
+    changed = True
+    while changed and len(list(current.taskset)) > 1:
+        changed = False
+        for task in list(current.taskset):
+            remaining = [t for t in current.taskset if t is not task]
+            if not remaining:
+                continue
+            jobs = [j for j in current.jobs if j.task is not task]
+            if not jobs:
+                continue
+            candidate = WorkloadTrace(TaskSet(remaining), current.horizon, jobs)
+            if check(candidate):
+                current = candidate
+                changed = True
+                break
+
+    # --- 2. ddmin over the job list -----------------------------------
+    jobs: List[JobSpec] = current.jobs
+    n = 2
+    while len(jobs) >= 2:
+        chunk = max(1, len(jobs) // n)
+        reduced = False
+        for start in range(0, len(jobs), chunk):
+            cand_jobs = jobs[:start] + jobs[start + chunk:]
+            if not cand_jobs:
+                continue
+            candidate = WorkloadTrace(current.taskset, current.horizon, cand_jobs)
+            if check(candidate):
+                jobs = cand_jobs
+                current = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            n = min(len(jobs), n * 2)
+
+    # --- 3. drop now-jobless tasks ------------------------------------
+    used = {j.task.name for j in current.jobs}
+    keep = [t for t in current.taskset if t.name in used]
+    if keep and len(keep) < len(list(current.taskset)):
+        candidate = WorkloadTrace(TaskSet(keep), current.horizon, current.jobs)
+        if check(candidate):
+            current = candidate
+
+    # --- 4. trim the horizon ------------------------------------------
+    if current.jobs:
+        last = max(j.release + j.task.tuf.termination for j in current.jobs)
+        tight = last * (1.0 + 1e-9) + 1e-9
+        if tight < current.horizon:
+            candidate = WorkloadTrace(current.taskset, tight, current.jobs)
+            if check(candidate):
+                current = candidate
+
+    return current

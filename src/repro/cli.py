@@ -13,6 +13,9 @@ Subcommands regenerate the paper's evaluation from a terminal::
     repro-eua ablate dvs|fopt|dvs-method|dasa
     repro-eua trace --load 0.8 --jsonl
     repro-eua stats --load 0.8 --repeats 3
+    repro-eua check --scheduler "EUA*" --load 0.8
+    repro-eua check --corpus tests/corpus/<case>.json
+    repro-eua fuzz --budget 100 --seed 0
 """
 
 from __future__ import annotations
@@ -364,6 +367,72 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import load_case, replay_case, run_check
+
+    if args.corpus:
+        from pathlib import Path
+
+        target = Path(args.corpus)
+        paths = sorted(target.glob("*.json")) if target.is_dir() else [target]
+        if not paths:
+            print(f"no corpus cases under {target}")
+            return 0
+        failing = 0
+        for path in paths:
+            outcome = replay_case(load_case(path))
+            status = "STILL FAILING" if outcome.still_failing else "ok"
+            print(f"{path}: {status}")
+            for msg in outcome.messages:
+                print(f"  {msg}")
+            failing += outcome.still_failing
+        print(f"{len(paths)} case(s), {failing} still failing")
+        return 1 if failing else 0
+
+    report = run_check(
+        scheduler=args.scheduler,
+        load=args.load,
+        seed=args.seed,
+        horizon=args.horizon,
+        energy=args.energy,
+        arrivals=args.arrivals,
+        tuf=args.tuf,
+    )
+    print(f"scheduler={report.scheduler} load={args.load} jobs={report.jobs} "
+          f"utility={report.accrued_utility:.4g} energy={report.energy:.4g}")
+    if report.ok:
+        print("invariants: all clean")
+        return 0
+    print(f"invariants: {len(report.violations)} violation(s)")
+    for v in report.violations:
+        print(f"  {v}")
+    return 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .check import run_fuzz
+
+    corpus_dir = None if args.no_corpus else Path(args.corpus_dir)
+    report = run_fuzz(
+        budget=args.budget,
+        seed=args.seed,
+        corpus_dir=corpus_dir,
+        shrink=not args.no_shrink,
+        log=print if args.verbose else None,
+    )
+    print(f"fuzz: {report.scenarios_run}/{report.budget} scenarios, "
+          f"{len(report.findings)} finding(s), seed={report.seed}")
+    for f in report.findings:
+        tag = f.invariant or f.oracle
+        where = f" [{f.scheduler}]" if f.scheduler else ""
+        print(f"  {tag}{where}: {f.message}")
+        if f.corpus_path:
+            print(f"    corpus: {f.corpus_path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .obs import MetricsRegistry, Observer, Profiler
     from .experiments import render_obs_summary
@@ -476,6 +545,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="decision events shown in the human-readable view "
                           "(0 shows all)")
     ptr.set_defaults(func=_cmd_trace)
+
+    pck = sub.add_parser("check", help="audit one run with the invariant checker, "
+                                       "or replay fuzz-corpus cases")
+    obs_common(pck)
+    pck.add_argument("--arrivals", default="periodic",
+                     choices=["periodic", "burst", "scattered", "poisson"])
+    pck.add_argument("--tuf", default="step", choices=["step", "linear"])
+    pck.add_argument("--corpus",
+                     help="replay a corpus case file (or every *.json in a "
+                          "directory) instead of synthesising a workload")
+    pck.set_defaults(func=_cmd_check)
+
+    pfz = sub.add_parser("fuzz", help="differential scenario fuzzer over the "
+                                      "scheduler zoo")
+    pfz.add_argument("--budget", type=int, default=100,
+                     help="number of scenarios (deterministic in --seed)")
+    pfz.add_argument("--seed", type=int, default=0)
+    pfz.add_argument("--corpus-dir", default="tests/corpus",
+                     help="where minimized failing cases are written")
+    pfz.add_argument("--no-corpus", action="store_true",
+                     help="do not write corpus files")
+    pfz.add_argument("--no-shrink", action="store_true",
+                     help="save failing workloads without minimizing them")
+    pfz.add_argument("--verbose", action="store_true",
+                     help="log findings as they occur")
+    pfz.set_defaults(func=_cmd_fuzz)
 
     pst = sub.add_parser("stats", help="run with metrics + profiling and summarise")
     obs_common(pst)

@@ -63,6 +63,8 @@ class EventKind(enum.Enum):
     UAM_VIOLATION = "uam_violation"
     #: Runtime: admission control shed, deferred or evicted work.
     ADMISSION_DECISION = "admission_decision"
+    #: Checker: a machine-checked scheduling invariant failed.
+    INVARIANT_VIOLATION = "invariant_violation"
 
 
 @dataclass(frozen=True)

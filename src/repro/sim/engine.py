@@ -45,6 +45,7 @@ from .trace import Trace, TraceEventKind
 from .workload import WorkloadTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime imports sim)
+    from ..check import InvariantChecker
     from ..runtime import AdaptiveRuntime
 
 __all__ = ["Engine", "SimulationResult", "SimulationError"]
@@ -91,6 +92,7 @@ class Engine:
         profiler: Optional[DemandProfiler] = None,
         observer: Optional[Observer] = None,
         runtime: Optional["AdaptiveRuntime"] = None,
+        checker: Optional["InvariantChecker"] = None,
     ):
         self.workload = workload
         self.scheduler = scheduler
@@ -99,6 +101,7 @@ class Engine:
         self.profiler = profiler
         self.observer = observer
         self.runtime = runtime
+        self.checker = checker
         self.trace: Optional[Trace] = Trace() if record_trace else None
 
     # ------------------------------------------------------------------
@@ -110,20 +113,27 @@ class Engine:
         task allocations the runtime may have mutated — even when the
         run raises — keeping task sets safe to share across arms.
         """
+        ck = self.checker
+        if ck is not None:
+            ck.bind(self.workload.taskset, self.processor, self.scheduler, self.observer)
         rt = self.runtime
         if rt is None:
-            return self._run()
-        rt.bind(
-            self.workload.taskset,
-            self.processor.scale,
-            self.processor.model,
-            self.scheduler,
-            self.observer,
-        )
-        try:
-            return self._run()
-        finally:
-            rt.finalize()
+            result = self._run()
+        else:
+            rt.bind(
+                self.workload.taskset,
+                self.processor.scale,
+                self.processor.model,
+                self.scheduler,
+                self.observer,
+            )
+            try:
+                result = self._run()
+            finally:
+                rt.finalize()
+        if ck is not None:
+            ck.on_result(result)
+        return result
 
     def _run(self) -> SimulationResult:
         taskset: TaskSet = self.workload.taskset
@@ -152,6 +162,9 @@ class Engine:
         # ordered by their granted release instant (seq breaks ties —
         # jobs are not comparable).
         rt = self.runtime
+        # Invariant checker (optional): observe-only hooks, same
+        # zero-cost-when-detached contract as `obs` and `rt`.
+        ck = self.checker
         deferred_heap: List[Tuple[float, int, Job]] = []
         deferred_seq = 0
 
@@ -204,6 +217,8 @@ class Engine:
                             self.trace.add_event(t, TraceEventKind.ABORT, victim.key)
                 ready.append(job)
                 recent_arrivals[job.task.name].append(job.release)
+                if ck is not None:
+                    ck.on_release(job, t)
                 if self.trace is not None:
                     self.trace.add_event(t, TraceEventKind.RELEASE, job.key)
                 if obs is not None:
@@ -246,6 +261,8 @@ class Engine:
                 obs.record("engine.decide", perf_counter() - t0)
             else:
                 decision = scheduler.decide(view)
+            if ck is not None:
+                ck.on_decision(view, decision, scheduler)
             for job in decision.aborts:
                 if job.is_finished:
                     raise SimulationError(f"scheduler aborted finished job {job.key}")
@@ -272,6 +289,8 @@ class Engine:
                 if switch_overhead > 0.0:
                     # Charge the DVS transition as stalled (non-executing) time.
                     cpu.idle(switch_overhead)
+                    if ck is not None:
+                        ck.on_idle(switch_overhead)
                     t = min(horizon, t + switch_overhead)
                 if self.trace is not None and switch_overhead >= 0.0:
                     self.trace.add_event(t, TraceEventKind.FREQ, value=cpu.frequency)
@@ -318,10 +337,14 @@ class Engine:
             if running is not None:
                 executed = cpu.run(dt)
                 running.executed += executed
+                if ck is not None:
+                    ck.on_segment(t, t_next, cpu.frequency, executed)
                 if self.trace is not None:
                     self.trace.add_segment(t, t_next, running.key, cpu.frequency)
             else:
                 cpu.idle(dt)
+                if ck is not None:
+                    ck.on_idle(dt)
                 if self.trace is not None:
                     self.trace.add_segment(t, t_next, None, cpu.frequency)
             if obs is not None:
@@ -340,6 +363,8 @@ class Engine:
                 running.completion_time = t
                 running.accrued_utility = running.utility_at(t)
                 ready.remove(running)
+                if ck is not None:
+                    ck.on_completion(running, t)
                 scheduler.on_completion(running, t)
                 if rt is not None:
                     rt.on_completion(running, t)

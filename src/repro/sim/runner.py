@@ -20,6 +20,7 @@ from .task import TaskSet
 from .workload import WorkloadTrace, materialize
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime imports sim)
+    from ..check import InvariantChecker
     from ..runtime import AdaptiveRuntime
 
 __all__ = ["Platform", "simulate", "compare"]
@@ -90,6 +91,7 @@ def simulate(
     profiler: Optional[DemandProfiler] = None,
     observer: Optional[Observer] = None,
     runtime: Optional["AdaptiveRuntime"] = None,
+    checker: Optional["InvariantChecker"] = None,
 ) -> SimulationResult:
     """Run ``scheduler`` over ``workload`` and return the result.
 
@@ -101,7 +103,9 @@ def simulate(
     run instrumentation-free.  ``runtime`` attaches an
     :class:`~repro.runtime.AdaptiveRuntime` (online re-allocation, UAM
     enforcement, admission control); it is single-use — pass a fresh
-    instance per run.
+    instance per run.  ``checker`` attaches an observe-only
+    :class:`~repro.check.InvariantChecker`; like ``runtime`` it is
+    single-use per run.
     """
     platform = platform if platform is not None else Platform()
     trace = _as_workload(workload, horizon, rng, seed)
@@ -113,6 +117,7 @@ def simulate(
         profiler=profiler,
         observer=observer,
         runtime=runtime,
+        checker=checker,
     )
     return engine.run()
 

@@ -1,0 +1,105 @@
+"""Fuzzer smoke pass, determinism, corpus round-trip, and shrinking."""
+
+from pathlib import Path
+
+from repro.check import load_case, run_fuzz, save_case, shrink_workload
+from repro.check.corpus import case_from_trace
+from repro.check.fuzzer import (
+    Scenario,
+    build_workload,
+    generate_scenarios,
+    run_scaling_oracle,
+    scale_workload,
+)
+from repro.sim.workload import WorkloadTrace
+
+
+def test_bounded_budget_smoke_pass():
+    """The CI smoke contract: a small budget finds nothing on clean code."""
+    report = run_fuzz(budget=6, seed=5, corpus_dir=None)
+    assert report.scenarios_run == 6
+    assert report.ok, [f.message for f in report.findings]
+
+
+def test_scenario_generation_is_deterministic():
+    assert generate_scenarios(12, 42) == generate_scenarios(12, 42)
+    assert generate_scenarios(12, 42) != generate_scenarios(12, 43)
+
+
+def test_workload_build_is_deterministic():
+    scenario = generate_scenarios(3, 9)[1]
+    a, _ = build_workload(scenario)
+    b, _ = build_workload(scenario)
+    key = lambda tr: [(j.task.name, j.index, j.release, j.demand) for j in tr]  # noqa: E731
+    assert key(a) == key(b)
+    assert a.horizon == b.horizon
+
+
+def test_strata_cover_the_adversarial_corners():
+    scenarios = generate_scenarios(20, 0)
+    assert any(s.arrival_mode == "periodic" and s.tuf_shape == "step" for s in scenarios)
+    assert any(s.arrival_mode == "burst" for s in scenarios)
+    assert any(s.target_load > 0.9 for s in scenarios)
+
+
+def test_corpus_round_trip(tmp_path):
+    scenario = generate_scenarios(2, 21)[0]
+    trace, platform = build_workload(scenario)
+    case = case_from_trace(trace, platform, oracle="invariant",
+                           scheduler="EUA*", invariant="sigma_head", note="round trip")
+    path = save_case(case, tmp_path / "case.json")
+    loaded = load_case(path)
+    assert loaded == case
+    rebuilt, re_platform = loaded.build()
+    assert [(j.task.name, j.index, j.release, j.demand) for j in rebuilt] == [
+        (j.task.name, j.index, j.release, j.demand) for j in trace
+    ]
+    assert rebuilt.horizon == trace.horizon
+    assert list(re_platform.scale.levels) == list(platform.scale.levels)
+    for orig, back in zip(trace.taskset, rebuilt.taskset):
+        assert back.allocation == orig.allocation  # exact float round trip
+        assert back.critical_time == orig.critical_time
+
+
+def test_shrink_reduces_to_the_culprit_job():
+    scenario = Scenario(seed=77, n_tasks=4, target_load=0.8, horizon=0.8,
+                        platform="powernow", energy="E1", arrival_mode="periodic",
+                        tuf_shape="step", nu=1.0)
+    trace, _ = build_workload(scenario)
+    assert len(trace.jobs) > 4
+    marked = trace.jobs[len(trace.jobs) // 2]
+
+    def predicate(candidate: WorkloadTrace) -> bool:
+        return any(
+            j.task is marked.task and j.index == marked.index for j in candidate
+        )
+
+    shrunk = shrink_workload(trace, predicate)
+    assert len(shrunk.jobs) == 1
+    assert shrunk.jobs[0].index == marked.index
+    assert len(list(shrunk.taskset)) == 1
+    assert shrunk.horizon <= marked.release + marked.task.tuf.termination + 1e-6
+
+
+def test_time_scaling_is_exact_for_lambda_two():
+    scenario = generate_scenarios(2, 33)[1]
+    trace, platform = build_workload(scenario)
+    scaled = scale_workload(trace, 2.0)
+    for base_task, scaled_task in zip(trace.taskset, scaled.taskset):
+        # Chebyshev allocation and bisected critical time scale bit-exactly.
+        assert scaled_task.allocation == 2.0 * base_task.allocation
+        assert scaled_task.critical_time == 2.0 * base_task.critical_time
+    assert run_scaling_oracle(trace, platform) is None
+
+
+def test_fuzz_writes_minimized_corpus_for_findings(tmp_path, monkeypatch):
+    """Force a failure via a seeded mutation and check the corpus file."""
+    from repro.check.mutations import flipped_uer_order
+
+    with flipped_uer_order():
+        report = run_fuzz(budget=4, seed=3, corpus_dir=tmp_path, max_shrink_evals=40)
+    assert not report.ok
+    paths = [Path(f.corpus_path) for f in report.findings if f.corpus_path]
+    assert paths and all(p.exists() for p in paths)
+    case = load_case(paths[0])
+    assert case.oracle in ("invariant", "scaling", "dominance", "exception")

@@ -1,0 +1,77 @@
+"""Mutation testing: each seeded bug must be caught within a bounded
+fuzz budget and shrink to a corpus repro (ISSUE 4 acceptance criteria).
+
+Replay semantics differ per mutation and the assertions are honest
+about it: the UER-flip and floor mutations are *code* bugs, so their
+corpus workloads replay clean on unmutated code; the UAM mutation is a
+*workload producer* bug, so its corpus file preserves a genuinely
+envelope-violating release stream and keeps failing on clean code —
+exactly what a saved repro of bad input data should do.
+"""
+
+from pathlib import Path
+
+from repro.check import load_case, replay_case, run_fuzz
+from repro.check.mutations import (
+    flipped_uer_order,
+    missnapped_floor,
+    uam_window_off_by_one,
+)
+
+BUDGET = 8
+SEED = 3
+
+
+def _fuzz_under(mutation, tmp_path):
+    with mutation():
+        report = run_fuzz(budget=BUDGET, seed=SEED, corpus_dir=tmp_path,
+                          max_shrink_evals=60)
+    return report
+
+
+def test_flipped_uer_order_is_caught(tmp_path):
+    report = _fuzz_under(flipped_uer_order, tmp_path)
+    signatures = {(f.oracle, f.invariant) for f in report.findings}
+    assert ("invariant", "sigma_head") in signatures
+    paths = [Path(f.corpus_path) for f in report.findings
+             if f.corpus_path and f.invariant == "sigma_head"]
+    assert paths
+    case = load_case(paths[0])
+    # Still failing under the mutation, clean without it (a code bug).
+    with flipped_uer_order():
+        assert replay_case(case).still_failing
+    assert not replay_case(case).still_failing
+
+
+def test_uam_window_off_by_one_is_caught(tmp_path):
+    report = _fuzz_under(uam_window_off_by_one, tmp_path)
+    signatures = {(f.oracle, f.invariant) for f in report.findings}
+    assert ("invariant", "uam_envelope") in signatures
+    paths = [Path(f.corpus_path) for f in report.findings
+             if f.corpus_path and f.invariant == "uam_envelope"]
+    assert paths
+    case = load_case(paths[0])
+    # The corpus preserves the violating stream itself: it fails with
+    # and without the mutation (the generator, not the checker, is bad).
+    with uam_window_off_by_one():
+        assert replay_case(case).still_failing
+    assert replay_case(case).still_failing
+
+
+def test_missnapped_floor_is_caught(tmp_path):
+    report = _fuzz_under(missnapped_floor, tmp_path)
+    signatures = {(f.oracle, f.invariant) for f in report.findings}
+    assert ("invariant", "frequency_sufficient") in signatures
+    paths = [Path(f.corpus_path) for f in report.findings
+             if f.corpus_path and f.invariant == "frequency_sufficient"]
+    assert paths
+    case = load_case(paths[0])
+    with missnapped_floor():
+        assert replay_case(case).still_failing
+    assert not replay_case(case).still_failing
+
+
+def test_mutations_restore_the_originals():
+    """Context exit restores production behaviour (no cross-test bleed)."""
+    report = run_fuzz(budget=4, seed=SEED, corpus_dir=None)
+    assert report.ok, [f.message for f in report.findings]

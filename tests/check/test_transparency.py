@@ -1,0 +1,29 @@
+"""The checker is observe-only: attached, every golden workload runs
+clean and produces the bit-identical event log; detached, the engine
+takes the exact same code path it always did."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "golden"))
+from _harness import CASES, golden_path, parse_jsonl, record_events_jsonl  # noqa: E402
+
+from repro.check import InvariantChecker  # noqa: E402
+
+
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_golden_log_bit_identical_with_checker(label):
+    checker = InvariantChecker(mode="collect")
+    with_checker = record_events_jsonl(label, checker=checker)
+    assert checker.violations == [], [str(v) for v in checker.violations]
+    expected = golden_path(label).read_text()
+    assert parse_jsonl(with_checker) == parse_jsonl(expected)
+    assert with_checker == expected  # byte-identical, not just equivalent
+
+
+@pytest.mark.parametrize("label", sorted(CASES))
+def test_golden_workloads_clean_in_raise_mode(label):
+    """Raise mode never fires on a correct scheduler."""
+    record_events_jsonl(label, checker=InvariantChecker(mode="raise"))

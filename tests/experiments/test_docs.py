@@ -83,6 +83,18 @@ class TestRuntimeDoc:
         assert not out.strip().endswith("reallocations: 0")
 
 
+class TestTestingDoc:
+    def test_all_blocks_execute(self):
+        blocks = _python_blocks(ROOT / "docs" / "testing.md")
+        assert blocks, "testing doc must contain a runnable checker example"
+        ns = {}
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            for block in blocks:
+                exec(compile(_shrink(block), "testing.md", "exec"), ns)
+        assert "invariants clean" in sink.getvalue()
+
+
 class TestReadme:
     def test_quickstart_block_executes(self):
         blocks = _python_blocks(ROOT / "README.md")

@@ -52,9 +52,14 @@ CASES = {
 }
 
 
-def record_events_jsonl(label: str) -> str:
+def record_events_jsonl(label: str, checker=None) -> str:
     """Run the fixed workload under ``label``'s scheduler and return the
-    structured event log as JSONL text."""
+    structured event log as JSONL text.
+
+    ``checker`` optionally attaches a :class:`repro.check.InvariantChecker`
+    — the transparency suite asserts the log is bit-identical with and
+    without one.
+    """
     filename, factory = CASES[label]
     observer = Observer(events=True, metrics=False)
     if label == ADAPTIVE_LABEL:
@@ -63,12 +68,13 @@ def record_events_jsonl(label: str) -> str:
             seed=SEED, load=ADAPTIVE_LOAD, horizon=ADAPTIVE_HORIZON, platform=platform
         )
         runtime = AdaptiveRuntime(RuntimeConfig())
-        simulate(trace, factory(), platform, observer=observer, runtime=runtime)
+        simulate(trace, factory(), platform, observer=observer, runtime=runtime,
+                 checker=checker)
     else:
         rng = np.random.default_rng(SEED)
         taskset = synthesize_taskset(LOAD, rng)
         trace = materialize(taskset, HORIZON, rng)
-        simulate(trace, factory(), Platform(), observer=observer)
+        simulate(trace, factory(), Platform(), observer=observer, checker=checker)
     return events_to_jsonl(observer.events)
 
 
