@@ -8,8 +8,10 @@ from .accrual import (
 )
 from .assurance import (
     AssuranceReport,
+    normal_quantile,
     task_assurance,
     verify_assurances,
+    wilson_interval,
     wilson_lower_bound,
 )
 from .lateness import LatenessStats, lateness_stats, max_lateness, per_task_lateness
@@ -54,8 +56,10 @@ __all__ = [
     "brh_schedulable",
     "is_underload_regime",
     "AssuranceReport",
+    "normal_quantile",
     "task_assurance",
     "verify_assurances",
+    "wilson_interval",
     "wilson_lower_bound",
     "SummaryStat",
     "summarize",

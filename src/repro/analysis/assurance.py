@@ -18,10 +18,32 @@ from ..sim.task import Task, TaskSet
 
 __all__ = [
     "AssuranceReport",
+    "normal_quantile",
     "task_assurance",
     "verify_assurances",
+    "wilson_interval",
     "wilson_lower_bound",
 ]
+
+
+def normal_quantile(p: float) -> float:
+    """Standard-normal quantile ``Φ⁻¹(p)``.
+
+    Built on the same inverse error function the confidence bounds use
+    (no scipy dependency); ~1e-4 absolute accuracy, which is ample for
+    z-scores feeding conservative binomial bounds.
+    """
+    if not (0.0 < p < 1.0):
+        raise ValueError(f"quantile argument must lie in (0, 1), got {p!r}")
+    return math.sqrt(2.0) * _erfinv(2.0 * p - 1.0)
+
+
+def _wilson(successes: int, trials: int, z: float) -> "tuple[float, float]":
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = p + z * z / (2.0 * trials)
+    margin = z * math.sqrt(p * (1.0 - p) / trials + z * z / (4.0 * trials * trials))
+    return max(0.0, (centre - margin) / denom), min(1.0, (centre + margin) / denom)
 
 
 def wilson_lower_bound(successes: int, trials: int, confidence: float = 0.95) -> float:
@@ -29,19 +51,32 @@ def wilson_lower_bound(successes: int, trials: int, confidence: float = 0.95) ->
 
     Distribution-free in spirit with the Chebyshev theme: we report the
     assurance as *held with confidence* only when the bound clears ρ.
+    ``confidence`` is one-sided (z = Φ⁻¹(confidence)).
     """
     if trials <= 0:
         raise ValueError("trials must be > 0")
     if not (0.0 < confidence < 1.0):
         raise ValueError(f"confidence must lie in (0, 1), got {confidence!r}")
-    # Normal quantile via inverse error function (avoids a scipy
-    # dependency in the core library).
-    z = math.sqrt(2.0) * _erfinv(2.0 * confidence - 1.0)
-    p = successes / trials
-    denom = 1.0 + z * z / trials
-    centre = p + z * z / (2.0 * trials)
-    margin = z * math.sqrt(p * (1.0 - p) / trials + z * z / (4.0 * trials * trials))
-    return max(0.0, (centre - margin) / denom)
+    z = normal_quantile(confidence)
+    return _wilson(successes, trials, z)[0]
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> "tuple[float, float]":
+    """Two-sided Wilson score interval on a binomial proportion.
+
+    ``confidence`` is the two-sided coverage, so each tail holds
+    ``(1 − confidence)/2`` and z = Φ⁻¹((1 + confidence)/2) — a 0.95
+    interval uses z ≈ 1.96 where the one-sided
+    :func:`wilson_lower_bound` at 0.95 uses z ≈ 1.645.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be > 0")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence!r}")
+    z = normal_quantile(0.5 * (1.0 + confidence))
+    return _wilson(successes, trials, z)
 
 
 def _erfinv(y: float) -> float:

@@ -12,7 +12,8 @@ Subcommands regenerate the paper's evaluation from a terminal::
     repro-eua bound --load 0.6
     repro-eua ablate dvs|fopt|dvs-method|dasa
     repro-eua trace --load 0.8 --jsonl
-    repro-eua stats --load 0.8 --repeats 3
+    repro-eua obs --load 0.8 --repeats 3
+    repro-eua stats --load 0.8 -n 200 --workers 4 [--early-stop] [--cache-dir .stats-cache]
     repro-eua check --scheduler "EUA*" --load 0.8
     repro-eua check --corpus tests/corpus/<case>.json
     repro-eua fuzz --budget 100 --seed 0
@@ -433,7 +434,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
+def _cmd_obs(args: argparse.Namespace) -> int:
     from .obs import MetricsRegistry, Observer, Profiler
     from .experiments import render_obs_summary
 
@@ -451,6 +452,42 @@ def _cmd_stats(args: argparse.Namespace) -> int:
           f"repeats={args.repeats}")
     print(render_obs_summary(merged, pooled))
     return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .stats import (
+        CampaignConfig,
+        EarlyStopRule,
+        RunCache,
+        render_campaign,
+        run_campaign,
+    )
+
+    rule = None
+    if args.early_stop:
+        rule = EarlyStopRule(
+            min_replications=args.min_replications,
+            confidence=args.stop_confidence,
+            check_every=args.check_every,
+        )
+    config = CampaignConfig(
+        load=args.load,
+        horizon=args.horizon,
+        schedulers=tuple(args.schedulers),
+        n_replications=args.n,
+        base_seed=args.seed,
+        confidence=args.confidence,
+        tuf_shape=args.tuf,
+        nu=args.nu,
+        rho=args.rho,
+        arrival_mode=args.arrivals,
+        energy=args.energy,
+        early_stop=rule,
+    )
+    cache = RunCache(args.cache_dir) if args.cache_dir else None
+    result = run_campaign(config, workers=args.workers, cache=cache)
+    print(render_campaign(result))
+    return 1 if result.verdict == "fail" else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -572,10 +609,45 @@ def build_parser() -> argparse.ArgumentParser:
                      help="log findings as they occur")
     pfz.set_defaults(func=_cmd_fuzz)
 
-    pst = sub.add_parser("stats", help="run with metrics + profiling and summarise")
-    obs_common(pst)
-    pst.add_argument("--repeats", type=int, default=1,
+    pob = sub.add_parser("obs", help="run with metrics + profiling and summarise")
+    obs_common(pob)
+    pob.add_argument("--repeats", type=int, default=1,
                      help="repetitions merged into one registry (seed, seed+1, ...)")
+    pob.set_defaults(func=_cmd_obs)
+
+    pst = sub.add_parser(
+        "stats",
+        help="Monte-Carlo assurance campaign: replicate, pool, and verify {nu, rho}",
+    )
+    pst.add_argument("--load", type=float, default=0.8)
+    pst.add_argument("--energy", default="E1", choices=list(TABLE2_NAMES))
+    pst.add_argument("--horizon", type=float, default=2.0)
+    pst.add_argument("--seed", type=int, default=11,
+                     help="base seed; replication k uses seed + k")
+    pst.add_argument("-n", "--n", type=int, default=200, dest="n",
+                     help="number of independent replications")
+    pst.add_argument("--schedulers", nargs="+", default=["EUA*"])
+    pst.add_argument("--tuf", default="step", choices=["step", "linear"])
+    pst.add_argument("--nu", type=float, default=1.0)
+    pst.add_argument("--rho", type=float, default=0.96)
+    pst.add_argument("--arrivals", default="periodic",
+                     choices=["periodic", "burst", "scattered", "poisson"])
+    pst.add_argument("--confidence", type=float, default=0.95,
+                     help="two-sided Wilson interval coverage in the report")
+    pst.add_argument("--early-stop", action="store_true",
+                     help="stop once every {nu, rho} is decided at the "
+                          "stop confidence")
+    pst.add_argument("--min-replications", type=int, default=50,
+                     help="floor before the early-stop rule may fire")
+    pst.add_argument("--stop-confidence", type=float, default=0.999,
+                     help="decision confidence while peeking (stricter than "
+                          "--confidence)")
+    pst.add_argument("--check-every", type=int, default=25,
+                     help="replications per batch between early-stop checks")
+    pst.add_argument("--cache-dir",
+                     help="content-addressed run cache; re-runs load hits "
+                          "instead of re-simulating")
+    workers_opt(pst)
     pst.set_defaults(func=_cmd_stats)
 
     pt = sub.add_parser("theorems", help="verify the timeliness theorems")

@@ -131,28 +131,38 @@ def required_rate_demand(view: SchedulerView) -> float:
 def required_rate_lookahead(view: SchedulerView) -> float:
     """Literal Algorithm 2, lines 2–9 (look-ahead deferral).
 
-    Tasks with no remaining window cycles are skipped when fixing the
-    deferral anchor ``D_n^a`` (a zero-demand task cannot be the binding
-    earliest critical time).
+    *Every* task is visited in latest-critical-time-first order and has
+    its static worst-case rate subtracted from ``util`` as it is
+    visited — including tasks with no remaining window cycles, which
+    contribute no residue ``s`` but must not keep their phantom
+    utilisation pinned in ``util`` (that would shrink the headroom of
+    every later entry and inflate the required rate versus the literal
+    listing, costing energy).  Zero-demand tasks are still excluded
+    from the deferral anchor ``D_n^a``: a task with nothing left to run
+    in its window cannot be the binding earliest critical time.
     """
     t = view.time
     tasks = list(view.taskset)
-    entries: List[Tuple[float, float, Task]] = []
-    for task in tasks:
-        c_r = view.remaining_window_cycles(task)
-        if c_r > 0.0:
-            entries.append((view.earliest_critical_time(task), c_r, task))
-    if not entries:
+    entries: List[Tuple[float, float, Task]] = [
+        (view.earliest_critical_time(task), view.remaining_window_cycles(task), task)
+        for task in tasks
+    ]
+    demands = [d for d, c_r, _ in entries if c_r > 0.0]
+    if not demands:
         return 0.0
     f_m = view.scale.f_max
     # Worst-case aggregate demand rate (Theorem 1 utilisation analysis).
     util = sum(task.window_cycles / task.critical_time for task in tasks)
-    d_n = min(d for d, _, _ in entries)
+    d_n = min(demands)
     # Latest-critical-time-first ("reverse EDF order of tasks", line 4).
     entries.sort(key=lambda e: -e[0])
     s = 0.0
     for d_a, c_r, task in entries:
         util -= task.window_cycles / task.critical_time
+        if c_r <= 0.0:
+            # Nothing of this task left in the window: no residue, and
+            # its static rate is now released to the remaining entries.
+            continue
         gap = d_a - d_n
         if gap <= _EPS:
             # Same critical time as the earliest: nothing can be

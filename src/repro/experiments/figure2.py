@@ -61,6 +61,12 @@ class Figure2Result:
         table = {"utility": lambda p: p.utility, "energy": lambda p: p.energy}[metric]
         return [(p.load, table(p)[scheduler].mean) for p in self.points]
 
+    def series_error(self, metric: str, scheduler: str) -> List[float]:
+        """Per-point confidence half-widths (error bars) for one curve,
+        aligned with :meth:`series`."""
+        table = {"utility": lambda p: p.utility, "energy": lambda p: p.energy}[metric]
+        return [table(p)[scheduler].half_width for p in self.points]
+
     def rows(self) -> List[Dict[str, object]]:
         """Flat rows (one per load × scheduler) for reporting."""
         out: List[Dict[str, object]] = []

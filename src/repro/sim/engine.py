@@ -292,7 +292,7 @@ class Engine:
                     if ck is not None:
                         ck.on_idle(switch_overhead)
                     t = min(horizon, t + switch_overhead)
-                if self.trace is not None and switch_overhead >= 0.0:
+                if self.trace is not None and cpu.frequency != freq_before:
                     self.trace.add_event(t, TraceEventKind.FREQ, value=cpu.frequency)
                 if obs is not None and cpu.frequency != freq_before:
                     obs.emit(t, EventKind.FREQ_SWITCH, running.key,
@@ -422,6 +422,15 @@ class Engine:
         recent_arrivals: Dict[str, Deque[float]],
         event: SchedulingEvent,
     ) -> SchedulerView:
+        """Build the scheduler-visible snapshot for one decision point.
+
+        ``ready`` is the engine's *live* list — it is mutated in place by
+        the post-decision abort pass and the completion handler.
+        :class:`SchedulerView` copies it on construction (and the
+        per-task arrival lists below are copied here), so a view retained
+        by an observer, checker, or scheduler stays membership-stable
+        after the engine moves on; the regression suite pins this.
+        """
         counts: Dict[str, List[float]] = {}
         for task in taskset:
             dq = recent_arrivals[task.name]

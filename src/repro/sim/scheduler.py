@@ -64,6 +64,12 @@ class SchedulerView:
         #: Current simulation time ``t_cur``.
         self.time = time
         #: Pending jobs (may include expired jobs for no-abort policies).
+        #: **Snapshot contract:** this list is copied at construction,
+        #: never aliased to the engine's live ready list — observers and
+        #: checkers may retain a view across the engine's abort pass and
+        #: still see the membership that existed at decision time.  (The
+        #: :class:`Job` objects themselves are shared and mutable; only
+        #: the membership is frozen.)
         self.ready: List[Job] = list(ready)
         self.taskset = taskset
         self.scale = scale

@@ -1,0 +1,41 @@
+"""Monte-Carlo assurance verification (``repro.stats``).
+
+Seed-parallel replication campaigns over independently-materialised
+workloads: Welford-streamed metric aggregates with confidence
+half-widths, pooled per-task ``{ν, ρ}`` attainment with two-sided
+Wilson intervals and a pass/fail/inconclusive verdict, an optional
+sequential early-stopping rule, and a content-addressed run cache so
+interrupted campaigns resume instead of recompute.  See
+``docs/statistics.md`` for the estimator choices and worked examples.
+"""
+
+from .cache import CACHE_RECORD_VERSION, RunCache, run_cache_key
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    ReplicationSpec,
+    ReplicationSummary,
+    SchedulerStats,
+    TaskAssurance,
+    run_campaign,
+)
+from .estimators import EarlyStopRule, MetricAccumulator, assurance_verdict
+from .report import HEADLINE_METRICS, render_campaign
+
+__all__ = [
+    "CACHE_RECORD_VERSION",
+    "RunCache",
+    "run_cache_key",
+    "CampaignConfig",
+    "CampaignResult",
+    "ReplicationSpec",
+    "ReplicationSummary",
+    "SchedulerStats",
+    "TaskAssurance",
+    "run_campaign",
+    "EarlyStopRule",
+    "MetricAccumulator",
+    "assurance_verdict",
+    "HEADLINE_METRICS",
+    "render_campaign",
+]

@@ -1,0 +1,100 @@
+"""Content-addressed cache of Monte-Carlo replication results.
+
+A replication is fully determined by its picklable specs — the
+:class:`~repro.experiments.parallel.WorkloadSpec` (which embeds the
+seed), the :class:`~repro.experiments.parallel.PlatformSpec`, and the
+ordered scheduler recipes — because ``WorkloadSpec.build()`` derives
+every random draw from one ``default_rng(seed)`` and the simulator is
+deterministic.  Hashing a canonical JSON rendering of those specs (plus
+a record-format version) therefore gives a safe content address: a
+cache hit *is* the simulation, to the last bit.
+
+The store is one JSON file per key under the cache root, written via a
+temp-file + ``os.replace`` so concurrent campaign processes can share a
+directory without torn reads.  Floats survive the JSON round-trip
+exactly (``repr``-based shortest round-trip encoding), so a cache-warm
+campaign aggregates bit-identically to a cache-cold one — the
+determinism suite pins this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from ..experiments.parallel import PlatformSpec, SchedulerSpec, WorkloadSpec
+
+__all__ = ["RunCache", "run_cache_key", "CACHE_RECORD_VERSION"]
+
+#: Bump when the :class:`~repro.stats.campaign.ReplicationSummary`
+#: record layout (or the semantics of a cached simulation) changes —
+#: stale entries then simply miss instead of deserialising garbage.
+CACHE_RECORD_VERSION = 1
+
+
+def run_cache_key(
+    workload: WorkloadSpec,
+    platform: PlatformSpec,
+    schedulers: Sequence[SchedulerSpec],
+) -> str:
+    """SHA-256 content address of one replication.
+
+    Spec dataclasses are rendered to canonical JSON (sorted keys,
+    compact separators); the scheduler list is order-sensitive because
+    summaries store results keyed by scheduler name in run order.
+    """
+    record = {
+        "version": CACHE_RECORD_VERSION,
+        "workload": dataclasses.asdict(workload),
+        "platform": dataclasses.asdict(platform),
+        "schedulers": [dataclasses.asdict(s) for s in schedulers],
+    }
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"), default=list)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class RunCache:
+    """Directory-backed ``key → JSON payload`` store."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored payload, or ``None`` on a miss or corrupt entry."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict) -> Path:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self.path_for(key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

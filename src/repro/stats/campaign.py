@@ -1,0 +1,431 @@
+"""Seed-parallel Monte-Carlo assurance campaigns.
+
+One campaign answers the question the paper's requirement model poses
+but a single simulation cannot: *does the scheduler actually deliver*
+``Pr[accrued utility ≥ ν_i·U_max] ≥ ρ_i`` *for every task* — over the
+distribution of workloads, not one lucky trace?  It runs ``n``
+independently-materialised replications (seed, seed+1, …), each a fresh
+Table-1-style synthesis + arrival materialisation, streams the
+per-replication scalar summaries into Welford accumulators, pools the
+per-task binomial outcomes, and reports two-sided Wilson intervals with
+a pass / fail / inconclusive verdict per scheduler.
+
+Determinism contract (pinned by ``tests/stats/test_campaign.py``):
+
+* every replication is a pure function of its picklable specs, so the
+  campaign aggregate is **bit-identical** at any ``workers`` setting —
+  folding always happens in the main process, in seed order;
+* a :class:`~repro.stats.cache.RunCache` hit replaces the simulation
+  with a JSON round-trip that preserves floats exactly, so cache-warm
+  re-runs reproduce cache-cold aggregates bit-for-bit while simulating
+  nothing.
+
+The optional :class:`~repro.stats.estimators.EarlyStopRule` stops a
+campaign at a batch boundary once every (scheduler, task) requirement
+is decided at a stricter-than-reporting confidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.assurance import wilson_interval
+from ..analysis.stats import SummaryStat
+from ..experiments.config import TABLE1, AppSetting
+from ..experiments.parallel import (
+    PlatformSpec,
+    SchedulerSpec,
+    WorkloadSpec,
+    run_sweep,
+)
+from .cache import RunCache, run_cache_key
+from .estimators import EarlyStopRule, MetricAccumulator, assurance_verdict
+
+__all__ = [
+    "CampaignConfig",
+    "ReplicationSpec",
+    "ReplicationSummary",
+    "TaskAssurance",
+    "SchedulerStats",
+    "CampaignResult",
+    "run_campaign",
+]
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that defines a campaign (and its cache identity).
+
+    The workload fields mirror
+    :class:`~repro.experiments.parallel.WorkloadSpec`; replication
+    ``k`` uses seed ``base_seed + k`` so campaigns with overlapping
+    seed ranges share cache entries.
+    """
+
+    load: float = 0.8
+    horizon: float = 2.0
+    schedulers: Tuple[str, ...] = ("EUA*",)
+    n_replications: int = 200
+    base_seed: int = 11
+    confidence: float = 0.95
+    tuf_shape: str = "step"
+    nu: float = 1.0
+    rho: float = 0.96
+    arrival_mode: str = "periodic"
+    burst_override: Optional[int] = None
+    apps: Tuple[AppSetting, ...] = TABLE1
+    energy: str = "E1"
+    f_max: float = 1000.0
+    early_stop: Optional[EarlyStopRule] = None
+
+    def __post_init__(self) -> None:
+        if self.n_replications < 1:
+            raise ValueError("n_replications must be >= 1")
+        if not self.schedulers:
+            raise ValueError("at least one scheduler is required")
+        if not (0.0 < self.confidence < 1.0):
+            raise ValueError("confidence must lie in (0, 1)")
+
+    # -- picklable spec builders ---------------------------------------
+    def scheduler_specs(self) -> Tuple[SchedulerSpec, ...]:
+        return tuple(SchedulerSpec.registry(name) for name in self.schedulers)
+
+    def platform_spec(self) -> PlatformSpec:
+        return PlatformSpec(energy=self.energy, f_max=self.f_max)
+
+    def workload_spec(self, seed: int) -> WorkloadSpec:
+        return WorkloadSpec(
+            load=self.load,
+            seed=seed,
+            horizon=self.horizon,
+            tuf_shape=self.tuf_shape,
+            nu=self.nu,
+            rho=self.rho,
+            arrival_mode=self.arrival_mode,
+            burst_override=self.burst_override,
+            apps=self.apps,
+            f_max=self.f_max,
+        )
+
+    @property
+    def seeds(self) -> Tuple[int, ...]:
+        return tuple(range(self.base_seed, self.base_seed + self.n_replications))
+
+
+# ----------------------------------------------------------------------
+# One replication
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicationSpec:
+    """Picklable work item: one workload through every scheduler."""
+
+    workload: WorkloadSpec
+    platform: PlatformSpec
+    schedulers: Tuple[SchedulerSpec, ...]
+
+
+@dataclass
+class ReplicationSummary:
+    """The streamed record of one replication.
+
+    Scalar metrics come from :meth:`repro.sim.Metrics.summary`;
+    ``assurance`` pools per task as ``[satisfied, decided]`` where
+    *decided* excludes jobs still pending at the horizon (censored,
+    not failed).  The record is JSON-round-trip exact, which is what
+    lets the cache substitute for the simulation.
+    """
+
+    seed: int
+    metrics: Dict[str, Dict[str, float]]
+    assurance: Dict[str, Dict[str, List[int]]]
+    requirements: Dict[str, List[float]]
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ReplicationSummary":
+        return cls(
+            seed=int(payload["seed"]),
+            metrics={
+                sched: {k: float(v) for k, v in summary.items()}
+                for sched, summary in payload["metrics"].items()
+            },
+            assurance={
+                sched: {task: [int(c[0]), int(c[1])] for task, c in counts.items()}
+                for sched, counts in payload["assurance"].items()
+            },
+            requirements={
+                task: [float(v[0]), float(v[1])]
+                for task, v in payload["requirements"].items()
+            },
+        )
+
+
+def _run_replication(spec: ReplicationSpec) -> ReplicationSummary:
+    """Simulate one replication (top-level so it pickles under spawn)."""
+    from ..sim.runner import simulate
+
+    taskset, trace = spec.workload.build()
+    platform = spec.platform.build()
+    metrics: Dict[str, Dict[str, float]] = {}
+    assurance: Dict[str, Dict[str, List[int]]] = {}
+    for sched_spec in spec.schedulers:
+        scheduler = sched_spec.build()
+        if scheduler.name in metrics:
+            raise ValueError(f"duplicate scheduler name {scheduler.name!r}")
+        result = simulate(trace, scheduler, platform)
+        m = result.metrics
+        metrics[scheduler.name] = m.summary()
+        assurance[scheduler.name] = {
+            name: [tm.met_requirement, tm.released - tm.unfinished]
+            for name, tm in m.per_task.items()
+        }
+    return ReplicationSummary(
+        seed=spec.workload.seed,
+        metrics=metrics,
+        assurance=assurance,
+        requirements={t.name: [t.nu, t.rho] for t in taskset},
+    )
+
+
+# ----------------------------------------------------------------------
+# Aggregated result
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskAssurance:
+    """Pooled empirical attainment of one task's ``{ν, ρ}``."""
+
+    task: str
+    nu: float
+    rho: float
+    decided: int
+    satisfied: int
+    attainment: float
+    ci_low: float
+    ci_high: float
+    verdict: str
+
+
+@dataclass
+class SchedulerStats:
+    """One scheduler's campaign aggregate."""
+
+    name: str
+    metrics: Dict[str, SummaryStat]
+    assurance: List[TaskAssurance]
+
+    @property
+    def verdict(self) -> str:
+        """``fail`` dominates ``inconclusive`` dominates ``pass``."""
+        verdicts = {a.verdict for a in self.assurance}
+        if "fail" in verdicts:
+            return "fail"
+        if "inconclusive" in verdicts or not verdicts:
+            return "inconclusive"
+        return "pass"
+
+
+@dataclass
+class CampaignResult:
+    """A completed (possibly early-stopped) campaign."""
+
+    config: CampaignConfig
+    n_planned: int
+    n_completed: int
+    n_simulated: int
+    n_cached: int
+    stopped_early: bool
+    schedulers: Dict[str, SchedulerStats] = field(default_factory=dict)
+
+    @property
+    def verdict(self) -> str:
+        verdicts = {s.verdict for s in self.schedulers.values()}
+        if "fail" in verdicts:
+            return "fail"
+        if "inconclusive" in verdicts or not verdicts:
+            return "inconclusive"
+        return "pass"
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict != "fail"
+
+    def assurance_rows(self) -> List[Dict[str, object]]:
+        """Flat rows (scheduler × task) for reporting."""
+        out: List[Dict[str, object]] = []
+        for stats in self.schedulers.values():
+            for a in stats.assurance:
+                out.append(
+                    {
+                        "scheduler": stats.name,
+                        "task": a.task,
+                        "nu": a.nu,
+                        "rho": a.rho,
+                        "decided": a.decided,
+                        "attainment": a.attainment,
+                        "ci_low": a.ci_low,
+                        "ci_high": a.ci_high,
+                        "verdict": a.verdict,
+                    }
+                )
+        return out
+
+    def metric_rows(self, names: Sequence[str]) -> List[Dict[str, object]]:
+        out: List[Dict[str, object]] = []
+        for stats in self.schedulers.values():
+            row: Dict[str, object] = {"scheduler": stats.name}
+            for name in names:
+                stat = stats.metrics.get(name)
+                row[name] = f"{stat}" if stat is not None else "-"
+            out.append(row)
+        return out
+
+
+# ----------------------------------------------------------------------
+# The driver
+# ----------------------------------------------------------------------
+def _pooled_counts(
+    summaries: Sequence[ReplicationSummary],
+) -> Dict[str, Dict[str, List[object]]]:
+    """``scheduler → task → [satisfied, decided, rho]`` over summaries."""
+    pooled: Dict[str, Dict[str, List[object]]] = {}
+    for summary in summaries:
+        for sched, counts in summary.assurance.items():
+            bucket = pooled.setdefault(sched, {})
+            for task, (satisfied, decided) in counts.items():
+                rho = summary.requirements[task][1]
+                entry = bucket.setdefault(task, [0, 0, rho])
+                entry[0] += satisfied
+                entry[1] += decided
+    return pooled
+
+
+def _aggregate(
+    config: CampaignConfig,
+    summaries: Sequence[ReplicationSummary],
+    n_simulated: int,
+    n_cached: int,
+    stopped_early: bool,
+) -> CampaignResult:
+    accumulators: Dict[str, MetricAccumulator] = {
+        name: MetricAccumulator() for name in config.schedulers
+    }
+    for summary in summaries:
+        for sched, metrics in summary.metrics.items():
+            accumulators[sched].fold(metrics)
+    pooled = _pooled_counts(summaries)
+    result = CampaignResult(
+        config=config,
+        n_planned=config.n_replications,
+        n_completed=len(summaries),
+        n_simulated=n_simulated,
+        n_cached=n_cached,
+        stopped_early=stopped_early,
+    )
+    nu_by_task = {}
+    for summary in summaries:
+        for task, (nu, _rho) in summary.requirements.items():
+            nu_by_task.setdefault(task, nu)
+    for sched in config.schedulers:
+        assurance: List[TaskAssurance] = []
+        for task in sorted(pooled.get(sched, {})):
+            satisfied, decided, rho = pooled[sched][task]
+            attainment = satisfied / decided if decided else 1.0
+            if decided:
+                low, high = wilson_interval(satisfied, decided, config.confidence)
+            else:
+                low, high = 0.0, 1.0
+            assurance.append(
+                TaskAssurance(
+                    task=task,
+                    nu=nu_by_task.get(task, config.nu),
+                    rho=rho,
+                    decided=decided,
+                    satisfied=satisfied,
+                    attainment=attainment,
+                    ci_low=low,
+                    ci_high=high,
+                    verdict=assurance_verdict(satisfied, decided, rho, config.confidence),
+                )
+            )
+        result.schedulers[sched] = SchedulerStats(
+            name=sched,
+            metrics=accumulators[sched].stats(config.confidence),
+            assurance=assurance,
+        )
+    return result
+
+
+def run_campaign(
+    config: CampaignConfig,
+    workers: int = 1,
+    cache: Optional[RunCache] = None,
+) -> CampaignResult:
+    """Run (or resume) a Monte-Carlo campaign.
+
+    Cached replications are loaded first; the remainder runs through
+    :func:`~repro.experiments.parallel.run_sweep` — in one shot, or in
+    ``early_stop.check_every`` batches when a stopping rule is set
+    (the rule is also consulted *before* the first batch, so a warm
+    cache can satisfy an early-stopped campaign with zero simulations).
+    Aggregation folds summaries in seed order in the calling process,
+    making the result independent of ``workers`` and of which entries
+    came from the cache.
+    """
+    specs: Dict[int, ReplicationSpec] = {}
+    keys: Dict[int, str] = {}
+    summaries: Dict[int, ReplicationSummary] = {}
+    todo: List[ReplicationSpec] = []
+    platform = config.platform_spec()
+    scheduler_specs = config.scheduler_specs()
+    n_cached = 0
+    for seed in config.seeds:
+        spec = ReplicationSpec(
+            workload=config.workload_spec(seed),
+            platform=platform,
+            schedulers=scheduler_specs,
+        )
+        specs[seed] = spec
+        if cache is not None:
+            keys[seed] = run_cache_key(spec.workload, platform, scheduler_specs)
+            payload = cache.get(keys[seed])
+            if payload is not None:
+                summaries[seed] = ReplicationSummary.from_dict(payload)
+                n_cached += 1
+                continue
+        todo.append(spec)
+
+    rule = config.early_stop
+    batch = rule.check_every if rule is not None else max(1, len(todo))
+    stopped_early = False
+    n_simulated = 0
+    index = 0
+    while index < len(todo):
+        if rule is not None:
+            done = [summaries[s] for s in sorted(summaries)]
+            pooled = _pooled_counts(done)
+            counts = [
+                tuple(entry)
+                for sched in config.schedulers
+                for _, entry in sorted(pooled.get(sched, {}).items())
+            ]
+            if rule.should_stop(len(done), counts):
+                stopped_early = True
+                break
+        chunk = todo[index : index + batch]
+        for summary in run_sweep(_run_replication, chunk, max_workers=workers):
+            summaries[summary.seed] = summary
+            n_simulated += 1
+            if cache is not None:
+                cache.put(keys[summary.seed], summary.to_dict())
+        index += len(chunk)
+
+    ordered = [summaries[s] for s in sorted(summaries)]
+    # Cached-but-unused entries beyond an early stop still count toward
+    # the aggregate: they are free evidence, already paid for.
+    return _aggregate(config, ordered, n_simulated, n_cached, stopped_early)

@@ -1,0 +1,140 @@
+"""Streaming estimators and decision rules for Monte-Carlo campaigns.
+
+A campaign (:mod:`repro.stats.campaign`) folds one
+:class:`~repro.stats.campaign.ReplicationSummary` per seed into
+
+* :class:`MetricAccumulator` — one Welford stream per scalar metric,
+  yielding :class:`~repro.analysis.stats.SummaryStat` values whose
+  half-widths become the error bars on figure-2-style plots; and
+* pooled per-task binomial counts (jobs that met their ``{ν, ρ}``
+  requirement out of jobs decided), judged by :func:`assurance_verdict`
+  with a two-sided Wilson score interval.
+
+:class:`EarlyStopRule` implements the optional sequential stopping
+rule: keep replicating until every task's requirement is *decided* —
+its Wilson interval lies entirely above or entirely below ρ — at a
+confidence strictly tighter than the reporting confidence, so peeking
+at batch boundaries does not inflate the false-verdict rate beyond the
+final report's nominal level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from ..analysis.assurance import normal_quantile, wilson_interval
+from ..analysis.stats import SummaryStat
+from ..demand import WelfordEstimator
+
+__all__ = [
+    "MetricAccumulator",
+    "EarlyStopRule",
+    "assurance_verdict",
+]
+
+
+class MetricAccumulator:
+    """Welford mean/variance streams keyed by metric name.
+
+    Replication summaries are folded one at a time (seed order — the
+    campaign fixes the order so aggregates are bit-identical however
+    the replications were scheduled); :meth:`stat` renders any stream
+    as a :class:`~repro.analysis.stats.SummaryStat` with a normal
+    half-width at the requested two-sided confidence.
+    """
+
+    def __init__(self) -> None:
+        self._streams: Dict[str, WelfordEstimator] = {}
+
+    def fold(self, metrics: Mapping[str, float]) -> None:
+        """Fold one replication's flat ``{metric: value}`` summary."""
+        for name, value in metrics.items():
+            self._streams.setdefault(name, WelfordEstimator()).update(float(value))
+
+    @property
+    def count(self) -> int:
+        if not self._streams:
+            return 0
+        return next(iter(self._streams.values())).count
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._streams))
+
+    def stat(self, name: str, confidence: float = 0.95) -> SummaryStat:
+        """Mean ± z·s/√n for one metric stream."""
+        est = self._streams[name]
+        n = est.count
+        mean = est.mean
+        if n < 2:
+            return SummaryStat(mean, 0.0, n, 0.0)
+        std = math.sqrt(est.sample_variance)
+        z = normal_quantile(0.5 * (1.0 + confidence))
+        return SummaryStat(mean, std, n, z * std / math.sqrt(n))
+
+    def stats(self, confidence: float = 0.95) -> Dict[str, SummaryStat]:
+        return {name: self.stat(name, confidence) for name in self.names()}
+
+
+def assurance_verdict(
+    satisfied: int, decided: int, rho: float, confidence: float = 0.95
+) -> str:
+    """Judge pooled binomial counts against the requirement ``ρ``.
+
+    ``"pass"`` when the two-sided Wilson interval lies entirely at or
+    above ρ, ``"fail"`` when entirely below, ``"inconclusive"`` when it
+    straddles ρ (or nothing was decided).
+    """
+    if decided <= 0:
+        return "inconclusive"
+    low, high = wilson_interval(satisfied, decided, confidence)
+    if low >= rho - 1e-12:
+        return "pass"
+    if high < rho - 1e-12:
+        return "fail"
+    return "inconclusive"
+
+
+@dataclass(frozen=True)
+class EarlyStopRule:
+    """Sequential stopping rule for an assurance campaign.
+
+    ``confidence`` is the (stricter) decision confidence used while
+    peeking; ``min_replications`` guards against stopping on a lucky
+    early streak, and ``check_every`` is the batch size between peeks.
+    """
+
+    min_replications: int = 50
+    confidence: float = 0.999
+    check_every: int = 25
+
+    def __post_init__(self) -> None:
+        if self.min_replications < 1:
+            raise ValueError("min_replications must be >= 1")
+        if not (0.0 < self.confidence < 1.0):
+            raise ValueError("confidence must lie in (0, 1)")
+        if self.check_every < 1:
+            raise ValueError("check_every must be >= 1")
+
+    def should_stop(
+        self,
+        n_replications: int,
+        counts: Iterable[Tuple[int, int, float]],
+    ) -> bool:
+        """Whether the campaign may stop after ``n_replications``.
+
+        ``counts`` yields pooled ``(satisfied, decided, rho)`` triples —
+        one per (scheduler, task).  Stops only when *every* triple is
+        decided (pass or fail) at the rule's confidence.
+        """
+        if n_replications < self.min_replications:
+            return False
+        decided_all = True
+        empty = True
+        for satisfied, decided, rho in counts:
+            empty = False
+            if assurance_verdict(satisfied, decided, rho, self.confidence) == "inconclusive":
+                decided_all = False
+                break
+        return decided_all and not empty

@@ -1,0 +1,52 @@
+"""Human-readable rendering of campaign results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..experiments.reporting import ascii_table
+from .campaign import CampaignResult
+
+__all__ = ["render_campaign", "HEADLINE_METRICS"]
+
+#: The scalar metrics worth a row in the default report (the full
+#: :meth:`repro.sim.Metrics.summary` set stays available on the result).
+HEADLINE_METRICS = (
+    "normalized_utility",
+    "energy",
+    "avg_frequency",
+    "completed",
+    "expired",
+    "aborted",
+)
+
+
+def render_campaign(
+    result: CampaignResult, metrics: Sequence[str] = HEADLINE_METRICS
+) -> str:
+    """Multi-section ASCII report: header, metric means ± CI half-widths,
+    per-task Wilson intervals, and the verdict line."""
+    config = result.config
+    lines = [
+        f"Monte-Carlo campaign: load={config.load} energy={config.energy} "
+        f"horizon={config.horizon}s schedulers={', '.join(config.schedulers)}",
+        f"replications: {result.n_completed}/{result.n_planned} "
+        f"(simulated {result.n_simulated}, cached {result.n_cached}"
+        f"{', stopped early' if result.stopped_early else ''})",
+        "",
+        f"metric means ± {config.confidence:.0%} CI half-widths over replications:",
+        ascii_table(result.metric_rows(metrics), ["scheduler", *metrics]),
+        "",
+        f"per-task assurance Pr[utility >= nu*Umax] with {config.confidence:.0%} "
+        "Wilson intervals:",
+        ascii_table(
+            result.assurance_rows(),
+            ["scheduler", "task", "nu", "rho", "decided", "attainment",
+             "ci_low", "ci_high", "verdict"],
+        ),
+        "",
+    ]
+    for stats in result.schedulers.values():
+        lines.append(f"{stats.name}: assurance verdict {stats.verdict.upper()}")
+    lines.append(f"campaign verdict: {result.verdict.upper()}")
+    return "\n".join(lines)

@@ -52,10 +52,29 @@ class LineChart:
         self.height = int(height)
         self.y_max = y_max
         self.baseline = baseline
-        self._series: List[Tuple[str, List[Tuple[float, float]]]] = []
+        self._series: List[Tuple[str, List[Tuple[float, float, float]]]] = []
 
-    def add_series(self, name: str, points: Sequence[Tuple[float, float]]) -> "LineChart":
-        pts = sorted((float(x), float(y)) for x, y in points)
+    def add_series(
+        self,
+        name: str,
+        points: Sequence[Tuple[float, float]],
+        errors: Optional[Sequence[float]] = None,
+    ) -> "LineChart":
+        """Add one named curve.
+
+        ``errors`` (optional, aligned with ``points``) are symmetric
+        half-widths — e.g. the confidence half-widths of a multi-seed
+        :class:`~repro.analysis.stats.SummaryStat` — drawn as capped
+        vertical error bars around each marker.
+        """
+        if errors is not None and len(errors) != len(points):
+            raise ValueError(
+                f"series {name!r}: {len(errors)} errors for {len(points)} points"
+            )
+        errs = [0.0] * len(points) if errors is None else [float(e) for e in errors]
+        pts = sorted(
+            (float(x), float(y), e) for (x, y), e in zip(points, errs)
+        )
         if len(pts) < 1:
             raise ValueError(f"series {name!r} has no points")
         self._series.append((name, pts))
@@ -63,8 +82,10 @@ class LineChart:
 
     # ------------------------------------------------------------------
     def _bounds(self) -> Tuple[float, float, float, float]:
-        xs = [x for _, pts in self._series for x, _ in pts]
-        ys = [y for _, pts in self._series for _, y in pts]
+        xs = [x for _, pts in self._series for x, _, _ in pts]
+        # Error bars must stay inside the plot area, so the top of the
+        # highest bar participates in the y range.
+        ys = [y + e for _, pts in self._series for _, y, e in pts]
         x_lo, x_hi = min(xs), max(xs)
         y_lo = 0.0
         y_hi = self.y_max if self.y_max is not None else max(ys + [self.baseline or 0.0])
@@ -146,14 +167,26 @@ class LineChart:
             dash = _DASHES[(i // len(_PALETTE)) % len(_DASHES)]
             path = " ".join(
                 f"{'M' if k == 0 else 'L'} {sx(x):.1f} {sy(y):.1f}"
-                for k, (x, y) in enumerate(pts)
+                for k, (x, y, _) in enumerate(pts)
             )
             dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
             out.append(
                 f'<path d="{path}" fill="none" stroke="{colour}" '
                 f'stroke-width="1.8"{dash_attr}/>'
             )
-            for x, y in pts:
+            for x, y, e in pts:
+                if e > 0.0:
+                    y_top, y_bot = sy(min(y + e, y_hi)), sy(max(y - e, y_lo))
+                    cx = sx(x)
+                    out.append(
+                        f'<line x1="{cx:.1f}" y1="{y_top:.1f}" '
+                        f'x2="{cx:.1f}" y2="{y_bot:.1f}" stroke="{colour}"/>'
+                    )
+                    for yy in (y_top, y_bot):
+                        out.append(
+                            f'<line x1="{cx - 3:.1f}" y1="{yy:.1f}" '
+                            f'x2="{cx + 3:.1f}" y2="{yy:.1f}" stroke="{colour}"/>'
+                        )
                 out.append(
                     f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2.4" '
                     f'fill="{colour}"/>'
@@ -176,10 +209,13 @@ class LineChart:
             fh.write(self.to_svg())
 
 
-def render_figure2(result, metric: str, path: Optional[str] = None) -> str:
+def render_figure2(
+    result, metric: str, path: Optional[str] = None, error_bars: bool = True
+) -> str:
     """Render one Figure 2 panel from a
     :class:`~repro.experiments.figure2.Figure2Result`; returns the SVG
-    text (and writes it when ``path`` is given)."""
+    text (and writes it when ``path`` is given).  ``error_bars`` draws
+    the multi-seed confidence half-widths around each point."""
     if metric not in ("utility", "energy"):
         raise ValueError(f"metric must be 'utility' or 'energy', got {metric!r}")
     chart = LineChart(
@@ -190,7 +226,8 @@ def render_figure2(result, metric: str, path: Optional[str] = None) -> str:
     )
     names = list(result.points[0].utility) if result.points else []
     for name in names:
-        chart.add_series(name, result.series(metric, name))
+        errors = result.series_error(metric, name) if error_bars else None
+        chart.add_series(name, result.series(metric, name), errors=errors)
     svg = chart.to_svg()
     if path:
         chart.save(path)

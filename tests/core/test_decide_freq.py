@@ -148,6 +148,33 @@ class TestRequiredRateLookahead:
         view = _view([task], [job], arrivals={"T": [0.0]})
         assert required_rate_lookahead(view) == 1000.0
 
+    def test_zero_demand_task_does_not_raise_rate(self):
+        # Z has spent its whole window budget (one arrival seen, job
+        # done, nothing pending): its static rate must be released in
+        # visit order, not pinned in `util` shrinking every later
+        # entry's headroom.  The rate with Z present must equal the
+        # rate with Z absent (Z's critical time is the latest, so it is
+        # visited — and subtracted — first).
+        z = _task("Z", window=2.0, mean=500.0)
+        a = _task("A", window=0.4, mean=300.0)
+        b = _task("B", window=0.25, mean=50.0)
+        ja, jb = Job(a, 0, 0.0, 300.0), Job(b, 0, 0.0, 50.0)
+        with_z = _view(
+            [z, a, b], [ja, jb], time=0.0,
+            arrivals={"Z": [0.0], "A": [0.0], "B": [0.0]},
+        )
+        without_z = _view(
+            [a, b], [ja, jb], time=0.0, arrivals={"A": [0.0], "B": [0.0]},
+        )
+        rate = required_rate_lookahead(with_z)
+        assert rate == pytest.approx(required_rate_lookahead(without_z))
+        # Closed form: B's 50 Mc must run before D_n = 0.25; A defers
+        # all but 300 - (1000 - 200)*0.15 = 180 Mc past it.
+        assert rate == pytest.approx(230.0 / 0.25)
+        # The pre-fix behaviour pinned Z's 250 MHz static rate in util,
+        # inflating the residue to f_max; guard against regressing.
+        assert rate < 1000.0
+
 
 class TestDecideFreq:
     def _setup(self):

@@ -83,6 +83,22 @@ class TestRuntimeDoc:
         assert not out.strip().endswith("reallocations: 0")
 
 
+class TestStatisticsDoc:
+    def test_all_blocks_execute(self):
+        blocks = _python_blocks(ROOT / "docs" / "statistics.md")
+        assert len(blocks) >= 4
+        ns = {}
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            for block in blocks:
+                exec(compile(_shrink(block), "statistics.md", "exec"), ns)
+        out = sink.getvalue()
+        assert "verdict:" in out
+        assert "stopped early: True" in out
+        assert "warm simulated 0" in out
+        assert "[0.902, 0.984]" in out  # the Wilson example straddles rho
+
+
 class TestTestingDoc:
     def test_all_blocks_execute(self):
         blocks = _python_blocks(ROOT / "docs" / "testing.md")

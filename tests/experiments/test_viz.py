@@ -68,7 +68,33 @@ class TestLineChart:
     def test_points_sorted_by_x(self):
         chart = LineChart("t", "x", "y")
         chart.add_series("s", [(2, 1), (0, 0), (1, 2)])
-        assert chart._series[0][1] == [(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]
+        assert chart._series[0][1] == [
+            (0.0, 0.0, 0.0), (1.0, 2.0, 0.0), (2.0, 1.0, 0.0)
+        ]
+
+    def test_error_bars_rendered(self):
+        chart = LineChart("t", "x", "y")
+        chart.add_series("s", [(0, 1), (1, 2)], errors=[0.25, 0.0])
+        root = _parse(chart.to_svg())
+        lines = [e for e in root.iter() if e.tag.endswith("line")]
+        # Only the point with a positive half-width grows a bar: one
+        # vertical stem + two caps beyond the axis/legend strokes.
+        bare = len(_parse(
+            LineChart("t", "x", "y").add_series("s", [(0, 1), (1, 2)]).to_svg()
+        ).findall(".//{http://www.w3.org/2000/svg}line"))
+        assert len(lines) == bare + 3
+
+    def test_error_bars_extend_y_range(self):
+        chart = LineChart("t", "x", "y")
+        chart.add_series("s", [(0, 1.0)], errors=[9.0])
+        # The bar top (y=10) must fit inside the auto-scaled axis.
+        x_lo, x_hi, y_lo, y_hi = chart._bounds()
+        assert y_hi >= 10.0
+
+    def test_error_length_mismatch_rejected(self):
+        chart = LineChart("t", "x", "y")
+        with pytest.raises(ValueError):
+            chart.add_series("s", [(0, 1), (1, 2)], errors=[0.1])
 
 
 class TestFigureRenderers:

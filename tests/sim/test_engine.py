@@ -230,6 +230,54 @@ class TestFrequencySemantics:
         assert by_key["B:0"].completion_time == pytest.approx(1.252)
 
 
+class TestFreqTraceEvents:
+    """FREQ trace events must mark actual level changes, not dispatches."""
+
+    def test_no_freq_event_without_a_switch(self):
+        # Two jobs, both dispatched at the ladder's resident f_max: the
+        # frequency never changes, so the trace must carry no FREQ
+        # events (the old guard emitted one per dispatch).
+        task = _task(window=0.5, mean=100.0)
+        trace = _trace([(task, [(0.0, 100.0), (0.5, 100.0)])], horizon=1.0)
+        result = Engine(
+            trace, EDFStatic(), _platform_processor(), record_trace=True
+        ).run()
+        from repro.sim.trace import TraceEventKind
+
+        freq_events = [
+            e for e in result.trace.events if e.kind is TraceEventKind.FREQ
+        ]
+        assert freq_events == []
+        assert result.processor_stats.switch_count == 0
+
+    def test_freq_events_match_switch_count_and_changes(self):
+        # A policy that alternates levels per dispatch: every FREQ event
+        # must carry a value different from the previous one, and the
+        # event count must equal the processor's switch counter.
+        class Alternating(EDFStatic):
+            def decide(self, view):
+                d = super().decide(view)
+                f = 500.0 if int(view.time * 2) % 2 == 0 else 1000.0
+                return Decision(job=d.job, frequency=f)
+
+        task = _task(window=0.5, mean=100.0)
+        trace = _trace(
+            [(task, [(0.0, 100.0), (0.5, 100.0), (1.0, 100.0)])], horizon=2.0
+        )
+        cpu = _platform_processor()
+        result = Engine(trace, Alternating(), cpu, record_trace=True).run()
+        from repro.sim.trace import TraceEventKind
+
+        freq_events = [
+            e for e in result.trace.events if e.kind is TraceEventKind.FREQ
+        ]
+        assert len(freq_events) == cpu.stats.switch_count > 0
+        previous = 1000.0  # ladder resident level at t=0
+        for event in freq_events:
+            assert event.value != previous
+            previous = event.value
+
+
 class TestHorizonAndProfiler:
     def test_unfinished_at_horizon(self):
         task = _task(window=3.0, mean=2000.0)

@@ -149,3 +149,65 @@ class TestWithout:
         filtered = view.without([])
         assert filtered.time == 2.0
         assert filtered.arrivals_in_window(task) == 1
+
+
+class TestReadySnapshotContract:
+    """A retained view must stay membership-stable across the engine's
+    abort pass (the view snapshots the live ready list at construction;
+    see ``Engine._build_view``)."""
+
+    def test_retained_view_stable_across_abort_pass(self):
+        from repro.cpu import Processor
+        from repro.sched import Decision, Scheduler
+        from repro.sim import Engine, JobStatus, WorkloadTrace
+        from repro.sim.workload import JobSpec
+
+        class AbortTail(Scheduler):
+            """Runs the earliest-critical-time job, aborts every other
+            pending job — and retains each decision's view."""
+
+            name = "abort-tail"
+
+            def __init__(self):
+                self.snapshots = []
+
+            def decide(self, view):
+                order = sorted(
+                    view.ready, key=lambda j: (j.critical_time, j.index)
+                )
+                head = order[0] if order else None
+                aborts = tuple(order[1:])
+                self.snapshots.append((list(view.ready), aborts, view))
+                return Decision(
+                    job=head, frequency=view.scale.f_max, aborts=aborts
+                )
+
+        task = _task(window=1.0, mean=100.0)
+        trace = WorkloadTrace(
+            TaskSet([task]),
+            2.0,
+            [JobSpec(task, i, 0.0, 100.0) for i in range(3)],
+        )
+        scheduler = AbortTail()
+        cpu = Processor(FrequencyScale((1000.0,)), EnergyModel.e1())
+        result = Engine(trace, scheduler, cpu).run()
+
+        aborted = [j for j in result.jobs if j.status is JobStatus.ABORTED]
+        assert aborted, "scenario must exercise the abort pass"
+        saw_abort_pass = False
+        for members, aborts, view in scheduler.snapshots:
+            # The engine removed `aborts` from its live list right after
+            # decide() returned; the retained view must still show the
+            # decision-time membership, aborted jobs included.
+            assert view.ready == members
+            for job in aborts:
+                assert job in view.ready
+                saw_abort_pass = True
+        assert saw_abort_pass
+
+    def test_view_does_not_alias_caller_list(self):
+        task = _task()
+        jobs = [Job(task, 0, 0.0, 10.0), Job(task, 1, 0.5, 10.0)]
+        view = _view([task], jobs)
+        jobs.pop()
+        assert len(view.ready) == 2

@@ -1,0 +1,96 @@
+"""Content-addressed run cache: keys, round-trips, corruption."""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import PlatformSpec, SchedulerSpec, WorkloadSpec
+from repro.stats import RunCache, run_cache_key
+
+
+def _workload(seed=11, **overrides):
+    base = dict(load=0.8, seed=seed, horizon=1.0)
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+SCHEDULERS = (SchedulerSpec.registry("EUA*"),)
+PLATFORM = PlatformSpec()
+
+
+class TestRunCacheKey:
+    def test_stable_across_calls(self):
+        a = run_cache_key(_workload(), PLATFORM, SCHEDULERS)
+        b = run_cache_key(_workload(), PLATFORM, SCHEDULERS)
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_seed_changes_key(self):
+        assert run_cache_key(_workload(11), PLATFORM, SCHEDULERS) != run_cache_key(
+            _workload(12), PLATFORM, SCHEDULERS
+        )
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"load": 0.9},
+            {"horizon": 2.0},
+            {"rho": 0.9},
+            {"arrival_mode": "burst"},
+            {"f_max": 800.0},
+        ],
+    )
+    def test_workload_fields_change_key(self, override):
+        assert run_cache_key(_workload(), PLATFORM, SCHEDULERS) != run_cache_key(
+            _workload(**override), PLATFORM, SCHEDULERS
+        )
+
+    def test_platform_changes_key(self):
+        assert run_cache_key(_workload(), PLATFORM, SCHEDULERS) != run_cache_key(
+            _workload(), PlatformSpec(energy="E3"), SCHEDULERS
+        )
+
+    def test_scheduler_list_is_order_sensitive(self):
+        two = (SchedulerSpec.registry("EUA*"), SchedulerSpec.registry("EDF"))
+        assert run_cache_key(_workload(), PLATFORM, two) != run_cache_key(
+            _workload(), PLATFORM, tuple(reversed(two))
+        )
+
+
+class TestRunCacheStore:
+    def test_round_trip(self, tmp_path):
+        cache = RunCache(tmp_path)
+        key = run_cache_key(_workload(), PLATFORM, SCHEDULERS)
+        payload = {"seed": 11, "metrics": {"EUA*": {"energy": 1.25e8}}}
+        cache.put(key, payload)
+        assert cache.get(key) == payload
+        assert len(cache) == 1
+
+    def test_float_exactness(self, tmp_path):
+        cache = RunCache(tmp_path)
+        value = 0.1 + 0.2  # not representable prettily; must round-trip
+        cache.put("k" * 64, {"v": value})
+        assert cache.get("k" * 64)["v"] == value
+
+    def test_miss_returns_none(self, tmp_path):
+        assert RunCache(tmp_path).get("0" * 64) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.path_for("bad").write_text("{not json")
+        assert cache.get("bad") is None
+
+    def test_non_dict_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.path_for("arr").write_text(json.dumps([1, 2]))
+        assert cache.get("arr") is None
+
+    def test_creates_root(self, tmp_path):
+        root = tmp_path / "nested" / "cache"
+        RunCache(root)
+        assert root.is_dir()
+
+    def test_no_tmp_droppings(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.put("a" * 64, {"x": 1})
+        assert list(tmp_path.glob("*.tmp")) == []

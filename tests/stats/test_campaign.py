@@ -1,0 +1,211 @@
+"""Campaign driver: determinism, caching, early stop, verdicts, CLI."""
+
+import pytest
+
+from repro.stats import (
+    CampaignConfig,
+    EarlyStopRule,
+    RunCache,
+    render_campaign,
+    run_campaign,
+)
+from repro.stats.campaign import ReplicationSummary, _run_replication, ReplicationSpec
+
+
+def _config(**overrides):
+    base = dict(
+        load=0.8,
+        horizon=0.5,
+        schedulers=("EUA*",),
+        n_replications=6,
+        base_seed=11,
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def _flatten(result):
+    """Canonical bit-comparable rendering of a campaign aggregate."""
+    out = {}
+    for name, stats in result.schedulers.items():
+        out[name] = {
+            "metrics": {
+                k: (s.mean, s.std, s.n, s.half_width)
+                for k, s in stats.metrics.items()
+            },
+            "assurance": [tuple(vars(a).values()) for a in stats.assurance],
+        }
+    return out
+
+
+class TestReplication:
+    def test_summary_round_trips_exactly(self):
+        config = _config(n_replications=1)
+        spec = ReplicationSpec(
+            workload=config.workload_spec(11),
+            platform=config.platform_spec(),
+            schedulers=config.scheduler_specs(),
+        )
+        summary = _run_replication(spec)
+        clone = ReplicationSummary.from_dict(summary.to_dict())
+        assert clone == summary
+
+    def test_decided_excludes_censored_jobs(self):
+        config = _config(n_replications=1)
+        spec = ReplicationSpec(
+            workload=config.workload_spec(11),
+            platform=config.platform_spec(),
+            schedulers=config.scheduler_specs(),
+        )
+        summary = _run_replication(spec)
+        for counts in summary.assurance.values():
+            for satisfied, decided in counts.values():
+                assert 0 <= satisfied <= decided
+
+
+class TestDeterminism:
+    def test_workers_do_not_change_aggregates(self):
+        config = _config()
+        serial = run_campaign(config, workers=1)
+        parallel = run_campaign(config, workers=4)
+        assert _flatten(serial) == _flatten(parallel)
+        assert serial.n_simulated == parallel.n_simulated == 6
+
+    def test_cache_cold_vs_resumed_bit_identical(self, tmp_path):
+        config = _config()
+        cache = RunCache(tmp_path)
+        cold = run_campaign(config, cache=cache)
+        warm = run_campaign(config, cache=cache)
+        assert cold.n_simulated == 6 and cold.n_cached == 0
+        assert warm.n_simulated == 0 and warm.n_cached == 6
+        assert _flatten(cold) == _flatten(warm)
+        # And both equal the uncached aggregate.
+        assert _flatten(run_campaign(config)) == _flatten(cold)
+
+    def test_partial_cache_resume(self, tmp_path):
+        cache = RunCache(tmp_path)
+        run_campaign(_config(n_replications=3), cache=cache)
+        grown = run_campaign(_config(n_replications=6), cache=cache)
+        assert grown.n_cached == 3 and grown.n_simulated == 3
+        assert _flatten(grown) == _flatten(run_campaign(_config(n_replications=6)))
+
+
+class TestVerdicts:
+    def test_underload_passes_with_relaxed_rho(self):
+        # Every decided job completes at load 0.8 underload; with
+        # ρ = 0.5 even the sparse tasks' pooled intervals clear it.
+        result = run_campaign(_config(horizon=2.0, rho=0.5, n_replications=4))
+        assert result.verdict == "pass"
+        assert result.ok
+
+    def test_overloaded_edf_fails(self):
+        # EDF collapses during overload (the domino effect): expired
+        # jobs count as failures and pull the interval below ρ.
+        result = run_campaign(
+            _config(load=1.6, horizon=1.0, schedulers=("EDF",), n_replications=4)
+        )
+        assert result.verdict == "fail"
+        assert not result.ok
+
+    def test_tiny_sample_is_inconclusive(self):
+        result = run_campaign(_config(n_replications=1))
+        assert result.verdict == "inconclusive"
+        assert result.ok  # inconclusive is not a failure
+
+    def test_render_contains_verdict_and_tables(self):
+        result = run_campaign(_config(n_replications=2))
+        text = render_campaign(result)
+        assert "campaign verdict:" in text
+        assert "Wilson intervals" in text
+        assert "EUA*" in text
+
+
+class TestEarlyStop:
+    def _stopping_config(self, **overrides):
+        base = dict(
+            horizon=2.0,
+            rho=0.5,
+            n_replications=20,
+            early_stop=EarlyStopRule(
+                min_replications=4, confidence=0.95, check_every=2
+            ),
+        )
+        base.update(overrides)
+        return _config(**base)
+
+    def test_stops_before_budget(self):
+        result = run_campaign(self._stopping_config())
+        assert result.stopped_early
+        assert result.n_completed < result.n_planned
+        assert result.n_completed >= 4
+        assert result.verdict == "pass"
+
+    def test_warm_cache_satisfies_early_stop_without_simulating(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cold = run_campaign(self._stopping_config(), cache=cache)
+        warm = run_campaign(self._stopping_config(), cache=cache)
+        assert warm.n_simulated == 0
+        assert warm.stopped_early
+        assert _flatten(cold) == _flatten(warm)
+
+    def test_no_rule_runs_full_budget(self):
+        result = run_campaign(_config(n_replications=3))
+        assert not result.stopped_early
+        assert result.n_completed == result.n_planned == 3
+
+
+class TestConfigValidation:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            _config(n_replications=0)
+        with pytest.raises(ValueError):
+            _config(schedulers=())
+        with pytest.raises(ValueError):
+            _config(confidence=0.0)
+
+    def test_seeds_are_contiguous(self):
+        assert _config(base_seed=7, n_replications=3).seeds == (7, 8, 9)
+
+
+class TestCli:
+    def test_stats_subcommand_pass(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["stats", "--load", "0.8", "-n", "2", "--horizon", "0.5",
+             "--rho", "0.5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign verdict:" in out
+
+    def test_stats_subcommand_fail_exit_code(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["stats", "--load", "1.6", "-n", "4", "--horizon", "1.0",
+             "--schedulers", "EDF"]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_stats_cache_dir_and_early_stop(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = ["stats", "--load", "0.8", "-n", "8", "--horizon", "2.0",
+                "--rho", "0.5", "--early-stop", "--min-replications", "4",
+                "--check-every", "2", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "stopped early" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "simulated 0" in second
+
+    def test_obs_subcommand_still_summarises(self, capsys):
+        from repro.cli import main
+
+        code = main(["obs", "--load", "0.4", "--horizon", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "decide_freq" in out

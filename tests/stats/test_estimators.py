@@ -1,0 +1,186 @@
+"""Closed-form checks of the campaign estimator primitives."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    normal_quantile,
+    summarize,
+    wilson_interval,
+    wilson_lower_bound,
+)
+from repro.stats import EarlyStopRule, MetricAccumulator, assurance_verdict
+
+
+class TestNormalQuantile:
+    # Reference values to 6 dp; the Winitzki inverse-erf is ~1e-4 abs
+    # near the centre, degrading to ~1e-2 in the deep tail (fine for
+    # conservative confidence bounds).
+    @pytest.mark.parametrize(
+        "p, z, tol",
+        [
+            (0.5, 0.0, 1e-6),
+            (0.975, 1.959964, 2e-3),
+            (0.95, 1.644854, 2e-3),
+            (0.9995, 3.290527, 1e-2),
+            (0.025, -1.959964, 2e-3),
+        ],
+    )
+    def test_matches_reference(self, p, z, tol):
+        assert normal_quantile(p) == pytest.approx(z, abs=tol)
+
+    def test_domain_enforced(self):
+        for bad in (0.0, 1.0, -0.1, 1.1):
+            with pytest.raises(ValueError):
+                normal_quantile(bad)
+
+    def test_symmetry(self):
+        assert normal_quantile(0.8) == pytest.approx(-normal_quantile(0.2), abs=1e-12)
+
+
+class TestWilsonInterval:
+    # Closed-form Wilson values at z = 1.959964 (two-sided 95%).
+    @pytest.mark.parametrize(
+        "s, n, low, high",
+        [
+            (8, 10, 0.490162, 0.943318),
+            (96, 100, 0.901629, 0.984337),
+            (10, 10, 0.722467, 1.0),
+            (0, 10, 0.0, 0.277533),
+        ],
+    )
+    def test_matches_closed_form(self, s, n, low, high):
+        lo, hi = wilson_interval(s, n, 0.95)
+        assert lo == pytest.approx(low, abs=5e-4)
+        assert hi == pytest.approx(high, abs=5e-4)
+
+    def test_two_sided_nests_inside_one_sided_lower(self):
+        # Two-sided 95% uses z ≈ 1.96; the one-sided 95% lower bound
+        # uses z ≈ 1.645 and therefore sits above the two-sided low.
+        lo, _ = wilson_interval(8, 10, 0.95)
+        assert wilson_lower_bound(8, 10, 0.95) == pytest.approx(0.540793, abs=5e-4)
+        assert lo < wilson_lower_bound(8, 10, 0.95)
+
+    def test_stricter_confidence_widens(self):
+        lo95, hi95 = wilson_interval(190, 200, 0.95)
+        lo999, hi999 = wilson_interval(190, 200, 0.999)
+        assert lo999 < lo95 and hi999 > hi95
+        assert lo999 == pytest.approx(0.872359, abs=3e-3)
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(0, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=1.0)
+
+
+class TestMetricAccumulator:
+    def test_matches_batch_summary(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        acc = MetricAccumulator()
+        for v in values:
+            acc.fold({"m": v})
+        stat = acc.stat("m", confidence=0.95)
+        ref = summarize(values)  # z = 1.96 vs our 1.95996…
+        assert stat.n == len(values)
+        assert stat.mean == pytest.approx(ref.mean, abs=1e-12)
+        assert stat.std == pytest.approx(ref.std, rel=1e-12)
+        assert stat.half_width == pytest.approx(ref.half_width, rel=1e-3)
+
+    def test_welford_closed_form(self):
+        acc = MetricAccumulator()
+        for v in (2.0, 4.0, 6.0):
+            acc.fold({"m": v})
+        stat = acc.stat("m")
+        assert stat.mean == pytest.approx(4.0)
+        assert stat.std == pytest.approx(2.0)  # sample std of {2,4,6}
+
+    def test_single_observation_has_zero_width(self):
+        acc = MetricAccumulator()
+        acc.fold({"m": 7.0})
+        stat = acc.stat("m")
+        assert (stat.mean, stat.std, stat.n, stat.half_width) == (7.0, 0.0, 1, 0.0)
+
+    def test_count_and_names(self):
+        acc = MetricAccumulator()
+        assert acc.count == 0
+        acc.fold({"b": 1.0, "a": 2.0})
+        assert acc.count == 1
+        assert acc.names() == ("a", "b")
+
+
+class TestAssuranceVerdict:
+    def test_pass_when_interval_clears_rho(self):
+        # 96% requirement; 5000/5000 → low ≈ 0.9992.
+        assert assurance_verdict(5000, 5000, 0.96) == "pass"
+
+    def test_fail_when_interval_below_rho(self):
+        # 50/100 against ρ = 0.96: high ≈ 0.598 < 0.96.
+        assert assurance_verdict(50, 100, 0.96) == "fail"
+
+    def test_inconclusive_straddles_rho(self):
+        # 96/100: interval (0.902, 0.984) straddles 0.96.
+        assert assurance_verdict(96, 100, 0.96) == "inconclusive"
+
+    def test_no_decided_jobs_is_inconclusive(self):
+        assert assurance_verdict(0, 0, 0.96) == "inconclusive"
+
+    def test_rho_zero_always_passes(self):
+        assert assurance_verdict(0, 10, 0.0) == "pass"
+
+
+class TestEarlyStopRule:
+    def test_blocks_below_min_replications(self):
+        rule = EarlyStopRule(min_replications=50, confidence=0.999)
+        assert not rule.should_stop(49, [(5000, 5000, 0.96)])
+
+    def test_stops_when_all_decided(self):
+        rule = EarlyStopRule(min_replications=10, confidence=0.999)
+        assert rule.should_stop(10, [(5000, 5000, 0.96), (0, 500, 0.96)])
+
+    def test_continues_on_any_inconclusive(self):
+        rule = EarlyStopRule(min_replications=10, confidence=0.999)
+        assert not rule.should_stop(10, [(5000, 5000, 0.96), (96, 100, 0.96)])
+
+    def test_never_stops_on_empty_counts(self):
+        rule = EarlyStopRule(min_replications=1)
+        assert not rule.should_stop(100, [])
+
+    def test_stricter_confidence_is_harder_to_stop(self):
+        # 190/200 vs ρ = 0.90: decided at 95% (low ≈ 0.911) but not at
+        # 99.9% (low ≈ 0.872).
+        loose = EarlyStopRule(min_replications=1, confidence=0.95)
+        strict = EarlyStopRule(min_replications=1, confidence=0.999)
+        counts = [(190, 200, 0.90)]
+        assert loose.should_stop(5, counts)
+        assert not strict.should_stop(5, counts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopRule(min_replications=0)
+        with pytest.raises(ValueError):
+            EarlyStopRule(confidence=1.0)
+        with pytest.raises(ValueError):
+            EarlyStopRule(check_every=0)
+
+
+class TestWelfordMergeIdentity:
+    def test_sequential_equals_merged(self):
+        # The campaign folds serially, but the underlying estimator's
+        # merge (Chan et al.) must agree bit-for-bit on clean splits —
+        # this is what makes cache-resumed folds safe.
+        from repro.demand import WelfordEstimator
+
+        xs = [float(k) ** 1.5 for k in range(1, 40)]
+        whole = WelfordEstimator()
+        whole.update_many(xs)
+        left, right = WelfordEstimator(), WelfordEstimator()
+        left.update_many(xs[:17])
+        right.update_many(xs[17:])
+        merged = left.merge(right)
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert math.sqrt(merged.sample_variance) == pytest.approx(
+            math.sqrt(whole.sample_variance), rel=1e-12
+        )
