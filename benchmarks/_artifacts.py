@@ -22,6 +22,19 @@ from pathlib import Path
 from typing import Dict, Mapping, Optional
 
 
+def _usable_cpus() -> Optional[int]:
+    """CPUs this process may actually run on (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; a cgroup/affinity-restricted
+    CI runner can see far fewer, and that is the number worker-scaling
+    results should be judged against.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux or restricted
+        return os.cpu_count()
+
+
 def artifacts_dir() -> Path:
     """Where BENCH_*.json files go (env override for CI)."""
     override = os.environ.get("REPRO_BENCH_ARTIFACTS")
@@ -46,6 +59,11 @@ def write_bench_artifact(
     ``"lower"``; unlisted metrics default to ``"higher"``.  The gate
     reads the direction from the *baseline*, but recording it here lets
     ``check_regression.py --update`` build baselines from scratch.
+
+    Every artifact's ``meta`` records core-count provenance
+    (``cpu_count`` = machine, ``usable_cpus`` = affinity-restricted)
+    so throughput/speedup numbers can be read against the hardware
+    that produced them.
     """
     directions = dict(directions or {})
     for key, direction in directions.items():
@@ -59,6 +77,8 @@ def write_bench_artifact(
             **(dict(meta) if meta else {}),
             "python": platform.python_version(),
             "platform": sys.platform,
+            "cpu_count": os.cpu_count(),
+            "usable_cpus": _usable_cpus(),
         },
     }
     path = artifacts_dir() / f"BENCH_{name}.json"

@@ -19,6 +19,12 @@ Three claims are measured:
    emitted to the BENCH artifact and gated against the committed
    baseline: a scheduler-fidelity regression moves them and trips the
    gate even when wall-clock noise hides it.
+
+4. **Phase breakdown** — a span-traced pass attributes the parallel
+   campaign's wall-clock to serialisation vs. simulate vs. fold (plus
+   worker busy time) and emits the split as ``phase_*`` metrics, so the
+   artifact shows *where* a throughput regression happened, not just
+   that one did.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from _artifacts import write_bench_artifact  # noqa: E402
+from repro.obs import Telemetry, build_phase_report  # noqa: E402
 from repro.stats import CampaignConfig, RunCache, run_campaign  # noqa: E402
 
 WORKERS = 4
@@ -120,6 +127,31 @@ def bench_replication_speedup() -> dict:
     }
 
 
+def bench_phase_breakdown() -> dict:
+    """Span-traced pass: where does the parallel campaign's time go?
+
+    Runs once with a :class:`~repro.obs.Telemetry` attached (separate
+    from the timed passes above, so the pickle probe cannot perturb the
+    speedup measurement) and emits the serialisation / simulate / fold
+    split plus worker busy time into the BENCH artifact.
+    """
+    telemetry = Telemetry()
+    t0 = time.perf_counter()
+    run_campaign(CONFIG, workers=WORKERS, telemetry=telemetry)
+    wall = time.perf_counter() - t0
+    report = build_phase_report(telemetry, wall_clock=wall)
+    print(report.render())
+    return {
+        "phase_serialize_s": report.phase_total("pool.serialize"),
+        "phase_simulate_s": report.phase_total("campaign.simulate"),
+        "phase_fold_s": (report.phase_total("campaign.fold")
+                         + report.phase_total("pool.fold")),
+        "phase_worker_busy_s": sum(lane.busy for lane in report.workers),
+        "phase_coverage": report.coverage(),
+        "phase_reps_per_second": report.reps_per_second or 0.0,
+    }
+
+
 def bench_cache_resume() -> dict:
     cache_dir = tempfile.mkdtemp(prefix="repro-stats-cache-")
     try:
@@ -153,13 +185,16 @@ def bench_cache_resume() -> dict:
 def main() -> int:
     metrics = bench_replication_speedup()
     print()
+    metrics.update(bench_phase_breakdown())
+    print()
     metrics.update(bench_cache_resume())
     # Wall-clock numbers on shared CI runners are informational (the
     # hard gates are the asserts above); the mc_* aggregates are
     # deterministic and gated against the committed baseline.
     directions = {k: "lower" for k in metrics}
     for k in ("stats_speedup", "stats_reps_per_second_serial",
-              "cache_resume_speedup", "mc_norm_utility_mean", "mc_min_ci_low"):
+              "cache_resume_speedup", "mc_norm_utility_mean", "mc_min_ci_low",
+              "phase_coverage", "phase_reps_per_second"):
         directions[k] = "higher"
     write_bench_artifact(
         "stats_throughput", metrics, directions=directions,

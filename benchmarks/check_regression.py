@@ -17,6 +17,11 @@ Rules:
   the default tolerance is 10%.  ``direction: "higher"`` means the
   metric regresses when it drops below ``v * (1 - t)``; ``"lower"``
   when it rises above ``v * (1 + t)``.
+* An entry may instead carry an **absolute** gate: ``{"limit": x,
+  "direction": ...}`` fails when the metric crosses ``x`` outright (no
+  baseline value, no tolerance).  Use it for budget-style metrics —
+  e.g. the observability guard-bound fractions must stay under 0.05
+  regardless of what any previous run measured.
 * Artifacts with no baseline are reported as informational only —
   commit a baseline (``--update`` seeds one from the artifact) to start
   gating them.
@@ -53,8 +58,26 @@ def _check_one(baseline_path: Path, artifact_path: Path) -> List[str]:
             failures.append(f"{key}: metric missing from artifact")
             continue
         value = measured[key]
-        base = spec["value"]
         direction = spec.get("direction", "higher")
+        if "limit" in spec:
+            # Absolute budget: the metric must stay on the right side of
+            # a fixed line, independent of any previously measured value.
+            limit = spec["limit"]
+            if direction == "higher":
+                regressed = value < limit - 1e-15
+            else:
+                regressed = value > limit + 1e-15
+            arrow = ">=" if direction == "higher" else "<="
+            status = "REGRESSED" if regressed else "ok"
+            print(f"  {key}: {value:.6g} (absolute gate {arrow} {limit:.6g}) "
+                  f"{status}")
+            if regressed:
+                failures.append(
+                    f"{key}: {value:.6g} crossed the absolute "
+                    f"{direction}-is-better limit {limit:.6g}"
+                )
+            continue
+        base = spec["value"]
         tol = spec.get("tolerance", DEFAULT_TOLERANCE)
         if direction == "higher":
             limit = base * (1.0 - tol)
@@ -87,6 +110,11 @@ def _update_baselines(art_dir: Path, base_dir: Path) -> int:
         metrics = {}
         for key, value in sorted(artifact.get("metrics", {}).items()):
             spec = dict(old.get(key, {}))
+            if "limit" in spec:
+                # Absolute budgets are hand-maintained policy, not
+                # measurements — --update must not relax them.
+                metrics[key] = spec
+                continue
             spec["value"] = value
             spec.setdefault("direction",
                             artifact.get("directions", {}).get(key, "higher"))

@@ -12,8 +12,9 @@ Subcommands regenerate the paper's evaluation from a terminal::
     repro-eua bound --load 0.6
     repro-eua ablate dvs|fopt|dvs-method|dasa
     repro-eua trace --load 0.8 --jsonl
-    repro-eua obs --load 0.8 --repeats 3
+    repro-eua obs --load 0.8 --repeats 3 [--spans] [--dashboard obs.svg]
     repro-eua stats --load 0.8 -n 200 --workers 4 [--early-stop] [--cache-dir .stats-cache]
+    repro-eua profile --load 0.8 -n 16 --workers 4 [--dashboard profile.svg]
     repro-eua check --scheduler "EUA*" --load 0.8
     repro-eua check --corpus tests/corpus/<case>.json
     repro-eua fuzz --budget 100 --seed 0
@@ -23,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from time import perf_counter
 from typing import List, Optional
 
 from .cpu import FrequencyScale
@@ -435,22 +437,35 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
-    from .obs import MetricsRegistry, Observer, Profiler
+    from .obs import MetricsRegistry, Observer, Profiler, SpanTracer, build_phase_report
     from .experiments import render_obs_summary
 
+    spans = bool(args.spans or args.dashboard)
     merged = MetricsRegistry()
     pooled = Profiler()
+    tracer = SpanTracer() if spans else None
     base_seed = args.seed
     for rep in range(args.repeats):
-        observer = Observer(events=False, metrics=True, profiling=True)
+        observer = Observer(events=False, metrics=True, profiling=True, spans=spans)
         args.seed = base_seed + rep
         _traced_run(args, observer)
         merged.merge(observer.metrics)
         pooled.merge(observer.profiler)
+        if tracer is not None:
+            tracer.merge(observer.spans)
     args.seed = base_seed
     print(f"scheduler={args.scheduler} load={args.load} horizon={args.horizon}s "
           f"repeats={args.repeats}")
     print(render_obs_summary(merged, pooled))
+    if tracer is not None:
+        report = build_phase_report(tracer, profiler=pooled)
+        print()
+        print(report.render())
+        if args.dashboard:
+            from .viz import render_phase_report
+
+            render_phase_report(report, args.dashboard)
+            print(f"wrote {args.dashboard}")
     return 0
 
 
@@ -485,9 +500,62 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         early_stop=rule,
     )
     cache = RunCache(args.cache_dir) if args.cache_dir else None
-    result = run_campaign(config, workers=args.workers, cache=cache)
+    telemetry = None
+    if args.spans or args.dashboard:
+        from .obs import Telemetry
+
+        telemetry = Telemetry()
+    t0 = perf_counter()
+    result = run_campaign(config, workers=args.workers, cache=cache,
+                          telemetry=telemetry)
+    wall = perf_counter() - t0
     print(render_campaign(result))
+    if telemetry is not None:
+        from .obs import build_phase_report
+
+        report = build_phase_report(telemetry, wall_clock=wall)
+        print()
+        print(report.render())
+        if args.dashboard:
+            from .viz import render_phase_report
+
+            render_phase_report(report, args.dashboard)
+            print(f"wrote {args.dashboard}")
     return 1 if result.verdict == "fail" else 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import Telemetry, build_phase_report, phase_report_to_jsonl
+    from .stats import CampaignConfig, RunCache, run_campaign
+
+    config = CampaignConfig(
+        load=args.load,
+        horizon=args.horizon,
+        schedulers=tuple(args.schedulers),
+        n_replications=args.n,
+        base_seed=args.seed,
+        energy=args.energy,
+    )
+    cache = RunCache(args.cache_dir) if args.cache_dir else None
+    telemetry = Telemetry()
+    t0 = perf_counter()
+    result = run_campaign(config, workers=args.workers, cache=cache,
+                          telemetry=telemetry)
+    wall = perf_counter() - t0
+    report = build_phase_report(telemetry, wall_clock=wall)
+    print(f"profile: scheduler(s)={','.join(config.schedulers)} load={args.load} "
+          f"n={args.n} workers={args.workers} verdict={result.verdict}")
+    print(report.render())
+    if args.jsonl_out:
+        with open(args.jsonl_out, "w") as fh:
+            fh.write(phase_report_to_jsonl(report))
+        print(f"wrote {args.jsonl_out}")
+    if args.dashboard:
+        from .viz import render_phase_report
+
+        render_phase_report(report, args.dashboard)
+        print(f"wrote {args.dashboard}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -609,10 +677,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="log findings as they occur")
     pfz.set_defaults(func=_cmd_fuzz)
 
+    def span_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--spans", action="store_true",
+                       help="trace phase spans and print the PhaseReport table")
+        p.add_argument("--dashboard",
+                       help="write the SVG time-attribution dashboard to this "
+                            "path (implies --spans)")
+
     pob = sub.add_parser("obs", help="run with metrics + profiling and summarise")
     obs_common(pob)
     pob.add_argument("--repeats", type=int, default=1,
                      help="repetitions merged into one registry (seed, seed+1, ...)")
+    span_opts(pob)
     pob.set_defaults(func=_cmd_obs)
 
     pst = sub.add_parser(
@@ -647,8 +723,32 @@ def build_parser() -> argparse.ArgumentParser:
     pst.add_argument("--cache-dir",
                      help="content-addressed run cache; re-runs load hits "
                           "instead of re-simulating")
+    span_opts(pst)
     workers_opt(pst)
     pst.set_defaults(func=_cmd_stats)
+
+    ppr = sub.add_parser(
+        "profile",
+        help="run a small campaign with span tracing and print where the "
+             "wall-clock went",
+    )
+    ppr.add_argument("--load", type=float, default=0.8)
+    ppr.add_argument("--energy", default="E1", choices=list(TABLE2_NAMES))
+    ppr.add_argument("--horizon", type=float, default=1.0)
+    ppr.add_argument("--seed", type=int, default=11,
+                     help="base seed; replication k uses seed + k")
+    ppr.add_argument("-n", "--n", type=int, default=16, dest="n",
+                     help="number of replications to profile over")
+    ppr.add_argument("--schedulers", nargs="+", default=["EUA*"])
+    ppr.add_argument("--cache-dir",
+                     help="content-addressed run cache (probes show up as "
+                          "cache hit rate)")
+    ppr.add_argument("--jsonl-out",
+                     help="write the PhaseReport as versioned JSONL to this path")
+    ppr.add_argument("--dashboard",
+                     help="write the SVG time-attribution dashboard to this path")
+    workers_opt(ppr)
+    ppr.set_defaults(func=_cmd_profile)
 
     pt = sub.add_parser("theorems", help="verify the timeliness theorems")
     pt.add_argument("--load", type=float, default=0.6)

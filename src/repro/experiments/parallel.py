@@ -39,16 +39,19 @@ experiment.
 
 from __future__ import annotations
 
+import os
+import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from importlib import import_module
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
 from ..cpu import FrequencyScale
-from ..obs import MetricsRegistry, Observer
+from ..obs import MetricsRegistry, Observer, Telemetry
 from ..sim.engine import SimulationResult
 from ..sim.runner import Platform, simulate
 from ..sim.task import TaskSet
@@ -256,11 +259,62 @@ def default_chunksize(n_items: int, max_workers: int) -> int:
     return max(1, n_items // (4 * max_workers) or 1)
 
 
+class _TracedCall:
+    """Picklable wrapper around the sweep function for traced pools.
+
+    The worker stamps its busy interval with raw ``perf_counter``
+    values — ``CLOCK_MONOTONIC`` is system-wide on Linux, so the main
+    process converts them onto its tracer timeline with
+    :meth:`~repro.obs.SpanTracer.rel` when folding results back in.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[T], R]):
+        self.fn = fn
+
+    def __call__(self, item: T) -> "_TracedOutcome":
+        start = perf_counter()
+        value = self.fn(item)
+        return _TracedOutcome(value, f"pid-{os.getpid()}", start, perf_counter())
+
+
+@dataclass
+class _TracedOutcome:
+    """A sweep result plus the worker busy interval that produced it."""
+
+    value: object
+    worker: str
+    start: float
+    end: float
+
+
+def _run_serial_traced(
+    fn: Callable[[T], R], items: Sequence[T], telemetry: Telemetry
+) -> List[R]:
+    """Serial map with per-item ``pool.execute`` spans.
+
+    In-process execution does *not* overlap the caller, so it belongs in
+    the span tree (charged to the enclosing phase) as well as on the
+    ``main`` worker lane.
+    """
+    tr = telemetry.tracer
+    out: List[R] = []
+    for item in items:
+        t0 = tr.now()
+        with tr.span("pool.execute"):
+            out.append(fn(item))
+        telemetry.interval("main", t0, tr.now())
+        telemetry.count("pool.items")
+    return out
+
+
 def run_sweep(
     fn: Callable[[T], R],
     items: Sequence[T],
     max_workers: int = 1,
     chunksize: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[R]:
     """Order-preserving map of ``fn`` over ``items``.
 
@@ -270,22 +324,63 @@ def run_sweep(
     picklable.  If the pool cannot be created — sandboxed environments
     without working semaphores, for instance — the sweep falls back to
     the serial path with a warning instead of failing.
+
+    ``telemetry`` (optional) attributes the pipeline's wall-clock:
+    serial execution records per-item ``pool.execute`` spans; pool
+    execution records a ``pool.serialize`` span (explicit pickle probe
+    of the dispatched payload, counted in ``pool.pickled_bytes``), a
+    ``pool.submit``/``pool.fold`` span pair around dispatch and the
+    order-preserving merge, and one busy interval per item on the
+    executing worker's lane.  Results are identical with and without it.
     """
     items = list(items)
+    if telemetry is None:
+        if max_workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if chunksize is None:
+            chunksize = default_chunksize(len(items), max_workers)
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(fn, items, chunksize=chunksize))
+        except (OSError, PermissionError, ImportError) as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); running sweep serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(item) for item in items]
+
+    tr = telemetry.tracer
     if max_workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        return _run_serial_traced(fn, items, telemetry)
     if chunksize is None:
         chunksize = default_chunksize(len(items), max_workers)
+    with tr.span("pool.serialize"):
+        payload = sum(len(pickle.dumps(item)) for item in items)
+    telemetry.count("pool.pickled_bytes", payload)
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
+            with tr.span("pool.submit"):
+                outcomes = pool.map(_TracedCall(fn), items, chunksize=chunksize)
+            out: List[R] = []
+            # The fold span also absorbs time spent *waiting* on workers
+            # — that is honestly what the main process does here, and the
+            # overlapped execution shows up on the worker lanes instead.
+            with tr.span("pool.fold"):
+                for outcome in outcomes:
+                    telemetry.interval(
+                        outcome.worker, tr.rel(outcome.start), tr.rel(outcome.end)
+                    )
+                    telemetry.count("pool.items")
+                    out.append(outcome.value)
+            return out
     except (OSError, PermissionError, ImportError) as exc:
         warnings.warn(
             f"process pool unavailable ({exc!r}); running sweep serially",
             RuntimeWarning,
             stacklevel=2,
         )
-        return [fn(item) for item in items]
+        return _run_serial_traced(fn, items, telemetry)
 
 
 def run_units(

@@ -1,6 +1,6 @@
 """Structured observability for the scheduler stack.
 
-Three sinks behind one :class:`Observer` facade:
+Four sinks behind one :class:`Observer` facade:
 
 * :class:`EventLog` — typed scheduler-decision records (releases,
   σ insertions/rejections with UER, aborts, expiries, completions,
@@ -9,12 +9,16 @@ Three sinks behind one :class:`Observer` facade:
 * :class:`MetricsRegistry` — counters, gauges and histograms
   aggregated per run and mergeable across experiment repetitions;
 * :class:`Profiler` — opt-in ``perf_counter`` timers around the hot
-  paths with percentile reporting.
+  paths with percentile reporting;
+* :class:`SpanTracer` — opt-in hierarchical enter/exit spans whose
+  self-time decomposition attributes the wall-clock to phases; they
+  aggregate (with :class:`Telemetry` worker lanes and counters) into a
+  :class:`PhaseReport`.
 
 Everything is zero-cost when disabled: producers take an
 ``Optional[Observer]`` (default ``None``) and guard each site with a
 single branch.  See ``docs/observability.md`` for the event schema,
-metric names and CLI examples.
+metric names, span phases and CLI examples.
 """
 
 from .events import Event, EventKind, EventLog
@@ -23,11 +27,25 @@ from .jsonl import (
     events_to_jsonl,
     metrics_from_jsonl,
     metrics_to_jsonl,
+    phase_report_from_jsonl,
+    phase_report_to_jsonl,
     profile_to_jsonl,
+    spans_from_jsonl,
+    spans_to_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .observer import Observer
 from .profiling import Profiler
+from .spans import PhaseStats, Span, SpanTracer
+from .telemetry import (
+    PHASE_REPORT_VERSION,
+    PhaseReport,
+    PhaseRow,
+    Telemetry,
+    WorkerInterval,
+    WorkerLane,
+    build_phase_report,
+)
 
 __all__ = [
     "Event",
@@ -39,9 +57,23 @@ __all__ = [
     "MetricsRegistry",
     "Observer",
     "Profiler",
+    "Span",
+    "SpanTracer",
+    "PhaseStats",
+    "PhaseReport",
+    "PhaseRow",
+    "Telemetry",
+    "WorkerInterval",
+    "WorkerLane",
+    "PHASE_REPORT_VERSION",
+    "build_phase_report",
     "events_to_jsonl",
     "events_from_jsonl",
     "metrics_to_jsonl",
     "metrics_from_jsonl",
     "profile_to_jsonl",
+    "spans_to_jsonl",
+    "spans_from_jsonl",
+    "phase_report_to_jsonl",
+    "phase_report_from_jsonl",
 ]

@@ -16,6 +16,8 @@ from typing import Dict, Iterable, List
 from .events import Event, EventKind, EventLog
 from .metrics import Histogram, MetricsRegistry
 from .profiling import Profiler
+from .spans import Span, SpanTracer
+from .telemetry import PHASE_REPORT_VERSION, PhaseReport
 
 __all__ = [
     "events_to_jsonl",
@@ -23,6 +25,10 @@ __all__ = [
     "metrics_to_jsonl",
     "metrics_from_jsonl",
     "profile_to_jsonl",
+    "spans_to_jsonl",
+    "spans_from_jsonl",
+    "phase_report_to_jsonl",
+    "phase_report_from_jsonl",
 ]
 
 
@@ -125,3 +131,72 @@ def profile_to_jsonl(profiler: Profiler) -> str:
         for name, hist in sorted(profiler.timers.items())
     ]
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Spans and phase reports (versioned wire format)
+# ----------------------------------------------------------------------
+def spans_to_jsonl(tracer: SpanTracer) -> str:
+    """Serialise completed spans, one per line, in sequence order."""
+    lines: List[str] = []
+    for s in tracer.spans:
+        lines.append(json.dumps({
+            "type": "span",
+            "version": PHASE_REPORT_VERSION,
+            "seq": s.seq,
+            "path": s.path,
+            "name": s.name,
+            "depth": s.depth,
+            "start": s.start,
+            "duration": s.duration,
+            "self": s.self_time,
+            "worker": s.worker,
+        }))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def spans_from_jsonl(text: str) -> SpanTracer:
+    """Rebuild a (closed) :class:`SpanTracer` from :func:`spans_to_jsonl`
+    output.  The returned tracer carries the recorded spans; its clock
+    restarts, so it can also keep tracing."""
+    tracer = SpanTracer()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        if row.get("type") != "span":
+            raise ValueError(f"line {lineno}: expected a span row, got {row.get('type')!r}")
+        version = int(row.get("version", 0))
+        if version != PHASE_REPORT_VERSION:
+            raise ValueError(
+                f"line {lineno}: span version {version} unsupported "
+                f"(this build reads version {PHASE_REPORT_VERSION})"
+            )
+        tracer.spans.append(Span(
+            seq=int(row["seq"]),
+            path=str(row["path"]),
+            name=str(row["name"]),
+            depth=int(row["depth"]),
+            start=float(row["start"]),
+            duration=float(row["duration"]),
+            self_time=float(row["self"]),
+            worker=str(row.get("worker", "main")),
+        ))
+    return tracer
+
+
+def phase_report_to_jsonl(report: PhaseReport) -> str:
+    """Serialise a :class:`PhaseReport` as one versioned JSONL row."""
+    return json.dumps({"type": "phase_report", **report.to_dict()}) + "\n"
+
+
+def phase_report_from_jsonl(text: str) -> PhaseReport:
+    """Rebuild a :class:`PhaseReport` from :func:`phase_report_to_jsonl`
+    output (exactly one non-empty row expected)."""
+    rows = [line for line in text.splitlines() if line.strip()]
+    if len(rows) != 1:
+        raise ValueError(f"expected exactly one phase_report row, got {len(rows)}")
+    row = json.loads(rows[0])
+    if row.get("type") != "phase_report":
+        raise ValueError(f"expected a phase_report row, got {row.get('type')!r}")
+    return PhaseReport.from_dict(row)

@@ -74,7 +74,10 @@ class Histogram:
     """A sample distribution with exact quantiles.
 
     Keeps raw samples (simulation runs produce thousands, not billions);
-    quantiles use the nearest-rank method on a lazily sorted copy.
+    quantiles use the **nearest-rank** method on a lazily sorted copy —
+    see :meth:`percentile` for the exact contract, which
+    ``Profiler.stats()`` and :class:`~repro.obs.telemetry.PhaseReport`
+    both inherit.
     """
 
     __slots__ = ("samples", "_sorted")
@@ -105,7 +108,23 @@ class Histogram:
         return max(self.samples) if self.samples else 0.0
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        """Nearest-rank percentile, ``p`` in [0, 100].
+
+        The result is the sample at rank ``max(1, ceil(p/100 · n))`` of
+        the sorted list — always an **observed sample**, never an
+        interpolated value (there is no linear interpolation between
+        ranks).  Consequences worth knowing, all pinned by the property
+        suite (``tests/obs/test_metrics.py``):
+
+        * ``percentile(0)`` is the minimum and ``percentile(100)`` the
+          maximum; the function is non-decreasing in ``p``.
+        * Small samples saturate early: with ``n == 1`` every ``p``
+          returns the single sample; with ``n == 2``, ``p <= 50``
+          returns the minimum and ``p > 50`` the maximum.  In general
+          ``p > 100·(n-1)/n`` already returns the maximum, so p99 needs
+          ``n >= 100`` before it can differ from ``max``.
+        * An empty histogram returns ``0.0`` for every ``p``.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p!r}")
         if not self.samples:

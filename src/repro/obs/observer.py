@@ -22,6 +22,7 @@ from typing import Optional
 from .events import EventKind, EventLog, FieldValue
 from .metrics import MetricsRegistry
 from .profiling import Profiler
+from .spans import SpanTracer
 
 __all__ = ["Observer"]
 
@@ -29,17 +30,19 @@ __all__ = ["Observer"]
 class Observer:
     """Bundle of the observability sinks a run writes to."""
 
-    __slots__ = ("events", "metrics", "profiler")
+    __slots__ = ("events", "metrics", "profiler", "spans")
 
     def __init__(
         self,
         events: bool = True,
         metrics: bool = True,
         profiling: bool = False,
+        spans: bool = False,
     ):
         self.events: Optional[EventLog] = EventLog() if events else None
         self.metrics: Optional[MetricsRegistry] = MetricsRegistry() if metrics else None
         self.profiler: Optional[Profiler] = Profiler() if profiling else None
+        self.spans: Optional[SpanTracer] = SpanTracer() if spans else None
 
     # ------------------------------------------------------------------
     # Guarded conveniences — each is a no-op when its sink is disabled.
@@ -77,6 +80,11 @@ class Observer:
         """True when timers are live (hoist this into hot loops)."""
         return self.profiler is not None
 
+    @property
+    def tracing(self) -> bool:
+        """True when span tracing is live (hoist this into hot loops)."""
+        return self.spans is not None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         on = [
             name
@@ -84,6 +92,7 @@ class Observer:
                 ("events", self.events),
                 ("metrics", self.metrics),
                 ("profiling", self.profiler),
+                ("spans", self.spans),
             )
             if sink is not None
         ]

@@ -136,6 +136,24 @@ class Engine:
         return result
 
     def _run(self) -> SimulationResult:
+        """Span-tracing shim around the dispatch loop.
+
+        With a tracer attached the whole run nests under one
+        ``engine.run`` root span (so phase self-times tile the measured
+        wall-clock); without one this is a tail call — the disabled
+        path stays exactly the loop it always was.
+        """
+        obs = self.observer
+        sp = obs.spans if obs is not None else None
+        if sp is None:
+            return self._run_loop()
+        sp.enter("engine.run")
+        try:
+            return self._run_loop()
+        finally:
+            sp.exit()
+
+    def _run_loop(self) -> SimulationResult:
         taskset: TaskSet = self.workload.taskset
         horizon = self.workload.horizon
         scheduler = self.scheduler
@@ -147,6 +165,10 @@ class Engine:
         if obs is not None:
             scheduler.bind_observer(obs)
         profiling = obs is not None and obs.profiler is not None
+        # Span tracing: `tracing` is hoisted exactly like `profiling`,
+        # so a detached tracer costs one predictable branch per phase.
+        sp = obs.spans if obs is not None else None
+        tracing = sp is not None
 
         scheduler.setup(taskset, cpu.scale, cpu.model)
 
@@ -184,6 +206,8 @@ class Engine:
             # Deferred re-releases (runtime `defer` policy) and fresh
             # arrivals drain through the same gate; with no runtime the
             # heap stays empty and the gate is a straight admit.
+            if tracing:
+                sp.enter("engine.release")
             while True:
                 if deferred_heap and deferred_heap[0][0] <= t + EPS_TIME:
                     job = heapq.heappop(deferred_heap)[2]
@@ -226,6 +250,10 @@ class Engine:
                              release=job.release, termination=job.termination)
                     obs.inc("jobs_released", task=job.task.name)
 
+            if tracing:
+                sp.exit()  # engine.release
+                sp.enter("engine.expiry")
+
             # --- raise termination exceptions -------------------------
             if scheduler.abort_expired:
                 expired = [
@@ -246,21 +274,31 @@ class Engine:
                     event = SchedulingEvent.EXPIRY
                     advanced = True
 
+            if tracing:
+                sp.exit()  # engine.expiry
+
             if t >= horizon - EPS_TIME:
                 break
 
             # --- consult the scheduler ---------------------------------
+            if tracing:
+                sp.enter("engine.snapshot")
             view = self._build_view(t, ready, taskset, recent_arrivals, event)
             if obs is not None:
                 obs.set_gauge("queue_depth", len(ready))
                 obs.observe("queue_depth_samples", len(ready))
                 obs.inc("scheduler_invocations", event=event.value)
+            if tracing:
+                sp.exit()  # engine.snapshot
+                sp.enter("engine.decide")
             if profiling:
                 t0 = perf_counter()
                 decision = scheduler.decide(view)
                 obs.record("engine.decide", perf_counter() - t0)
             else:
                 decision = scheduler.decide(view)
+            if tracing:
+                sp.exit()  # engine.decide
             if ck is not None:
                 ck.on_decision(view, decision, scheduler)
             for job in decision.aborts:
@@ -316,6 +354,8 @@ class Engine:
                     obs.inc("dispatches", task=running.task.name)
 
             # --- find the next event -----------------------------------
+            if tracing:
+                sp.enter("engine.advance")
             t_arrival = jobs[arrival_idx].release if arrival_idx < n_jobs else math.inf
             if deferred_heap:
                 t_arrival = min(t_arrival, deferred_heap[0][0])
@@ -356,6 +396,9 @@ class Engine:
             if dt > 0.0:
                 advanced = True
             t = t_next
+            if tracing:
+                sp.exit()  # engine.advance
+                sp.enter("engine.complete")
 
             # --- completion --------------------------------------------
             if running is not None and running.remaining_demand <= EPS_CYCLES:
@@ -383,6 +426,9 @@ class Engine:
                     last_running = None
                 event = SchedulingEvent.COMPLETION
                 advanced = True
+
+            if tracing:
+                sp.exit()  # engine.complete
 
             if not advanced:
                 stall_guard += 1

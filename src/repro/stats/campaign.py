@@ -27,6 +27,7 @@ is decided at a stricter-than-reporting confidence.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -39,6 +40,7 @@ from ..experiments.parallel import (
     WorkloadSpec,
     run_sweep,
 )
+from ..obs import Telemetry
 from .cache import RunCache, run_cache_key
 from .estimators import EarlyStopRule, MetricAccumulator, assurance_verdict
 
@@ -361,10 +363,16 @@ def _aggregate(
     return result
 
 
+def _span(telemetry: Optional[Telemetry], name: str):
+    """``telemetry.tracer.span(name)`` or a no-op context manager."""
+    return telemetry.tracer.span(name) if telemetry is not None else nullcontext()
+
+
 def run_campaign(
     config: CampaignConfig,
     workers: int = 1,
     cache: Optional[RunCache] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> CampaignResult:
     """Run (or resume) a Monte-Carlo campaign.
 
@@ -376,56 +384,79 @@ def run_campaign(
     Aggregation folds summaries in seed order in the calling process,
     making the result independent of ``workers`` and of which entries
     came from the cache.
+
+    ``telemetry`` (optional) records the campaign's phase spans
+    (``campaign.plan`` / ``campaign.cache`` / ``campaign.stop_check`` /
+    ``campaign.simulate`` / ``campaign.fold`` under a ``campaign`` root)
+    and the hit/miss/replication counters a
+    :class:`~repro.obs.PhaseReport` turns into reps/sec and cache hit
+    rate.  The aggregate is bit-identical with and without it.
     """
-    specs: Dict[int, ReplicationSpec] = {}
-    keys: Dict[int, str] = {}
-    summaries: Dict[int, ReplicationSummary] = {}
-    todo: List[ReplicationSpec] = []
-    platform = config.platform_spec()
-    scheduler_specs = config.scheduler_specs()
-    n_cached = 0
-    for seed in config.seeds:
-        spec = ReplicationSpec(
-            workload=config.workload_spec(seed),
-            platform=platform,
-            schedulers=scheduler_specs,
-        )
-        specs[seed] = spec
-        if cache is not None:
-            keys[seed] = run_cache_key(spec.workload, platform, scheduler_specs)
-            payload = cache.get(keys[seed])
-            if payload is not None:
-                summaries[seed] = ReplicationSummary.from_dict(payload)
-                n_cached += 1
-                continue
-        todo.append(spec)
+    with _span(telemetry, "campaign"):
+        specs: Dict[int, ReplicationSpec] = {}
+        keys: Dict[int, str] = {}
+        summaries: Dict[int, ReplicationSummary] = {}
+        todo: List[ReplicationSpec] = []
+        with _span(telemetry, "campaign.plan"):
+            platform = config.platform_spec()
+            scheduler_specs = config.scheduler_specs()
+            for seed in config.seeds:
+                specs[seed] = ReplicationSpec(
+                    workload=config.workload_spec(seed),
+                    platform=platform,
+                    schedulers=scheduler_specs,
+                )
+        n_cached = 0
+        with _span(telemetry, "campaign.cache"):
+            for seed in config.seeds:
+                spec = specs[seed]
+                if cache is not None:
+                    keys[seed] = run_cache_key(spec.workload, platform, scheduler_specs)
+                    payload = cache.get(keys[seed])
+                    if payload is not None:
+                        summaries[seed] = ReplicationSummary.from_dict(payload)
+                        n_cached += 1
+                        if telemetry is not None:
+                            telemetry.count("campaign.cache_hits")
+                        continue
+                    if telemetry is not None:
+                        telemetry.count("campaign.cache_misses")
+                todo.append(spec)
 
-    rule = config.early_stop
-    batch = rule.check_every if rule is not None else max(1, len(todo))
-    stopped_early = False
-    n_simulated = 0
-    index = 0
-    while index < len(todo):
-        if rule is not None:
-            done = [summaries[s] for s in sorted(summaries)]
-            pooled = _pooled_counts(done)
-            counts = [
-                tuple(entry)
-                for sched in config.schedulers
-                for _, entry in sorted(pooled.get(sched, {}).items())
-            ]
-            if rule.should_stop(len(done), counts):
-                stopped_early = True
-                break
-        chunk = todo[index : index + batch]
-        for summary in run_sweep(_run_replication, chunk, max_workers=workers):
-            summaries[summary.seed] = summary
-            n_simulated += 1
-            if cache is not None:
-                cache.put(keys[summary.seed], summary.to_dict())
-        index += len(chunk)
+        rule = config.early_stop
+        batch = rule.check_every if rule is not None else max(1, len(todo))
+        stopped_early = False
+        n_simulated = 0
+        index = 0
+        while index < len(todo):
+            if rule is not None:
+                with _span(telemetry, "campaign.stop_check"):
+                    done = [summaries[s] for s in sorted(summaries)]
+                    pooled = _pooled_counts(done)
+                    counts = [
+                        tuple(entry)
+                        for sched in config.schedulers
+                        for _, entry in sorted(pooled.get(sched, {}).items())
+                    ]
+                    stop = rule.should_stop(len(done), counts)
+                if stop:
+                    stopped_early = True
+                    break
+            chunk = todo[index : index + batch]
+            with _span(telemetry, "campaign.simulate"):
+                for summary in run_sweep(
+                    _run_replication, chunk, max_workers=workers, telemetry=telemetry
+                ):
+                    summaries[summary.seed] = summary
+                    n_simulated += 1
+                    if telemetry is not None:
+                        telemetry.count("campaign.reps_simulated")
+                    if cache is not None:
+                        cache.put(keys[summary.seed], summary.to_dict())
+            index += len(chunk)
 
-    ordered = [summaries[s] for s in sorted(summaries)]
-    # Cached-but-unused entries beyond an early stop still count toward
-    # the aggregate: they are free evidence, already paid for.
-    return _aggregate(config, ordered, n_simulated, n_cached, stopped_early)
+        with _span(telemetry, "campaign.fold"):
+            ordered = [summaries[s] for s in sorted(summaries)]
+            # Cached-but-unused entries beyond an early stop still count
+            # toward the aggregate: free evidence, already paid for.
+            return _aggregate(config, ordered, n_simulated, n_cached, stopped_early)

@@ -1,5 +1,6 @@
 """Dependency-free visualisation (SVG figure rendering)."""
 
+from .dashboard import render_phase_report
 from .svg import LineChart, render_figure2, render_figure3
 
-__all__ = ["LineChart", "render_figure2", "render_figure3"]
+__all__ = ["LineChart", "render_figure2", "render_figure3", "render_phase_report"]

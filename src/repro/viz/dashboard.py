@@ -1,0 +1,153 @@
+"""Time-attribution dashboard for a :class:`~repro.obs.PhaseReport`.
+
+Two stacked panels in one dependency-free SVG (same offline constraint
+as :mod:`repro.viz.svg`):
+
+* **phase bars** — one horizontal bar per phase row, total duration in
+  a light fill with the self time overlaid solid, so the gap between
+  the two is exactly the time the phase spent inside its children;
+* **worker lanes** — one row per worker, busy intervals drawn on the
+  report's wall-clock timeline, utilisation annotated per lane.
+
+``repro-eua profile --dashboard out.svg`` and ``repro-eua stats
+--dashboard out.svg`` both land here; CI uploads the stats smoke run's
+dashboard as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Optional
+
+from ..obs.telemetry import PhaseReport
+
+__all__ = ["render_phase_report"]
+
+#: Okabe–Ito subset (matches :data:`repro.viz.svg._PALETTE` ordering).
+_PALETTE = (
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#009E73",  # green
+    "#CC79A7",  # pink
+    "#E69F00",  # orange
+    "#56B4E9",  # sky
+)
+
+_ROW_H = 22
+_LANE_H = 26
+_LABEL_W = 230
+_MARGIN = 16
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f} ms" if seconds < 1.0 else f"{seconds:.3f} s"
+
+
+def render_phase_report(
+    report: PhaseReport, path: Optional[str] = None, width: int = 760
+) -> str:
+    """Render the report as an SVG dashboard; returns the SVG text (and
+    writes it when ``path`` is given)."""
+    phases = report.phases
+    lanes = report.workers
+    plot_w = width - _LABEL_W - 2 * _MARGIN
+
+    header_h = 56
+    phases_h = len(phases) * _ROW_H + (28 if phases else 0)
+    lanes_h = len(lanes) * _LANE_H + (28 if lanes else 0)
+    footer_h = 24
+    height = header_h + phases_h + lanes_h + footer_h
+
+    max_total = max((r.total for r in phases), default=0.0)
+    wall = report.wall_clock if report.wall_clock > 0.0 else max_total
+
+    out: List[str] = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="11">'
+    )
+    out.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    out.append(
+        f'<text x="{_MARGIN}" y="22" font-size="14">'
+        f"Phase time attribution — wall-clock {_fmt_ms(wall)}, "
+        f"self-time coverage {report.coverage():.0%}</text>"
+    )
+    tail = []
+    if report.reps_per_second is not None:
+        tail.append(f"{report.reps_per_second:.1f} reps/s")
+    if report.cache_hit_rate is not None:
+        tail.append(f"cache hit rate {report.cache_hit_rate:.0%}")
+    if tail:
+        out.append(f'<text x="{_MARGIN}" y="40" fill="#555">{" · ".join(tail)}</text>')
+
+    y = header_h
+    if phases:
+        out.append(
+            f'<text x="{_MARGIN}" y="{y + 12}" font-weight="bold">'
+            "phases (light = total, solid = self)</text>"
+        )
+        y += 22
+        for i, row in enumerate(phases):
+            colour = _PALETTE[i % len(_PALETTE)]
+            depth = row.phase.count("/")
+            leaf = row.phase.rsplit("/", 1)[-1]
+            label = ("  " * depth) + leaf
+            cy = y + i * _ROW_H
+            total_w = plot_w * row.total / max_total if max_total > 0.0 else 0.0
+            self_w = plot_w * row.self_time / max_total if max_total > 0.0 else 0.0
+            out.append(
+                f'<text x="{_LABEL_W - 8}" y="{cy + 13}" text-anchor="end">'
+                f"{html.escape(label)}</text>"
+            )
+            out.append(
+                f'<rect x="{_LABEL_W}" y="{cy + 3}" width="{total_w:.1f}" '
+                f'height="{_ROW_H - 8}" fill="{colour}" fill-opacity="0.25"/>'
+            )
+            out.append(
+                f'<rect x="{_LABEL_W}" y="{cy + 3}" width="{self_w:.1f}" '
+                f'height="{_ROW_H - 8}" fill="{colour}"/>'
+            )
+            out.append(
+                f'<text x="{_LABEL_W + total_w + 6:.1f}" y="{cy + 13}" '
+                f'fill="#333">{_fmt_ms(row.total)} ×{row.count}</text>'
+            )
+        y += len(phases) * _ROW_H + 6
+
+    if lanes:
+        out.append(
+            f'<text x="{_MARGIN}" y="{y + 12}" font-weight="bold">'
+            "worker lanes (busy intervals on the wall-clock timeline)</text>"
+        )
+        y += 22
+        for i, lane in enumerate(lanes):
+            colour = _PALETTE[(len(phases) + i) % len(_PALETTE)]
+            cy = y + i * _LANE_H
+            out.append(
+                f'<text x="{_LABEL_W - 8}" y="{cy + 15}" text-anchor="end">'
+                f"{html.escape(lane.worker)} ({lane.utilisation:.0%})</text>"
+            )
+            out.append(
+                f'<rect x="{_LABEL_W}" y="{cy + 4}" width="{plot_w}" '
+                f'height="{_LANE_H - 10}" fill="none" stroke="#ccc"/>'
+            )
+            if wall > 0.0:
+                for start, end, _label in lane.intervals:
+                    x0 = _LABEL_W + plot_w * max(0.0, start) / wall
+                    w = plot_w * max(0.0, end - start) / wall
+                    out.append(
+                        f'<rect x="{x0:.1f}" y="{cy + 4}" width="{max(w, 0.5):.1f}" '
+                        f'height="{_LANE_H - 10}" fill="{colour}"/>'
+                    )
+        y += len(lanes) * _LANE_H + 6
+
+    out.append(
+        f'<text x="{_MARGIN}" y="{height - 8}" fill="#777">'
+        f"repro.viz.dashboard — phase report v{report.version}</text>"
+    )
+    out.append("</svg>")
+    svg = "\n".join(out)
+    if path:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(svg)
+    return svg

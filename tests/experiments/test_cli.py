@@ -124,3 +124,67 @@ class TestNewCommands:
     def test_sensitivity_rejects_unknown(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sensitivity", "everything"])
+
+
+class TestProfileAndSpans:
+    """The time-attribution surface: profile subcommand + span flags."""
+
+    def test_profile_prints_phase_report(self, capsys):
+        rc = main(["profile", "--load", "0.8", "-n", "4",
+                   "--horizon", "0.5", "--workers", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "phase table" in out
+        assert "campaign.simulate" in out
+        assert "wall-clock" in out
+        assert "reps/s" in out
+
+    def test_profile_jsonl_out_roundtrips(self, tmp_path, capsys):
+        from repro.obs import phase_report_from_jsonl, phase_report_to_jsonl
+
+        target = tmp_path / "profile.jsonl"
+        rc = main(["profile", "--load", "0.8", "-n", "2",
+                   "--horizon", "0.5", "--jsonl-out", str(target)])
+        assert rc == 0
+        text = target.read_text()
+        report = phase_report_from_jsonl(text)
+        assert phase_report_to_jsonl(report) == text
+        assert report.phase_total("campaign.simulate") > 0.0
+
+    def test_profile_dashboard_svg(self, tmp_path, capsys):
+        import xml.etree.ElementTree as ET
+
+        target = tmp_path / "profile.svg"
+        rc = main(["profile", "--load", "0.8", "-n", "2",
+                   "--horizon", "0.5", "--dashboard", str(target)])
+        assert rc == 0
+        root = ET.fromstring(target.read_text())
+        assert root.tag.endswith("svg")
+
+    def test_stats_spans_flag_appends_report(self, capsys):
+        rc = main(["stats", "--load", "0.8", "-n", "2",
+                   "--horizon", "0.5", "--rho", "0.5", "--spans"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "campaign verdict:" in out
+        assert "phase table" in out
+
+    def test_stats_dashboard_implies_spans(self, tmp_path, capsys):
+        target = tmp_path / "stats.svg"
+        rc = main(["stats", "--load", "0.8", "-n", "2", "--horizon", "0.5",
+                   "--rho", "0.5", "--dashboard", str(target)])
+        assert rc == 0
+        assert target.exists()
+
+    def test_obs_spans_flag_appends_report(self, capsys):
+        rc = main(["obs", "--load", "0.4", "--horizon", "0.5", "--spans"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "decide_freq" in out  # profiler summary still there
+        assert "engine.run" in out   # plus the span phase table
+
+    def test_obs_without_spans_unchanged(self, capsys):
+        rc = main(["obs", "--load", "0.4", "--horizon", "0.5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "engine.run" not in out

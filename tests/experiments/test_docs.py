@@ -54,6 +54,8 @@ class TestObservability:
         assert "frequency decisions" in out
         assert "fleet dispatches" in out
         assert "decide_freq" in out  # the profiler and summary sections
+        assert "phase table" in out  # the span-tracing section
+        assert "phase coverage" in out
 
 
 class TestPerformance:

@@ -118,3 +118,69 @@ class TestFigureRenderers:
         svg = render_figure3(fig3, str(tmp_path / "f3.svg"))
         _parse(svg)
         assert "&lt;1,P&gt;" in svg or "<1,P>" in svg
+
+
+class TestPhaseDashboard:
+    """SVG time-attribution dashboard (repro.viz.render_phase_report)."""
+
+    @pytest.fixture()
+    def report(self):
+        from repro.obs import Telemetry, build_phase_report
+
+        telemetry = Telemetry()
+        tr = telemetry.tracer
+        with tr.span("campaign"):
+            with tr.span("campaign.plan"):
+                pass
+            with tr.span("campaign.simulate"):
+                pass
+        telemetry.interval("pid-1", 0.0, 0.4)
+        telemetry.interval("pid-2", 0.1, 0.3)
+        telemetry.count("campaign.reps_simulated", 8)
+        telemetry.count("campaign.cache_hits", 1)
+        telemetry.count("campaign.cache_misses", 3)
+        return build_phase_report(telemetry, wall_clock=0.5)
+
+    def test_valid_xml_with_phases_and_lanes(self, report):
+        from repro.viz import render_phase_report
+
+        svg = render_phase_report(report)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        text = ET.tostring(root, encoding="unicode")
+        assert "campaign.simulate" in text
+        assert "pid-2" in text
+
+    def test_header_carries_rates(self, report):
+        from repro.viz import render_phase_report
+
+        svg = render_phase_report(report)
+        assert "cache hit rate" in svg
+        assert "reps/s" in svg
+        assert "wall-clock" in svg
+
+    def test_save_to_path(self, report, tmp_path):
+        from repro.viz import render_phase_report
+
+        target = tmp_path / "dash.svg"
+        svg = render_phase_report(report, path=target)
+        assert target.read_text() == svg
+
+    def test_empty_report_still_renders(self):
+        from repro.obs import PhaseReport
+        from repro.viz import render_phase_report
+
+        svg = render_phase_report(PhaseReport())
+        assert ET.fromstring(svg).tag.endswith("svg")
+
+    def test_escapes_markup_in_phase_names(self):
+        from repro.obs import SpanTracer, build_phase_report
+        from repro.viz import render_phase_report
+
+        tr = SpanTracer()
+        with tr.span("<evil&phase>"):
+            pass
+        svg = render_phase_report(build_phase_report(tr))
+        assert "<evil" not in svg
+        assert "&evil" not in svg
+        ET.fromstring(svg)  # must stay well-formed

@@ -52,16 +52,16 @@ CASES = {
 }
 
 
-def record_events_jsonl(label: str, checker=None) -> str:
+def record_events_jsonl(label: str, checker=None, spans: bool = False) -> str:
     """Run the fixed workload under ``label``'s scheduler and return the
     structured event log as JSONL text.
 
     ``checker`` optionally attaches a :class:`repro.check.InvariantChecker`
-    — the transparency suite asserts the log is bit-identical with and
-    without one.
+    and ``spans`` a live :class:`repro.obs.SpanTracer` — the transparency
+    suite asserts the log is bit-identical with and without either.
     """
     filename, factory = CASES[label]
-    observer = Observer(events=True, metrics=False)
+    observer = Observer(events=True, metrics=False, spans=spans)
     if label == ADAPTIVE_LABEL:
         platform = Platform.powernow_k6()
         trace = drifting_trace(

@@ -77,3 +77,92 @@ def test_merge_is_incremental_and_label_aware():
     a.merge(b)
     assert a.counter_value("residency", mhz="360") == 0.75
     assert a.counter_value("residency", mhz="1000") == 1.0
+
+
+# ----------------------------------------------------------------------
+# Nearest-rank percentile contract (property suite).  These pin the
+# semantics documented on Histogram.percentile: every result is an
+# observed sample, the function is monotone in p, the extremes map to
+# min/max, and small samples saturate early.
+# ----------------------------------------------------------------------
+import math  # noqa: E402
+
+from hypothesis import given  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.obs import Histogram  # noqa: E402
+
+_samples = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=200,
+)
+_p = st.floats(min_value=0.0, max_value=100.0)
+
+
+def _hist(values):
+    h = Histogram()
+    for v in values:
+        h.observe(v)
+    return h
+
+
+@given(_samples, _p)
+def test_percentile_is_an_observed_sample(values, p):
+    assert _hist(values).percentile(p) in values
+
+
+@given(_samples, _p, _p)
+def test_percentile_is_monotone_in_p(values, p1, p2):
+    h = _hist(values)
+    lo, hi = sorted((p1, p2))
+    assert h.percentile(lo) <= h.percentile(hi)
+
+
+@given(_samples)
+def test_percentile_extremes_are_min_and_max(values):
+    h = _hist(values)
+    assert h.percentile(0.0) == min(values)
+    assert h.percentile(100.0) == max(values)
+
+
+@given(_samples, _p)
+def test_percentile_matches_nearest_rank_definition(values, p):
+    rank = max(1, math.ceil(p / 100.0 * len(values)))
+    assert _hist(values).percentile(p) == sorted(values)[rank - 1]
+
+
+@given(_samples, _p)
+def test_percentile_saturates_to_max_on_small_samples(values, p):
+    """p > 100·(n-1)/n already returns the maximum — so p99 cannot
+    differ from max until n >= 100."""
+    n = len(values)
+    if p > 100.0 * (n - 1) / n:
+        assert _hist(values).percentile(p) == max(values)
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False), _p)
+def test_single_sample_always_returned(value, p):
+    assert _hist([value]).percentile(p) == value
+
+
+@given(st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+       st.floats(min_value=-1e9, max_value=1e9, allow_nan=False), _p)
+def test_two_samples_split_at_the_median(a, b, p):
+    h = _hist([a, b])
+    expected = min(a, b) if p <= 50.0 else max(a, b)
+    assert h.percentile(p) == expected
+
+
+@given(_p)
+def test_empty_histogram_returns_zero(p):
+    assert Histogram().percentile(p) == 0.0
+
+
+@given(_samples)
+def test_out_of_range_p_raises(values):
+    h = _hist(values)
+    with pytest.raises(ValueError):
+        h.percentile(-0.5)
+    with pytest.raises(ValueError):
+        h.percentile(100.5)
