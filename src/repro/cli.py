@@ -507,7 +507,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         telemetry = Telemetry()
     t0 = perf_counter()
     result = run_campaign(config, workers=args.workers, cache=cache,
-                          telemetry=telemetry)
+                          telemetry=telemetry, chunk_size=args.chunk_size)
     wall = perf_counter() - t0
     print(render_campaign(result))
     if telemetry is not None:
@@ -540,7 +540,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     telemetry = Telemetry()
     t0 = perf_counter()
     result = run_campaign(config, workers=args.workers, cache=cache,
-                          telemetry=telemetry)
+                          telemetry=telemetry, chunk_size=args.chunk_size)
     wall = perf_counter() - t0
     report = build_phase_report(telemetry, wall_clock=wall)
     print(f"profile: scheduler(s)={','.join(config.schedulers)} load={args.load} "
@@ -569,6 +569,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=1,
                        help="process-pool size for the sweep (1 = serial; "
                             "results are identical at any setting)")
+
+    def chunk_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--chunk-size", type=int, default=None,
+                       help="replications per pool task (default: auto-sized "
+                            "from --workers and the batch budget; results are "
+                            "identical at any setting)")
 
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--loads", type=float, nargs="*", help="load sweep points")
@@ -725,6 +731,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "instead of re-simulating")
     span_opts(pst)
     workers_opt(pst)
+    chunk_opt(pst)
     pst.set_defaults(func=_cmd_stats)
 
     ppr = sub.add_parser(
@@ -748,6 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
     ppr.add_argument("--dashboard",
                      help="write the SVG time-attribution dashboard to this path")
     workers_opt(ppr)
+    chunk_opt(ppr)
     ppr.set_defaults(func=_cmd_profile)
 
     pt = sub.add_parser("theorems", help="verify the timeliness theorems")

@@ -5,7 +5,9 @@ from .decide_freq import (
     future_cycles_due,
     required_rate,
     required_rate_demand,
+    required_rate_demand_reference,
     required_rate_lookahead,
+    required_rate_lookahead_reference,
 )
 from .eua import EUAStar, job_uer, job_uer_reference
 from .feasibility import (
@@ -35,7 +37,9 @@ __all__ = [
     "decide_freq",
     "required_rate",
     "required_rate_demand",
+    "required_rate_demand_reference",
     "required_rate_lookahead",
+    "required_rate_lookahead_reference",
     "future_cycles_due",
     "job_feasible",
     "job_feasible_reference",

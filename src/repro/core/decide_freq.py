@@ -34,12 +34,30 @@ each job its Chebyshev allocation?".
     burst size ``a`` because the worst-case future is a-independent).
     Available as ``EUAStar(dvs_method="demand")`` and benchmarked as an
     ablation; see EXPERIMENTS.md for the measured difference.
+
+Kernel / reference pairing
+--------------------------
+Both rate computations are implemented twice: an optimized *kernel*
+(the canonical name, used by the hot path) and a straight-line
+``*_reference`` transliteration of the algorithm.  The kernels rewrite
+the per-call work — the per-task ``(D^a, C^r)`` fold reads the view's
+cached pending groups once instead of re-scanning the ready list per
+task, static rates are priced once per task instead of twice, and the
+demand kernel enumerates each task's worst-case arrival sequence once
+and counts per deadline point by bisection instead of re-enumerating
+per point — but every float is produced by the same expression in the
+same order, so the results are **bit-identical**.  The differential
+suite (``tests/core/test_kernel_equivalence.py``) pins kernel ≡
+reference under Hypothesis, and the golden decision logs pin the full
+observable behaviour.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from bisect import bisect_right
+from operator import itemgetter
+from typing import Dict, List, Set, Tuple
 
 from ..cpu import FrequencyScale
 from ..obs import EventKind
@@ -52,11 +70,15 @@ __all__ = [
     "decide_freq",
     "required_rate",
     "required_rate_demand",
+    "required_rate_demand_reference",
     "required_rate_lookahead",
+    "required_rate_lookahead_reference",
     "future_cycles_due",
 ]
 
 _EPS = 1e-12
+
+_first = itemgetter(0)
 
 #: Safety cap on the worst-case arrival enumeration (a horizon of this
 #: many windows is far beyond any deferral span that matters).
@@ -92,13 +114,53 @@ def future_cycles_due(view: SchedulerView, task: Task, until: float) -> float:
     return count * task.allocation
 
 
+def _future_critical_times(view: SchedulerView, task: Task, until: float) -> List[float]:
+    """``s_k + D_i`` for the earliest-admissible future arrival sequence,
+    enumerated once up to ``until`` (the largest deadline point).
+
+    The sequence itself does not depend on the query point — a smaller
+    ``until`` simply takes a prefix — so the demand kernel counts
+    arrivals per point with :func:`bisect.bisect_right` on this array.
+    Every element is produced by the exact additions
+    :func:`future_cycles_due` performs, keeping counts bit-identical.
+    """
+    t = view.time
+    d_rel = task.critical_time
+    out: List[float] = []
+    if t + d_rel > until + _EPS:
+        return out
+    a = task.uam.max_arrivals
+    window = task.uam.window
+    history: List[float] = view.recent_arrival_times(task)
+    for _ in range(_MAX_FUTURE_ARRIVALS):
+        if len(history) < a:
+            s = t
+        else:
+            s = max(t, history[-a] + window)
+        due = s + d_rel
+        if due > until + _EPS:
+            break
+        history.append(s)
+        out.append(due)
+    return out
+
+
 def required_rate_demand(view: SchedulerView) -> float:
     """Online processor-demand bound (see module docstring).
 
     Returns the minimum execution rate (MHz) that covers, for every
     candidate critical-time point, all budgeted work due by it.
+
+    Kernel notes: pending budgets and critical times are read once into
+    parallel arrays (the per-point fold then walks plain tuples in the
+    reference's ready order), and each task's worst-case arrival
+    sequence is enumerated once up to the furthest point, with the
+    per-point count taken by bisection.  ``max`` over points is
+    order-independent, so iterating points in sorted order is safe.
+    Bit-identical to :func:`required_rate_demand_reference`.
     """
     t = view.time
+    f_max = view.scale.f_max
     points: Set[float] = set()
     for job in view.ready:
         points.add(job.critical_time)
@@ -107,11 +169,56 @@ def required_rate_demand(view: SchedulerView) -> float:
         # point even when nothing of this task is pending.
         s = view.next_admissible_arrival(task)
         points.add(s + task.critical_time)
+    if not points:
+        return 0.0
+    ordered = sorted(points)
+    d_max = ordered[-1]
+    # Key precomputation: each job's (D^a, c^r) priced once, in ready
+    # order (the fold below must repeat the reference's accumulation
+    # order); each task's future-arrival critical times enumerated once.
+    job_due: List[Tuple[float, float]] = [
+        (job.critical_time, job.remaining_budget) for job in view.ready
+    ]
+    task_due: List[Tuple[List[float], float]] = [
+        (_future_critical_times(view, task, d_max), task.allocation)
+        for task in view.taskset
+    ]
+    rate = 0.0
+    for d in ordered:
+        horizon = d - t
+        d_eps = d + _EPS
+        if horizon <= _EPS:
+            # A pending job is at (or past) its critical time: no slack.
+            if any(due <= d_eps and budget > 0.0 for due, budget in job_due):
+                return f_max
+            continue
+        demand = 0.0
+        for due, budget in job_due:
+            if due <= d_eps:
+                demand += budget
+        for futures, allocation in task_due:
+            demand += bisect_right(futures, d_eps) * allocation
+        point_rate = demand / horizon
+        if point_rate > rate:
+            rate = point_rate
+    return min(rate, f_max)
+
+
+def required_rate_demand_reference(view: SchedulerView) -> float:
+    """The straight-line processor-demand fold — one full pass over the
+    ready list and every task's arrival enumeration *per point*.  The
+    equivalence oracle for :func:`required_rate_demand`."""
+    t = view.time
+    points: Set[float] = set()
+    for job in view.ready:
+        points.add(job.critical_time)
+    for task in view.taskset:
+        s = view.next_admissible_arrival(task)
+        points.add(s + task.critical_time)
     rate = 0.0
     for d in points:
         horizon = d - t
         if horizon <= _EPS:
-            # A pending job is at (or past) its critical time: no slack.
             if any(
                 j.critical_time <= d + _EPS and j.remaining_budget > 0.0
                 for j in view.ready
@@ -140,25 +247,64 @@ def required_rate_lookahead(view: SchedulerView) -> float:
     listing, costing energy).  Zero-demand tasks are still excluded
     from the deferral anchor ``D_n^a``: a task with nothing left to run
     in its window cannot be the binding earliest critical time.
+
+    Kernel notes: one pass over the task set reads the view's cached
+    pending groups and arrival windows directly — inlining
+    ``earliest_critical_time`` / ``remaining_window_cycles`` — and
+    prices each task's static rate ``C_i / D_i`` exactly once (the
+    reference computes the same expression twice, in the utilisation
+    sum and again in the deferral loop; the float is identical either
+    way).  Bit-identical to
+    :func:`required_rate_lookahead_reference`.
     """
     t = view.time
-    tasks = list(view.taskset)
-    entries: List[Tuple[float, float, Task]] = [
-        (view.earliest_critical_time(task), view.remaining_window_cycles(task), task)
-        for task in tasks
-    ]
-    demands = [d for d, c_r, _ in entries if c_r > 0.0]
-    if not demands:
-        return 0.0
     f_m = view.scale.f_max
-    # Worst-case aggregate demand rate (Theorem 1 utilisation analysis).
-    util = sum(task.window_cycles / task.critical_time for task in tasks)
-    d_n = min(demands)
+    pending_map = view._pending_map()
+    windows = view._arrivals_in_window
+    # One fused pass: util fold (reference's sum()), the (D^a, C^r)
+    # entries, and the deferral anchor D_n over tasks with work left.
+    util = 0.0
+    d_n = math.inf
+    entries: List[Tuple[float, float, float]] = []
+    append = entries.append
+    for task in view.taskset:
+        # (a_i, c_i, D_i, C_i/D_i, C_i), cached across decisions.
+        a, allocation, d_rel, rate, cap = task.dvs_static()
+        util += rate
+        group = pending_map.get(id(task))
+        if group:
+            head = group[0]
+            d_a = head.critical_time
+            # head.remaining_budget, with ``allocated`` already in hand.
+            head_remaining = allocation - head.executed
+            if head_remaining < 0.0:
+                head_remaining = 0.0
+            n_pending = len(group)
+            count = a if a < n_pending else n_pending  # min(a, len(pending))
+            work = (count - 1) * allocation + head_remaining
+        else:
+            d_a = t + d_rel
+            work = 0.0
+        recent = windows.get(task.name)
+        unseen = a - (len(recent) if recent is not None else 0)
+        if unseen < 0:
+            unseen = 0
+        c_r = work + unseen * allocation
+        if c_r > cap:
+            c_r = cap
+        if c_r > 0.0 and d_a < d_n:
+            d_n = d_a
+        append((d_a, c_r, rate))
+    if d_n == math.inf:
+        return 0.0
     # Latest-critical-time-first ("reverse EDF order of tasks", line 4).
-    entries.sort(key=lambda e: -e[0])
+    # ``reverse=True`` keeps Timsort's stability, so equal critical
+    # times stay in task-set order exactly like the reference's
+    # ``key=lambda e: -e[0]`` form.
+    entries.sort(key=_first, reverse=True)
     s = 0.0
-    for d_a, c_r, task in entries:
-        util -= task.window_cycles / task.critical_time
+    for d_a, c_r, rate in entries:
+        util -= rate
         if c_r <= 0.0:
             # Nothing of this task left in the window: no residue, and
             # its static rate is now released to the remaining entries.
@@ -175,6 +321,43 @@ def required_rate_lookahead(view: SchedulerView) -> float:
             headroom = max(0.0, f_m - util)
             x = min(c_r, max(0.0, c_r - headroom * gap))
             # The deferred work becomes this task's post-D_n demand (line 7).
+            util += (c_r - x) / gap
+        s += x
+    horizon = d_n - t
+    if horizon <= _EPS:
+        return f_m
+    return min(f_m, s / horizon)
+
+
+def required_rate_lookahead_reference(view: SchedulerView) -> float:
+    """The straight-line Algorithm 2 transliteration, going through the
+    view's public accessors per task.  The equivalence oracle for
+    :func:`required_rate_lookahead`."""
+    t = view.time
+    tasks = list(view.taskset)
+    entries: List[Tuple[float, float, Task]] = [
+        (view.earliest_critical_time(task), view.remaining_window_cycles(task), task)
+        for task in tasks
+    ]
+    demands = [d for d, c_r, _ in entries if c_r > 0.0]
+    if not demands:
+        return 0.0
+    f_m = view.scale.f_max
+    # Worst-case aggregate demand rate (Theorem 1 utilisation analysis).
+    util = sum(task.window_cycles / task.critical_time for task in tasks)
+    d_n = min(demands)
+    entries.sort(key=lambda e: -e[0])
+    s = 0.0
+    for d_a, c_r, task in entries:
+        util -= task.window_cycles / task.critical_time
+        if c_r <= 0.0:
+            continue
+        gap = d_a - d_n
+        if gap <= _EPS:
+            x = c_r
+        else:
+            headroom = max(0.0, f_m - util)
+            x = min(c_r, max(0.0, c_r - headroom * gap))
             util += (c_r - x) / gap
         s += x
     horizon = d_n - t

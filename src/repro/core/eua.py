@@ -58,15 +58,31 @@ def job_uer(job: Job, now: float, f_max: float, model: EnergyModel) -> float:
 
     Uses the *remaining* budget: a nearly finished job is nearly free,
     so its UER rises as it executes.
+
+    Hot-path kernel: called once per feasible ready job per decision,
+    so the ``remaining_budget`` / ``utility_at`` indirections are
+    inlined (same float expressions in the same order — bit-identical
+    to :func:`job_uer_reference`).  It must stay a module-level
+    function resolved at call time: the mutation harness
+    (``repro.check.mutations``) swaps it out to prove the test battery
+    notices a flipped metric.
     """
-    c = max(job.remaining_budget, MIN_UER_CYCLES)
-    utility = job.utility_at(now + c / f_max)
+    task = job.task
+    alloc = task._allocation  # the allocation property's cache slot
+    c = (task.allocation if alloc is None else alloc) - job.executed
+    if c < MIN_UER_CYCLES:  # max(remaining_budget, MIN_UER_CYCLES), MIN > 0
+        c = MIN_UER_CYCLES
+    # job.utility_at(now + c / f_max)
+    utility = task.tuf.utility((now + c / f_max) - job._release)
     return utility / (model.energy_per_cycle(f_max) * c)
 
 
-#: Reference alias for the differential test harness (the UER metric
-#: itself; the hot path reuses it via the memoized ``energy_per_cycle``).
-job_uer_reference = job_uer
+def job_uer_reference(job: Job, now: float, f_max: float, model: EnergyModel) -> float:
+    """Straight-line UER transliteration — the differential-test oracle
+    for the kernel form of :func:`job_uer`."""
+    c = max(job.remaining_budget, MIN_UER_CYCLES)
+    utility = job.utility_at(now + c / f_max)
+    return utility / (model.energy_per_cycle(f_max) * c)
 
 
 class EUAStar(Scheduler):

@@ -68,9 +68,22 @@ def job_feasible(job: Job, now: float, f_max: float) -> bool:
     """Can ``job`` alone finish its remaining budget before termination?
 
     Algorithm 1 line 10: individually infeasible jobs are aborted.
+
+    Hot-path kernel: every policy calls this once per ready job per
+    decision, so the ``remaining_budget`` / ``_deadline_slack``
+    indirections are inlined (same expressions, same float ops —
+    bit-identical to :func:`job_feasible_reference`, which keeps the
+    straight-line form).
     """
-    predicted = now + job.remaining_budget / f_max
-    return predicted < job.termination - _deadline_slack(job)
+    task = job.task
+    alloc = task._allocation  # the allocation property's cache slot
+    rb = (task.allocation if alloc is None else alloc) - job.executed
+    if rb < 0.0:
+        rb = 0.0
+    term = job.termination
+    mag = term if term > 0.0 else -term  # abs(term)
+    # predicted < termination - _deadline_slack(job)
+    return now + rb / f_max < term - _EPS * (mag if mag > 1.0 else 1.0)
 
 
 def predicted_completions(sigma: Sequence[Job], now: float, f_max: float) -> List[float]:
@@ -84,11 +97,20 @@ def predicted_completions(sigma: Sequence[Job], now: float, f_max: float) -> Lis
 
 
 def schedule_feasible(sigma: Sequence[Job], now: float, f_max: float) -> bool:
-    """``feasible(σ)``: every predicted completion precedes termination."""
+    """``feasible(σ)``: every predicted completion precedes termination.
+
+    Kernel form of the fold (see :func:`job_feasible`); bit-identical
+    to :func:`schedule_feasible_reference`.
+    """
     t = now
     for job in sigma:
-        t += job.remaining_budget / f_max
-        if t >= job.termination - _deadline_slack(job):
+        rb = job.task.allocation - job.executed
+        if rb < 0.0:
+            rb = 0.0
+        t += rb / f_max
+        term = job.termination
+        mag = term if term > 0.0 else -term
+        if t >= term - _EPS * (mag if mag > 1.0 else 1.0):
             return False
     return True
 
@@ -113,11 +135,25 @@ def insert_by_critical_time(sigma: Sequence[Job], job: Job) -> List[Job]:
     return out
 
 
-#: The naive implementations above double as the reference oracle of the
-#: differential test harness; the aliases keep them importable under an
-#: unambiguous name even if the canonical ones are ever rebound.
-job_feasible_reference = job_feasible
-schedule_feasible_reference = schedule_feasible
+def job_feasible_reference(job: Job, now: float, f_max: float) -> bool:
+    """Straight-line transliteration of the feasibility predicate — the
+    equivalence oracle for the kernel form of :func:`job_feasible`."""
+    predicted = now + job.remaining_budget / f_max
+    return predicted < job.termination - _deadline_slack(job)
+
+
+def schedule_feasible_reference(sigma: Sequence[Job], now: float, f_max: float) -> bool:
+    """Straight-line ``feasible(σ)`` — oracle for :func:`schedule_feasible`."""
+    t = now
+    for job in sigma:
+        t += job.remaining_budget / f_max
+        if t >= job.termination - _deadline_slack(job):
+            return False
+    return True
+
+
+#: The insertion helper has no kernel variant; the alias keeps the
+#: reference importable under an unambiguous name regardless.
 insert_by_critical_time_reference = insert_by_critical_time
 
 
@@ -184,19 +220,36 @@ class IncrementalSchedule:
         bit-identical to ``schedule_feasible(insert_by_critical_time(σ,
         job), now, f_max)``.
         """
-        pos = bisect_right(self._crit, job.critical_time)
+        crit = self._crit
+        pos = bisect_right(crit, job.critical_time)
         f_max = self.f_max
-        t = self._completions[pos - 1] if pos else self.now
-        t += job.remaining_budget / f_max
-        if t >= job.termination - _deadline_slack(job):
+        completions = self._completions
+        t = completions[pos - 1] if pos else self.now
+        # Inlined remaining_budget / _deadline_slack, as in job_feasible.
+        # ``_allocation`` is the property's cache slot; ``None`` only
+        # before first derivation, which setup() has already forced.
+        alloc = job.task._allocation
+        rb = (job.task.allocation if alloc is None else alloc) - job.executed
+        if rb < 0.0:
+            rb = 0.0
+        t += rb / f_max
+        term = job.termination
+        mag = term if term > 0.0 else -term
+        if t >= term - _EPS * (mag if mag > 1.0 else 1.0):
             return -1
         suffix = [t]
         for other in self._jobs[pos:]:
-            t += other.remaining_budget / f_max
-            if t >= other.termination - _deadline_slack(other):
+            alloc = other.task._allocation
+            rb = (other.task.allocation if alloc is None else alloc) - other.executed
+            if rb < 0.0:
+                rb = 0.0
+            t += rb / f_max
+            term = other.termination
+            mag = term if term > 0.0 else -term
+            if t >= term - _EPS * (mag if mag > 1.0 else 1.0):
                 return -1
             suffix.append(t)
         self._jobs.insert(pos, job)
-        self._crit.insert(pos, job.critical_time)
-        self._completions[pos:] = suffix
+        crit.insert(pos, job.critical_time)
+        completions[pos:] = suffix
         return pos

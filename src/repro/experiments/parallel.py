@@ -67,8 +67,13 @@ __all__ = [
     "CompareOutcome",
     "run_units",
     "run_sweep",
+    "run_chunked",
     "merged_metrics",
     "default_chunksize",
+    "auto_chunk_size",
+    "usable_cpus",
+    "speedup_gate",
+    "SpeedupRegression",
 ]
 
 T = TypeVar("T")
@@ -251,12 +256,70 @@ def _run_compare_unit(unit: CompareUnit) -> CompareOutcome:
 
 
 # ----------------------------------------------------------------------
+# Scaling gate
+# ----------------------------------------------------------------------
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+class SpeedupRegression(AssertionError):
+    """A pool speedup gate failed on a host capable of passing it."""
+
+
+def speedup_gate(
+    speedup: float,
+    workers: int,
+    min_speedup: float = 2.0,
+    cpus: Optional[int] = None,
+) -> str:
+    """Adjudicate a measured pool speedup: ``"pass"`` or ``"skipped"``.
+
+    The three-way outcome is the point — a host with fewer than
+    ``workers`` usable CPUs *cannot* demonstrate pool scaling, so the
+    gate reports ``"skipped"`` (distinct from ``"pass"``: a benchmark
+    must surface the skip, never silently green-light an unmeasurable
+    claim).  On a capable host a speedup below ``min_speedup`` raises
+    :class:`SpeedupRegression`.
+
+    ``cpus`` defaults to :func:`usable_cpus`; pass it explicitly to
+    make the verdict testable independent of the running host.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    if cpus is None:
+        cpus = usable_cpus()
+    if cpus < workers:
+        return "skipped"
+    if speedup < min_speedup:
+        raise SpeedupRegression(
+            f"expected >= {min_speedup:.2f}x speedup at {workers} workers "
+            f"on {cpus} CPUs, measured {speedup:.2f}x"
+        )
+    return "pass"
+
+
+# ----------------------------------------------------------------------
 # The pool
 # ----------------------------------------------------------------------
 def default_chunksize(n_items: int, max_workers: int) -> int:
     """Chunk so each worker sees ~4 chunks — large enough to amortise
     pickling, small enough to keep the pool load-balanced."""
     return max(1, n_items // (4 * max_workers) or 1)
+
+
+def auto_chunk_size(n_items: int, max_workers: int) -> int:
+    """Chunk size for :func:`run_chunked` when the caller does not pin
+    one: ~4 chunks per worker (ceiling division, so every item lands in
+    a chunk and small batches still parallelise)."""
+    if n_items <= 0:
+        return 1
+    if max_workers <= 1:
+        return n_items
+    return max(1, -(-n_items // (4 * max_workers)))
 
 
 class _TracedCall:
@@ -381,6 +444,166 @@ def run_sweep(
             stacklevel=2,
         )
         return _run_serial_traced(fn, items, telemetry)
+
+
+# ----------------------------------------------------------------------
+# Chunked dispatch with a worker-shared payload
+# ----------------------------------------------------------------------
+#: Worker-global one-shot payload, installed by the pool initializer so
+#: each worker deserialises it exactly once instead of per task.
+_SHARED: object = None
+
+
+def _install_shared(payload: object) -> None:
+    global _SHARED
+    _SHARED = payload
+
+
+class _ChunkCall:
+    """Picklable chunk executor: applies the batch function to the
+    worker-installed shared payload plus one chunk of items, stamping
+    the worker busy interval like :class:`_TracedCall`."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[object, Sequence[T]], R]):
+        self.fn = fn
+
+    def __call__(self, chunk: Sequence[T]) -> "_ChunkOutcome":
+        start = perf_counter()
+        value = self.fn(_SHARED, chunk)
+        return _ChunkOutcome(value, len(chunk), f"pid-{os.getpid()}", start, perf_counter())
+
+
+@dataclass
+class _ChunkOutcome:
+    """One chunk's result plus the worker busy interval that produced it."""
+
+    value: object
+    n_items: int
+    worker: str
+    start: float
+    end: float
+
+
+def _iter_chunks(items: Sequence[T], chunk_size: int) -> List[Sequence[T]]:
+    return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+def _run_chunked_serial(
+    fn: Callable[[object, Sequence[T]], R],
+    chunks: Sequence[Sequence[T]],
+    shared: object,
+    telemetry: Optional[Telemetry],
+) -> List[R]:
+    if telemetry is None:
+        return [fn(shared, chunk) for chunk in chunks]
+    tr = telemetry.tracer
+    out: List[R] = []
+    for chunk in chunks:
+        t0 = tr.now()
+        with tr.span("pool.chunk"):
+            out.append(fn(shared, chunk))
+        telemetry.interval("main", t0, tr.now())
+        telemetry.count("pool.chunks")
+        telemetry.count("pool.items", len(chunk))
+    return out
+
+
+def run_chunked(
+    fn: Callable[[object, Sequence[T]], R],
+    items: Sequence[T],
+    shared: object,
+    max_workers: int = 1,
+    chunk_size: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> List[R]:
+    """Order-preserving chunked map: ``fn(shared, chunk)`` per chunk.
+
+    The batch-dispatch primitive behind
+    :func:`repro.stats.run_campaign`.  ``items`` is split into
+    contiguous chunks (``chunk_size``, or :func:`auto_chunk_size`), and
+    each pool task executes one *chunk* through ``fn`` — so per-task
+    dispatch overhead (pickling, future bookkeeping, result transport)
+    amortises over the whole chunk, and ``fn`` can fold partial
+    aggregates worker-side before anything crosses the process
+    boundary.  The one-shot ``shared`` payload is serialised once per
+    worker via the pool initializer, never per chunk, and ``fn`` must
+    treat it as read-only (worker-side mutations are invisible to other
+    chunks and to the caller).
+
+    Results come back in chunk submission order whatever the worker
+    interleaving, so any per-item ordering the caller needs is exactly
+    the concatenation order of ``items`` — chunking is an execution
+    detail, not an identity.  ``max_workers <= 1`` (or a single chunk)
+    never touches ``multiprocessing``; pool-construction failures fall
+    back to the serial path with a warning, like :func:`run_sweep`.
+
+    With ``telemetry``, serial execution records one ``pool.chunk``
+    span per chunk; pool execution records ``pool.serialize`` (one
+    probe of the shared payload + every chunk), ``pool.submit`` /
+    ``pool.fold`` spans, one busy interval per chunk on the executing
+    worker's lane, and the ``pool.chunks`` / ``pool.items`` /
+    ``pool.pickled_bytes`` counters.  Results are identical with and
+    without it.
+    """
+    items = list(items)
+    if not items:
+        return []
+    if chunk_size is None:
+        chunk_size = auto_chunk_size(len(items), max_workers)
+    elif chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
+    chunks = _iter_chunks(items, chunk_size)
+    if max_workers <= 1 or len(chunks) <= 1:
+        return _run_chunked_serial(fn, chunks, shared, telemetry)
+
+    if telemetry is None:
+        try:
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_install_shared,
+                initargs=(shared,),
+            ) as pool:
+                outcomes = pool.map(_ChunkCall(fn), chunks)
+                return [outcome.value for outcome in outcomes]
+        except (OSError, PermissionError, ImportError) as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); running chunked sweep serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return _run_chunked_serial(fn, chunks, shared, None)
+
+    tr = telemetry.tracer
+    with tr.span("pool.serialize"):
+        payload = len(pickle.dumps(shared)) + sum(len(pickle.dumps(c)) for c in chunks)
+    telemetry.count("pool.pickled_bytes", payload)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_install_shared,
+            initargs=(shared,),
+        ) as pool:
+            with tr.span("pool.submit"):
+                outcomes = pool.map(_ChunkCall(fn), chunks)
+            out: List[R] = []
+            with tr.span("pool.fold"):
+                for outcome in outcomes:
+                    telemetry.interval(
+                        outcome.worker, tr.rel(outcome.start), tr.rel(outcome.end)
+                    )
+                    telemetry.count("pool.chunks")
+                    telemetry.count("pool.items", outcome.n_items)
+                    out.append(outcome.value)
+            return out
+    except (OSError, PermissionError, ImportError) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); running chunked sweep serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _run_chunked_serial(fn, chunks, shared, telemetry)
 
 
 def run_units(

@@ -29,15 +29,14 @@ from __future__ import annotations
 
 import heapq
 import math
-from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..cpu import Processor, ProcessorStats
 from ..demand import DemandProfiler
 from ..obs import EventKind, Observer
-from .scheduler import Scheduler, SchedulerView, SchedulingEvent
+from .scheduler import ArrivalWindow, Scheduler, SchedulerView, SchedulingEvent
 from .job import Job, JobStatus
 from .metrics import Metrics
 from .task import TaskSet
@@ -58,6 +57,46 @@ EPS_TIME = 1e-12
 
 class SimulationError(RuntimeError):
     """Raised when the engine detects an inconsistent run."""
+
+
+class _ArrivalLog:
+    """Append-only release log of one task with a trailing-window head.
+
+    The UAM window is trimmed by advancing ``head`` — entries are never
+    removed, so an :class:`~repro.sim.scheduler.ArrivalWindow` snapshot
+    handed to a :class:`SchedulerView` stays valid after the engine
+    moves on.  ``snap`` caches the current window's snapshot; it is
+    invalidated on append and on trim so unchanged windows are shared
+    between consecutive decision points instead of re-copied.
+    """
+
+    __slots__ = ("data", "head", "snap")
+
+    def __init__(self) -> None:
+        self.data: List[float] = []
+        self.head = 0
+        self.snap: Optional[ArrivalWindow] = None
+
+    def append(self, release: float) -> None:
+        self.data.append(release)
+        self.snap = None
+
+    def trim(self, cutoff: float) -> None:
+        """Advance ``head`` past entries at or before ``cutoff``."""
+        data = self.data
+        head = self.head
+        n = len(data)
+        while head < n and data[head] <= cutoff:
+            head += 1
+        if head != self.head:
+            self.head = head
+            self.snap = None
+
+    def window(self) -> ArrivalWindow:
+        snap = self.snap
+        if snap is None:
+            snap = self.snap = ArrivalWindow(self.data, self.head, len(self.data))
+        return snap
 
 
 @dataclass
@@ -177,8 +216,18 @@ class Engine:
         ]
         n_jobs = len(jobs)
         arrival_idx = 0
+        #: Release instants in arrival order — jobs[k].release hoisted so
+        #: the event-search loop reads a list slot, not a property.
+        releases: List[float] = [job.release for job in jobs]
         ready: List[Job] = []
-        recent_arrivals: Dict[str, Deque[float]] = {t.name: deque() for t in taskset}
+        recent_arrivals: Dict[str, _ArrivalLog] = {t.name: _ArrivalLog() for t in taskset}
+        #: Snapshot recipe, hoisted once: (log, name, UAM window) per
+        #: task, so each decision's trim-and-window pass reads locals
+        #: instead of chasing ``recent_arrivals[task.name]`` and
+        #: ``task.uam.window`` attribute chains.
+        window_specs: List[Tuple[_ArrivalLog, str, float]] = [
+            (recent_arrivals[task.name], task.name, task.uam.window) for task in taskset
+        ]
 
         # Adaptive runtime (optional): deferred re-releases wait here,
         # ordered by their granted release instant (seq breaks ties —
@@ -212,7 +261,7 @@ class Engine:
                 if deferred_heap and deferred_heap[0][0] <= t + EPS_TIME:
                     job = heapq.heappop(deferred_heap)[2]
                     from_deferred = True
-                elif arrival_idx < n_jobs and jobs[arrival_idx].release <= t + EPS_TIME:
+                elif arrival_idx < n_jobs and releases[arrival_idx] <= t + EPS_TIME:
                     job = jobs[arrival_idx]
                     arrival_idx += 1
                     from_deferred = False
@@ -256,11 +305,11 @@ class Engine:
 
             # --- raise termination exceptions -------------------------
             if scheduler.abort_expired:
-                expired = [
-                    j
-                    for j in ready
-                    if j.task.abortable and j.termination <= t + EPS_TIME
-                ]
+                t_eps = t + EPS_TIME
+                expired: List[Job] = []
+                for j in ready:
+                    if j.termination <= t_eps and j.task.abortable:
+                        expired.append(j)
                 for job in expired:
                     job.status = JobStatus.EXPIRED
                     job.abort_time = t
@@ -283,7 +332,7 @@ class Engine:
             # --- consult the scheduler ---------------------------------
             if tracing:
                 sp.enter("engine.snapshot")
-            view = self._build_view(t, ready, taskset, recent_arrivals, event)
+            view = self._build_view(t, ready, taskset, window_specs, event)
             if obs is not None:
                 obs.set_gauge("queue_depth", len(ready))
                 obs.observe("queue_depth_samples", len(ready))
@@ -356,14 +405,16 @@ class Engine:
             # --- find the next event -----------------------------------
             if tracing:
                 sp.enter("engine.advance")
-            t_arrival = jobs[arrival_idx].release if arrival_idx < n_jobs else math.inf
+            t_arrival = releases[arrival_idx] if arrival_idx < n_jobs else math.inf
             if deferred_heap:
                 t_arrival = min(t_arrival, deferred_heap[0][0])
             t_term = math.inf
             if scheduler.abort_expired:
+                t_eps = t + EPS_TIME
                 for j in ready:
-                    if j.task.abortable and j.termination > t + EPS_TIME:
-                        t_term = min(t_term, j.termination)
+                    j_term = j.termination
+                    if j_term < t_term and j_term > t_eps and j.task.abortable:
+                        t_term = j_term
             if running is not None:
                 t_complete = t + running.remaining_demand / cpu.frequency
             else:
@@ -465,25 +516,25 @@ class Engine:
         t: float,
         ready: List[Job],
         taskset: TaskSet,
-        recent_arrivals: Dict[str, Deque[float]],
+        window_specs: List[Tuple["_ArrivalLog", str, float]],
         event: SchedulingEvent,
     ) -> SchedulerView:
         """Build the scheduler-visible snapshot for one decision point.
 
         ``ready`` is the engine's *live* list — it is mutated in place by
         the post-decision abort pass and the completion handler.
-        :class:`SchedulerView` copies it on construction (and the
-        per-task arrival lists below are copied here), so a view retained
-        by an observer, checker, or scheduler stays membership-stable
-        after the engine moves on; the regression suite pins this.
+        :class:`SchedulerView` copies it on construction, so a view
+        retained by an observer, checker, or scheduler stays
+        membership-stable after the engine moves on; the regression
+        suite pins this.  Per-task arrival windows are
+        :class:`~repro.sim.scheduler.ArrivalWindow` snapshots over the
+        engine's append-only release logs — equally stable, without the
+        per-decision list copies the engine used to make.
         """
-        counts: Dict[str, List[float]] = {}
-        for task in taskset:
-            dq = recent_arrivals[task.name]
-            cutoff = t - task.uam.window
-            while dq and dq[0] <= cutoff + EPS_TIME:
-                dq.popleft()
-            counts[task.name] = list(dq)
+        counts: Dict[str, ArrivalWindow] = {}
+        for log, name, window in window_specs:
+            log.trim(t - window + EPS_TIME)
+            counts[name] = log.window()
         return SchedulerView(
             time=t,
             ready=ready,

@@ -47,13 +47,15 @@ class Job:
     __slots__ = (
         "task",
         "index",
-        "release",
+        "_release",
         "demand",
         "executed",
         "status",
         "completion_time",
         "accrued_utility",
         "abort_time",
+        "termination",
+        "critical_time",
     )
 
     def __init__(self, task: Task, index: int, release: float, demand: float):
@@ -63,30 +65,39 @@ class Job:
             raise ValueError(f"demand must be finite and > 0, got {demand!r}")
         self.task = task
         self.index = int(index)
-        self.release = float(release)
         self.demand = float(demand)
         self.executed = 0.0
         self.status = JobStatus.PENDING
         self.completion_time: Optional[float] = None
         self.accrued_utility = 0.0
         self.abort_time: Optional[float] = None
+        self.release = float(release)  # also derives the absolute times
 
     # ------------------------------------------------------------------
     # Absolute time constraints
     # ------------------------------------------------------------------
-    @property
-    def termination(self) -> float:
-        """Absolute termination time ``X_{i,j} = release + X``."""
-        return self.release + self.task.tuf.termination
+    # ``termination`` (``X_{i,j} = release + X``) and ``critical_time``
+    # (``D^a = release + D_i``) are *maintained* plain attributes, not
+    # computed properties: the scheduler hot loops read them far more
+    # often than ``release`` ever changes (only the adaptive runtime's
+    # defer path re-releases a job).  The ``release`` setter keeps them
+    # consistent; the equivalence suite pins them to the derived forms.
 
     @property
-    def critical_time(self) -> float:
-        """Absolute critical time ``D^a = release + D_i``."""
-        return self.release + self.task.critical_time
+    def release(self) -> float:
+        """Absolute release time ``I_{i,j}`` (the TUF initial time)."""
+        return self._release
+
+    @release.setter
+    def release(self, value: float) -> None:
+        self._release = value
+        task = self.task
+        self.termination = value + task.tuf.termination
+        self.critical_time = value + task.critical_time
 
     def utility_at(self, t: float) -> float:
         """Utility accrued if the job completes at absolute time ``t``."""
-        return self.task.tuf.utility(t - self.release)
+        return self.task.tuf.utility(t - self._release)
 
     @property
     def max_utility(self) -> float:

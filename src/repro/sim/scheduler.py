@@ -13,14 +13,83 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cpu import EnergyModel, FrequencyScale
 from .job import Job
 from .task import Task, TaskSet
 
-__all__ = ["Scheduler", "SchedulerView", "Decision", "SchedulingEvent"]
+__all__ = [
+    "Scheduler",
+    "SchedulerView",
+    "Decision",
+    "SchedulingEvent",
+    "ArrivalWindow",
+    "pending_of_reference",
+]
+
+
+class ArrivalWindow:
+    """Immutable window over an append-only per-task release log.
+
+    The engine keeps one monotonically growing list of release times per
+    task and trims the trailing UAM window by advancing a head index —
+    entries are never deleted.  A snapshot therefore only needs the
+    ``(log, start, stop)`` triple: it stays valid (and cheap — no copy)
+    for the lifetime of the view that captured it, preserving the
+    snapshot-stability contract the old per-decision list copies gave.
+
+    Supports the small sequence surface the schedulers use: ``len``,
+    indexing (including negative indices), iteration, and equality
+    against any sequence.
+    """
+
+    __slots__ = ("_log", "_start", "_stop")
+
+    def __init__(self, log: Sequence[float], start: int = 0, stop: Optional[int] = None):
+        self._log = log
+        self._start = start
+        self._stop = len(log) if stop is None else stop
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._log[self._start : self._stop])[index]
+        n = self._stop - self._start
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("ArrivalWindow index out of range")
+        return self._log[self._start + index]
+
+    def __iter__(self):
+        return iter(self._log[self._start : self._stop])
+
+    def __eq__(self, other) -> bool:
+        try:
+            return list(self) == list(other)
+        except TypeError:
+            return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArrivalWindow({list(self)!r})"
+
+
+#: Sort key shared by the cached and reference pending-job orderings.
+def _pending_key(job: Job) -> Tuple[float, float, int]:
+    return (job.critical_time, job.release, job.index)
+
+
+def pending_of_reference(ready: Sequence[Job], task: Task) -> List[Job]:
+    """The original one-shot scan: filter ``ready`` by task, sort by
+    absolute critical time.  Retained as the equivalence oracle for the
+    per-view pending cache (``tests/core/test_kernel_equivalence.py``)."""
+    jobs = [j for j in ready if j.task is task]
+    jobs.sort(key=_pending_key)
+    return jobs
 
 
 class SchedulingEvent(enum.Enum):
@@ -49,6 +118,18 @@ class Decision:
 
 class SchedulerView:
     """Snapshot of scheduler-visible state at a decision point."""
+
+    __slots__ = (
+        "time",
+        "ready",
+        "taskset",
+        "scale",
+        "energy_model",
+        "event",
+        "_arrivals_in_window",
+        "energy_consumed",
+        "_pending",
+    )
 
     def __init__(
         self,
@@ -81,18 +162,44 @@ class SchedulerView:
         #: Total system energy consumed so far (busy + idle + switches).
         #: Used by energy-budget-aware extensions (repro.ext).
         self.energy_consumed = energy_consumed
+        #: Lazily built ``id(task) -> sorted pending jobs`` cache.  The
+        #: view's ready membership is frozen at construction, so one
+        #: grouping pass serves every ``pending_of``-family query of the
+        #: decision point instead of a scan-and-sort per call.
+        self._pending: Optional[Dict[int, List[Job]]] = None
 
     # ------------------------------------------------------------------
+    def _pending_map(self) -> Dict[int, List[Job]]:
+        cache = self._pending
+        if cache is None:
+            cache = {}
+            for job in self.ready:
+                key = id(job.task)
+                group = cache.get(key)
+                if group is None:
+                    cache[key] = [job]
+                else:
+                    group.append(job)
+            for group in cache.values():
+                if len(group) > 1:
+                    group.sort(key=_pending_key)
+            self._pending = cache
+        return cache
+
     def pending_of(self, task: Task) -> List[Job]:
-        """Pending jobs of ``task`` ordered by absolute critical time."""
-        jobs = [j for j in self.ready if j.task is task]
-        jobs.sort(key=lambda j: (j.critical_time, j.release, j.index))
-        return jobs
+        """Pending jobs of ``task`` ordered by absolute critical time.
+
+        Returns a fresh list (callers may mutate it); ordering is
+        bit-identical to :func:`pending_of_reference`, which pins the
+        cached grouping against the original scan-and-sort.
+        """
+        group = self._pending_map().get(id(task))
+        return list(group) if group else []
 
     def head_job_of(self, task: Task) -> Optional[Job]:
         """Earliest-critical-time pending job of ``task``."""
-        jobs = self.pending_of(task)
-        return jobs[0] if jobs else None
+        group = self._pending_map().get(id(task))
+        return group[0] if group else None
 
     def arrivals_in_window(self, task: Task) -> int:
         """Releases of ``task`` within its trailing UAM window ``P_i``."""
@@ -139,7 +246,7 @@ class SchedulerView:
         """
         a = task.uam.max_arrivals
         c = task.allocation
-        pending = self.pending_of(task)
+        pending = self._pending_map().get(id(task), ())
         if pending:
             head_remaining = pending[0].remaining_budget
             count = min(a, len(pending))

@@ -19,9 +19,7 @@ cached properties: the Chebyshev allocation ``c_i``, the critical time
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence
-
-import numpy as np
+from typing import Iterable, List, Optional
 
 from ..arrivals import ArrivalGenerator, PeriodicArrivals, UAMSpec
 from ..demand import DemandDistribution, chebyshev_allocation
@@ -119,6 +117,7 @@ class Task:
         self.abortable = bool(abortable)
         self._allocation: Optional[float] = None
         self._critical_time: Optional[float] = None
+        self._dvs_static: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Derived parameters (paper Section 3.1)
@@ -155,6 +154,26 @@ class Task:
             raise TaskModelError(f"frequency must be > 0, got {frequency!r}")
         return self.min_feasible_frequency / frequency
 
+    def dvs_static(self) -> tuple:
+        """``(a_i, c_i, D_i, C_i/D_i, C_i)`` — the static per-task
+        parameters the ``decideFreq`` kernel folds every decision.
+
+        Cached once and invalidated by :meth:`reallocate` (the only
+        post-construction mutation), so the hot loop pays one attribute
+        access instead of re-deriving five properties per task per
+        decision.  Each element is produced by the same expression the
+        un-cached path evaluates, keeping downstream floats
+        bit-identical.
+        """
+        static = self._dvs_static
+        if static is None:
+            a = self.uam.max_arrivals
+            c = self.allocation
+            d = self.critical_time
+            # rate: task.window_cycles / task.critical_time; cap: C_i.
+            static = self._dvs_static = (a, c, d, (a * c) / d, a * c)
+        return static
+
     def reallocate(self, allocation: float) -> None:
         """Override the Chebyshev allocation ``c_i`` with a profiled value.
 
@@ -173,6 +192,7 @@ class Task:
         if allocation <= 0.0 or not math.isfinite(allocation):
             raise TaskModelError(f"allocation must be finite and > 0, got {allocation!r}")
         self._allocation = float(allocation)
+        self._dvs_static = None
 
     # ------------------------------------------------------------------
     def scaled_demand(self, k: float) -> "Task":

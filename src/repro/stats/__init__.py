@@ -18,6 +18,7 @@ from .campaign import (
     SchedulerStats,
     TaskAssurance,
     run_campaign,
+    run_campaign_reference,
 )
 from .estimators import EarlyStopRule, MetricAccumulator, assurance_verdict
 from .report import HEADLINE_METRICS, render_campaign
@@ -33,6 +34,7 @@ __all__ = [
     "SchedulerStats",
     "TaskAssurance",
     "run_campaign",
+    "run_campaign_reference",
     "EarlyStopRule",
     "MetricAccumulator",
     "assurance_verdict",

@@ -38,6 +38,7 @@ from ..experiments.parallel import (
     PlatformSpec,
     SchedulerSpec,
     WorkloadSpec,
+    run_chunked,
     run_sweep,
 )
 from ..obs import Telemetry
@@ -52,6 +53,7 @@ __all__ = [
     "SchedulerStats",
     "CampaignResult",
     "run_campaign",
+    "run_campaign_reference",
 ]
 
 
@@ -193,6 +195,35 @@ def _run_replication(spec: ReplicationSpec) -> ReplicationSummary:
         assurance=assurance,
         requirements={t.name: [t.nu, t.rho] for t in taskset},
     )
+
+
+def _run_replication_batch(
+    config: "CampaignConfig", seeds: Sequence[int]
+) -> Tuple[List[ReplicationSummary], Dict[str, Dict[str, List[object]]]]:
+    """One chunked pool task: simulate ``seeds`` against the shared
+    campaign config, folding the pooled assurance counts worker-side.
+
+    The config is the :func:`~repro.experiments.parallel.run_chunked`
+    shared payload — deserialised once per worker — so the only
+    per-chunk traffic is a list of ints out and the summaries back.
+    Pooled counts are exact integers (order-independent under
+    addition), so folding them here is safe; the Welford metric fold
+    stays in the main process, in seed order, to keep aggregates
+    bit-identical at any chunking (see the determinism contract above).
+    """
+    platform = config.platform_spec()
+    scheduler_specs = config.scheduler_specs()
+    summaries = [
+        _run_replication(
+            ReplicationSpec(
+                workload=config.workload_spec(seed),
+                platform=platform,
+                schedulers=scheduler_specs,
+            )
+        )
+        for seed in seeds
+    ]
+    return summaries, _pooled_counts(summaries)
 
 
 # ----------------------------------------------------------------------
@@ -363,6 +394,28 @@ def _aggregate(
     return result
 
 
+def _merge_pooled(
+    into: Dict[str, Dict[str, List[object]]],
+    partial: Dict[str, Dict[str, List[object]]],
+) -> None:
+    """Fold a worker-side partial pool into the running pool.
+
+    Counts are exact integers, so the merge is order-independent and
+    the running pool equals :func:`_pooled_counts` over all folded
+    summaries bit-for-bit — which is what keeps chunked early-stop
+    decisions identical to the reference's re-pool-everything pass.
+    """
+    for sched, counts in partial.items():
+        bucket = into.setdefault(sched, {})
+        for task, (satisfied, decided, rho) in counts.items():
+            entry = bucket.get(task)
+            if entry is None:
+                bucket[task] = [satisfied, decided, rho]
+            else:
+                entry[0] += satisfied
+                entry[1] += decided
+
+
 def _span(telemetry: Optional[Telemetry], name: str):
     """``telemetry.tracer.span(name)`` or a no-op context manager."""
     return telemetry.tracer.span(name) if telemetry is not None else nullcontext()
@@ -373,24 +426,128 @@ def run_campaign(
     workers: int = 1,
     cache: Optional[RunCache] = None,
     telemetry: Optional[Telemetry] = None,
+    chunk_size: Optional[int] = None,
 ) -> CampaignResult:
     """Run (or resume) a Monte-Carlo campaign.
 
     Cached replications are loaded first; the remainder runs through
-    :func:`~repro.experiments.parallel.run_sweep` — in one shot, or in
-    ``early_stop.check_every`` batches when a stopping rule is set
-    (the rule is also consulted *before* the first batch, so a warm
-    cache can satisfy an early-stopped campaign with zero simulations).
-    Aggregation folds summaries in seed order in the calling process,
-    making the result independent of ``workers`` and of which entries
-    came from the cache.
+    :func:`~repro.experiments.parallel.run_chunked` — each pool task
+    simulates a *chunk* of seeds against the campaign config, which is
+    shipped once per worker as the pool's shared payload instead of
+    once per replication.  ``chunk_size`` pins the seeds-per-task
+    grain; the default auto-sizes from ``workers`` and the batch
+    budget (~4 chunks per worker, never crossing an early-stop batch
+    boundary).  With a stopping rule the batches follow
+    ``early_stop.check_every`` and the rule is also consulted *before*
+    the first batch, so a warm cache can satisfy an early-stopped
+    campaign with zero simulations.
+
+    Chunking is an execution detail, not an identity: per-replication
+    summaries return to the calling process and are folded in seed
+    order, so the aggregate is bit-identical at any ``workers`` /
+    ``chunk_size`` setting (and to :func:`run_campaign_reference`, the
+    retained per-replication dispatch oracle) — only the pooled
+    assurance *counts* (exact ints, order-independent) are pre-folded
+    worker-side.  Cache keys never see the chunking either.
 
     ``telemetry`` (optional) records the campaign's phase spans
     (``campaign.plan`` / ``campaign.cache`` / ``campaign.stop_check`` /
-    ``campaign.simulate`` / ``campaign.fold`` under a ``campaign`` root)
-    and the hit/miss/replication counters a
-    :class:`~repro.obs.PhaseReport` turns into reps/sec and cache hit
-    rate.  The aggregate is bit-identical with and without it.
+    ``campaign.simulate`` / ``campaign.fold`` under a ``campaign``
+    root), the per-chunk ``pool.chunk`` spans (serial) or worker-lane
+    busy intervals (pool), and the hit/miss/replication/worker-fold
+    counters a :class:`~repro.obs.PhaseReport` turns into reps/sec and
+    cache hit rate.  The aggregate is bit-identical with and without
+    it.
+    """
+    with _span(telemetry, "campaign"):
+        keys: Dict[int, str] = {}
+        summaries: Dict[int, ReplicationSummary] = {}
+        todo: List[int] = []
+        with _span(telemetry, "campaign.plan"):
+            platform = config.platform_spec()
+            scheduler_specs = config.scheduler_specs()
+        n_cached = 0
+        with _span(telemetry, "campaign.cache"):
+            for seed in config.seeds:
+                if cache is not None:
+                    keys[seed] = run_cache_key(
+                        config.workload_spec(seed), platform, scheduler_specs
+                    )
+                    payload = cache.get(keys[seed])
+                    if payload is not None:
+                        summaries[seed] = ReplicationSummary.from_dict(payload)
+                        n_cached += 1
+                        if telemetry is not None:
+                            telemetry.count("campaign.cache_hits")
+                        continue
+                    if telemetry is not None:
+                        telemetry.count("campaign.cache_misses")
+                todo.append(seed)
+
+        rule = config.early_stop
+        batch = rule.check_every if rule is not None else max(1, len(todo))
+        # Running pool for the stop checks: cached summaries up front,
+        # worker-side partials folded in as chunks complete.
+        pooled: Dict[str, Dict[str, List[object]]] = _pooled_counts(
+            [summaries[s] for s in sorted(summaries)]
+        )
+        stopped_early = False
+        n_simulated = 0
+        index = 0
+        while index < len(todo):
+            if rule is not None:
+                with _span(telemetry, "campaign.stop_check"):
+                    counts = [
+                        tuple(entry)
+                        for sched in config.schedulers
+                        for _, entry in sorted(pooled.get(sched, {}).items())
+                    ]
+                    stop = rule.should_stop(len(summaries), counts)
+                if stop:
+                    stopped_early = True
+                    break
+            seeds_batch = todo[index : index + batch]
+            with _span(telemetry, "campaign.simulate"):
+                for chunk_summaries, partial_pool in run_chunked(
+                    _run_replication_batch,
+                    seeds_batch,
+                    shared=config,
+                    max_workers=workers,
+                    chunk_size=chunk_size,
+                    telemetry=telemetry,
+                ):
+                    _merge_pooled(pooled, partial_pool)
+                    if telemetry is not None:
+                        telemetry.count("campaign.worker_folds", len(chunk_summaries))
+                    for summary in chunk_summaries:
+                        summaries[summary.seed] = summary
+                        n_simulated += 1
+                        if telemetry is not None:
+                            telemetry.count("campaign.reps_simulated")
+                        if cache is not None:
+                            cache.put(keys[summary.seed], summary.to_dict())
+            index += len(seeds_batch)
+
+        with _span(telemetry, "campaign.fold"):
+            ordered = [summaries[s] for s in sorted(summaries)]
+            # Cached-but-unused entries beyond an early stop still count
+            # toward the aggregate: free evidence, already paid for.
+            return _aggregate(config, ordered, n_simulated, n_cached, stopped_early)
+
+
+def run_campaign_reference(
+    config: CampaignConfig,
+    workers: int = 1,
+    cache: Optional[RunCache] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> CampaignResult:
+    """The pre-chunking campaign driver: one pool task per replication,
+    full spec pickled per task, stop checks re-pooling every summary.
+
+    Retained as the equivalence oracle for :func:`run_campaign` — the
+    chunk-equivalence property suite pins folded aggregates, verdicts,
+    and cache interaction as bit-identical across the two drivers at
+    any ``workers`` / ``chunk_size`` setting.
     """
     with _span(telemetry, "campaign"):
         specs: Dict[int, ReplicationSpec] = {}
@@ -457,6 +614,4 @@ def run_campaign(
 
         with _span(telemetry, "campaign.fold"):
             ordered = [summaries[s] for s in sorted(summaries)]
-            # Cached-but-unused entries beyond an early stop still count
-            # toward the aggregate: free evidence, already paid for.
             return _aggregate(config, ordered, n_simulated, n_cached, stopped_early)

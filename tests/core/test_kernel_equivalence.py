@@ -1,0 +1,277 @@
+"""Hot-loop kernels ≡ straight-line references, on live decision points.
+
+The simulator's inner loops were rewritten with incremental
+maintenance, key precomputation, and bisect-backed counting — each
+paired with a retained ``*_reference`` transliteration.  The contract
+is **bit identity**: every float the kernel produces comes from the
+same expression in the same order as the reference, so ``==`` (never
+``pytest.approx``) is the only acceptable comparison.
+
+Where the fast-path differential suite probes synthetic job pools,
+this one pins the kernels on *real* decision-point views: a capture
+shim wrapped around EUA* re-evaluates every kernel/reference pair at
+each scheduling event of a simulated UAM scenario, so the inputs carry
+whatever partially-executed, mid-abort, burst-backlogged state the
+engine actually produces.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals import BurstUAMArrivals, ScatteredUAMArrivals, UAMSpec
+from repro.core import (
+    EUAStar,
+    job_feasible,
+    job_feasible_reference,
+    job_uer,
+    job_uer_reference,
+    required_rate_demand,
+    required_rate_demand_reference,
+    required_rate_lookahead,
+    required_rate_lookahead_reference,
+    schedule_feasible,
+    schedule_feasible_reference,
+)
+from repro.cpu import EnergyModel, FrequencyScale, Processor
+from repro.demand import DeterministicDemand, NormalDemand
+from repro.sim import Engine, Job, Task, TaskSet, materialize
+from repro.sim.scheduler import ArrivalWindow, pending_of_reference
+from repro.tuf import LinearTUF, StepTUF
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def uam_scenarios(draw):
+    """A synthesised UAM task set (mixed burst sizes) plus a seed."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    load = draw(st.floats(min_value=0.3, max_value=1.8))
+    tasks = []
+    for i in range(n):
+        window = draw(st.floats(min_value=0.05, max_value=0.6))
+        umax = draw(st.floats(min_value=1.0, max_value=80.0))
+        a = draw(st.integers(min_value=1, max_value=3))
+        mean = window * 60.0
+        if draw(st.booleans()):
+            tuf, nu = StepTUF(umax, window), 1.0
+        else:
+            tuf, nu = LinearTUF(umax, window), 0.3
+        spec = UAMSpec(a, window)
+        if a == 1:
+            arrivals = None
+        elif draw(st.booleans()):
+            arrivals = BurstUAMArrivals(spec)
+        else:
+            arrivals = ScatteredUAMArrivals(spec)
+        tasks.append(
+            Task(f"T{i}", tuf, NormalDemand(mean, mean * 0.15),
+                 spec, arrivals=arrivals, nu=nu, rho=0.9)
+        )
+    return TaskSet(tasks).scaled_to_load(load, 1000.0), seed
+
+
+@st.composite
+def job_pools(draw):
+    """Candidate σ material: jobs with assorted progress, plus a time."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    now = draw(st.floats(min_value=0.0, max_value=0.3))
+    jobs = []
+    for i in range(n):
+        release = draw(st.floats(min_value=0.0, max_value=0.4))
+        window = draw(st.floats(min_value=0.02, max_value=0.8))
+        mean = draw(st.floats(min_value=5.0, max_value=400.0))
+        task = Task(
+            f"T{i}",
+            StepTUF(draw(st.floats(min_value=1.0, max_value=50.0)), window),
+            DeterministicDemand(mean),
+            UAMSpec(1, window),
+        )
+        job = Job(task, 0, release, mean)
+        job.executed = draw(st.floats(min_value=0.0, max_value=1.2)) * mean
+        jobs.append(job)
+    return jobs, now
+
+
+# ----------------------------------------------------------------------
+# The capture shim: every decision point of a real run probes the pairs
+# ----------------------------------------------------------------------
+class _KernelProbe(EUAStar):
+    """EUA* that differentially tests every kernel on each live view
+    *before* deciding (the view is a frozen snapshot, but the Job
+    objects mutate as the run advances — so the comparison must happen
+    at decision time, not post-hoc)."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.probes = 0
+
+    def decide(self, view):
+        t = view.time
+        f_m = view.scale.f_max
+        model = view.energy_model
+
+        # decideFreq rate computations (Algorithm 2 + demand bound).
+        assert required_rate_lookahead(view) == \
+            required_rate_lookahead_reference(view)
+        assert required_rate_demand(view) == \
+            required_rate_demand_reference(view)
+
+        # Per-view pending cache vs the scan-and-sort reference.
+        for task in view.taskset:
+            group = view.pending_of(task)
+            reference = pending_of_reference(view.ready, task)
+            assert [id(j) for j in group] == [id(j) for j in reference]
+            head = view.head_job_of(task)
+            assert head is (reference[0] if reference else None)
+
+        # Per-job kernels on exactly the jobs EUA* is about to rank.
+        for job in view.ready:
+            assert job_feasible(job, t, f_m) == \
+                job_feasible_reference(job, t, f_m)
+            assert job_uer(job, t, f_m, model) == \
+                job_uer_reference(job, t, f_m, model)
+
+        self.probes += 1
+        return super().decide(view)
+
+
+@given(uam_scenarios())
+@settings(max_examples=15, deadline=None)
+def test_kernels_match_references_on_live_views(scenario):
+    taskset, seed = scenario
+    rng = np.random.default_rng(seed)
+    trace = materialize(taskset, 1.0, rng)
+    cpu = Processor(FrequencyScale.powernow_k6(), EnergyModel.e1())
+    probe = _KernelProbe()
+    Engine(trace, probe, cpu).run()
+    assert probe.probes > 0  # the shim actually saw decision points
+
+
+@given(uam_scenarios())
+@settings(max_examples=10, deadline=None)
+def test_probe_shim_is_transparent(scenario):
+    """The shim itself must not perturb the run it is probing."""
+    taskset, seed = scenario
+    cpu = Processor(FrequencyScale.powernow_k6(), EnergyModel.e1())
+
+    def run(policy):
+        rng = np.random.default_rng(seed)
+        trace = materialize(taskset, 1.0, rng)
+        return Engine(trace, policy, cpu).run()
+
+    plain = run(EUAStar())
+    probed = run(_KernelProbe())
+    assert probed.metrics.accrued_utility == plain.metrics.accrued_utility
+    assert probed.energy == plain.energy
+
+
+# ----------------------------------------------------------------------
+# Feasibility fold kernels on synthetic σ material
+# ----------------------------------------------------------------------
+@given(job_pools())
+@settings(max_examples=60, deadline=None)
+def test_schedule_feasible_kernel_matches_reference(pool):
+    jobs, now = pool
+    f_max = 1000.0
+    sigma = sorted(jobs, key=lambda j: j.critical_time)
+    assert schedule_feasible(sigma, now, f_max) == \
+        schedule_feasible_reference(sigma, now, f_max)
+    for job in jobs:
+        assert job_feasible(job, now, f_max) == \
+            job_feasible_reference(job, now, f_max)
+
+
+# ----------------------------------------------------------------------
+# Maintained Job attributes vs their derived forms
+# ----------------------------------------------------------------------
+@given(
+    release=st.floats(min_value=0.0, max_value=5.0),
+    window=st.floats(min_value=0.01, max_value=1.0),
+    re_release=st.floats(min_value=0.0, max_value=5.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_job_absolute_times_track_release(release, window, re_release):
+    """``termination`` / ``critical_time`` are maintained attributes for
+    the hot loops; the release setter must keep them equal to the
+    derived expressions — including after the adaptive runtime's
+    re-release path moves a job."""
+    task = Task("T0", StepTUF(10.0, window), DeterministicDemand(50.0),
+                UAMSpec(1, window))
+    job = Job(task, 0, release, 50.0)
+    for value in (release, re_release):
+        job.release = value
+        assert job.termination == value + task.tuf.termination
+        assert job.critical_time == value + task.critical_time
+        assert job.utility_at(value + window / 2) == \
+            task.tuf.utility(window / 2)
+
+
+# ----------------------------------------------------------------------
+# Task.dvs_static: the cached tuple vs the five properties
+# ----------------------------------------------------------------------
+@given(
+    window=st.floats(min_value=0.01, max_value=1.0),
+    a=st.integers(min_value=1, max_value=6),
+    mean=st.floats(min_value=1.0, max_value=500.0),
+    new_alloc=st.floats(min_value=0.5, max_value=800.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_dvs_static_matches_properties_and_invalidates(window, a, mean,
+                                                       new_alloc):
+    spec = UAMSpec(a, window)
+    task = Task("T0", StepTUF(10.0, window), NormalDemand(mean, mean * 0.1),
+                spec, arrivals=BurstUAMArrivals(spec) if a > 1 else None,
+                rho=0.9)
+
+    def expected():
+        return (task.uam.max_arrivals, task.allocation, task.critical_time,
+                task.window_cycles / task.critical_time, task.window_cycles)
+
+    assert task.dvs_static() == expected()
+    assert task.dvs_static() is task.dvs_static()  # cached, not rebuilt
+    # reallocate() is the one sanctioned post-construction mutation and
+    # must drop the cache along with the allocation memo.
+    task.reallocate(new_alloc)
+    assert task.allocation == new_alloc
+    assert task.dvs_static() == expected()
+
+
+# ----------------------------------------------------------------------
+# ArrivalWindow: the zero-copy log window vs a plain list
+# ----------------------------------------------------------------------
+@given(
+    log=st.lists(st.floats(min_value=0.0, max_value=10.0), max_size=12),
+    data=st.data(),
+)
+@settings(max_examples=150, deadline=None)
+def test_arrival_window_is_sequence_equivalent(log, data):
+    start = data.draw(st.integers(min_value=0, max_value=len(log)))
+    stop = data.draw(st.integers(min_value=start, max_value=len(log)))
+    window = ArrivalWindow(log, start, stop)
+    plain = log[start:stop]
+
+    assert len(window) == len(plain)
+    assert list(window) == plain
+    assert window == plain and plain == list(window)
+    for i in range(-len(plain), len(plain)):
+        assert window[i] == plain[i]
+    for bad in (len(plain), -len(plain) - 1):
+        with pytest.raises(IndexError):
+            window[bad]
+    assert window[:] == plain
+    assert window[1:] == plain[1:]
+    # Append-only growth of the underlying log must not move the view.
+    log.append(math.inf)
+    assert list(window) == plain
+
+
+def test_arrival_window_defaults_span_the_log():
+    log = [0.1, 0.2, 0.3]
+    assert list(ArrivalWindow(log)) == log
+    assert len(ArrivalWindow(log, 1)) == 2

@@ -1,0 +1,181 @@
+"""Chunked campaign dispatch ≡ per-replication dispatch, bit for bit.
+
+:func:`~repro.stats.run_campaign` ships *chunks* of seeds to each pool
+task and pre-folds the pooled assurance counts worker-side;
+:func:`~repro.stats.run_campaign_reference` is the retained oracle that
+pickles one full :class:`~repro.stats.ReplicationSpec` per replication
+and re-pools every summary at each stop check.  Chunking is an
+execution detail, never an identity: every folded aggregate float,
+every verdict, every count, and every cache key must be **bit
+identical** across the two drivers at any ``workers`` / ``chunk_size``
+setting — including when chunk boundaries straddle an early-stop
+rule's ``check_every`` batches.
+
+All equality assertions are exact (``==``), never approximate.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.parallel import auto_chunk_size, run_chunked
+from repro.stats import (
+    CampaignConfig,
+    EarlyStopRule,
+    run_campaign,
+    run_campaign_reference,
+)
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*falling back to serial.*"
+)
+
+SCHEDULER_POOL = ("EUA*", "DASA", "EDF", "EUA*-demand")
+
+
+# ----------------------------------------------------------------------
+# Observable identity of a campaign result
+# ----------------------------------------------------------------------
+def fingerprint(result):
+    """Every observable the two drivers must agree on, floats exact."""
+    schedulers = {}
+    for name, stats in result.schedulers.items():
+        schedulers[name] = {
+            "metrics": {
+                k: (s.mean, s.std, s.n, s.half_width)
+                for k, s in stats.metrics.items()
+            },
+            "assurance": [
+                (a.task, a.nu, a.rho, a.decided, a.satisfied,
+                 a.attainment, a.ci_low, a.ci_high, a.verdict)
+                for a in stats.assurance
+            ],
+            "verdict": stats.verdict,
+        }
+    return {
+        "n_planned": result.n_planned,
+        "n_completed": result.n_completed,
+        "n_simulated": result.n_simulated,
+        "n_cached": result.n_cached,
+        "stopped_early": result.stopped_early,
+        "verdict": result.verdict,
+        "schedulers": schedulers,
+    }
+
+
+@st.composite
+def campaign_configs(draw, with_rule=False):
+    n = draw(st.integers(min_value=1, max_value=7))
+    kwargs = dict(
+        load=draw(st.sampled_from([0.5, 0.8, 1.2])),
+        horizon=draw(st.sampled_from([0.3, 0.5])),
+        schedulers=tuple(
+            draw(st.lists(st.sampled_from(SCHEDULER_POOL), min_size=1,
+                          max_size=2, unique=True))
+        ),
+        n_replications=n,
+        base_seed=draw(st.integers(min_value=0, max_value=500)),
+        arrival_mode=draw(st.sampled_from(["periodic", "burst"])),
+    )
+    if with_rule:
+        kwargs["early_stop"] = EarlyStopRule(
+            min_replications=draw(st.integers(min_value=1, max_value=4)),
+            confidence=draw(st.sampled_from([0.8, 0.9])),
+            check_every=draw(st.integers(min_value=1, max_value=4)),
+        )
+    return CampaignConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# The headline property: chunked ≡ reference at any grain
+# ----------------------------------------------------------------------
+@given(
+    config=campaign_configs(),
+    chunk_size=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+    workers=st.sampled_from([1, 2]),
+)
+@settings(max_examples=15, deadline=None)
+def test_chunked_campaign_equals_reference(config, chunk_size, workers):
+    chunked = run_campaign(config, workers=workers, chunk_size=chunk_size)
+    reference = run_campaign_reference(config, workers=1)
+    assert fingerprint(chunked) == fingerprint(reference)
+
+
+@given(
+    config=campaign_configs(with_rule=True),
+    chunk_size=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+    workers=st.sampled_from([1, 2]),
+)
+@settings(max_examples=15, deadline=None)
+def test_chunked_early_stop_equals_reference(config, chunk_size, workers):
+    """Chunk boundaries × ``check_every`` batch boundaries: the stop
+    decision (made from worker-folded partial pools) must fire on the
+    same batch as the oracle's re-pool-everything pass — same
+    ``stopped_early``, same ``n_completed``, same aggregates."""
+    chunked = run_campaign(config, workers=workers, chunk_size=chunk_size)
+    reference = run_campaign_reference(config, workers=1)
+    assert fingerprint(chunked) == fingerprint(reference)
+
+
+def test_chunk_grain_sweep_is_pointwise_identical():
+    """Every chunk grain, side by side on one config — any drift
+    pinpoints the grain that broke."""
+    config = CampaignConfig(load=0.8, horizon=0.5, schedulers=("EUA*",),
+                            n_replications=6, base_seed=11)
+    baseline = fingerprint(run_campaign_reference(config))
+    for chunk_size in (None, 1, 2, 3, 4, 6, 50):
+        got = fingerprint(run_campaign(config, chunk_size=chunk_size))
+        assert got == baseline, f"chunk_size={chunk_size} diverged"
+
+
+def test_chunk_size_validation():
+    config = CampaignConfig(load=0.8, horizon=0.3, schedulers=("EUA*",),
+                            n_replications=2, base_seed=3)
+    with pytest.raises(ValueError):
+        run_campaign(config, chunk_size=0)
+    with pytest.raises(ValueError):
+        run_chunked(lambda shared, chunk: (list(chunk), {}),
+                    [1, 2], shared=None, chunk_size=-1)
+
+
+# ----------------------------------------------------------------------
+# The chunk planner itself
+# ----------------------------------------------------------------------
+@given(
+    n_items=st.integers(min_value=0, max_value=10_000),
+    max_workers=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=200, deadline=None)
+def test_auto_chunk_size_covers_and_balances(n_items, max_workers):
+    size = auto_chunk_size(n_items, max_workers)
+    assert size >= 1
+    if n_items > 0:
+        n_chunks = -(-n_items // size)
+        # Ceiling division must cover everything…
+        assert n_chunks * size >= n_items
+        if max_workers > 1:
+            # …and the pool stays busy: at least one chunk per worker
+            # whenever there is enough work, never more than ~4 per
+            # worker (the amortisation target).
+            assert n_chunks <= 4 * max_workers
+            if n_items >= 4 * max_workers:
+                assert n_chunks >= max_workers
+        else:
+            assert size == n_items  # serial: one fused chunk
+
+
+@given(
+    items=st.lists(st.integers(min_value=-100, max_value=100), min_size=0,
+                   max_size=40),
+    chunk_size=st.one_of(st.none(), st.integers(min_value=1, max_value=9)),
+)
+@settings(max_examples=100, deadline=None)
+def test_run_chunked_preserves_item_order(items, chunk_size):
+    """Concatenating per-chunk outputs in arrival order rebuilds the
+    plain ``map`` — the property campaign folding leans on."""
+    outcomes = run_chunked(
+        lambda shared, chunk: [shared * x for x in chunk],
+        items, shared=3, max_workers=1, chunk_size=chunk_size,
+    )
+    flattened = [v for value in outcomes for v in value]
+    assert flattened == [3 * x for x in items]

@@ -1,0 +1,93 @@
+"""The pool-scaling gate must be three-way: pass / fail / skipped.
+
+``bench_stats_throughput`` once encoded its ``stats_speedup`` gate as
+an inline ``if cpus >= WORKERS: assert ...`` — on a host with fewer
+usable CPUs than workers the assert was simply never reached, which is
+indistinguishable from a green gate in the benchmark's exit status.
+The gate now lives in :func:`repro.experiments.parallel.speedup_gate`
+with an explicit ``"skipped"`` verdict (surfaced into the BENCH
+artifact) and a typed :class:`~repro.experiments.parallel.\
+SpeedupRegression` on capable hosts, and these tests pin each arm.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.parallel import (
+    SpeedupRegression,
+    speedup_gate,
+    usable_cpus,
+)
+
+BENCHMARKS = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+# ----------------------------------------------------------------------
+# The three verdict arms
+# ----------------------------------------------------------------------
+def test_gate_skips_when_host_cannot_demonstrate_scaling():
+    """cpus < workers: the claim is unmeasurable — the verdict must be
+    the distinct ``"skipped"``, never ``"pass"``, and must not raise
+    even for a catastrophic measured speedup."""
+    assert speedup_gate(0.1, workers=4, cpus=1) == "skipped"
+    assert speedup_gate(0.1, workers=4, cpus=3) == "skipped"
+    assert speedup_gate(10.0, workers=4, cpus=1) != "pass"
+
+
+def test_gate_passes_on_capable_host_with_real_scaling():
+    assert speedup_gate(2.0, workers=4, cpus=4) == "pass"
+    assert speedup_gate(3.7, workers=4, cpus=16) == "pass"
+
+
+def test_gate_fails_on_capable_host_when_scaling_regresses():
+    with pytest.raises(SpeedupRegression):
+        speedup_gate(1.2, workers=4, cpus=4)
+    # The boundary host (exactly `workers` CPUs) is capable: it gates.
+    with pytest.raises(SpeedupRegression):
+        speedup_gate(1.99, workers=4, cpus=4)
+    # SpeedupRegression is an AssertionError so a bare benchmark run
+    # still dies loudly without special handling.
+    assert issubclass(SpeedupRegression, AssertionError)
+
+
+def test_gate_threshold_is_configurable():
+    assert speedup_gate(1.5, workers=2, cpus=2, min_speedup=1.4) == "pass"
+    with pytest.raises(SpeedupRegression):
+        speedup_gate(1.3, workers=2, cpus=2, min_speedup=1.4)
+
+
+def test_gate_rejects_nonsense_workers():
+    with pytest.raises(ValueError):
+        speedup_gate(1.0, workers=0, cpus=4)
+
+
+def test_gate_defaults_to_host_affinity():
+    """With ``cpus`` omitted the gate reads the real affinity mask —
+    asking for more workers than the host has must skip, not pass."""
+    host = usable_cpus()
+    assert host >= 1
+    assert speedup_gate(0.0, workers=host + 1) == "skipped"
+
+
+# ----------------------------------------------------------------------
+# The benchmark is wired to the shared gate
+# ----------------------------------------------------------------------
+def test_bench_stats_throughput_uses_shared_gate():
+    """The benchmark must call the tested helper, not a private inline
+    re-derivation that could silently diverge again."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_stats_throughput_under_test",
+        BENCHMARKS / "bench_stats_throughput.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+    assert module.speedup_gate is speedup_gate
+    assert module.usable_cpus is usable_cpus
+    assert not hasattr(module, "_usable_cpus")

@@ -71,11 +71,14 @@ def test_campaign_telemetry_phases_counters_and_coverage():
     for leaf in ("campaign.plan", "campaign.cache",
                  "campaign.simulate", "campaign.fold"):
         assert any(p.rsplit("/", 1)[-1] == leaf for p in paths), leaf
-    # Serial execution is in-tree and lane-tracked as "main".
-    assert any(p.rsplit("/", 1)[-1] == "pool.execute" for p in paths)
+    # Serial execution is in-tree (one span per dispatched chunk) and
+    # lane-tracked as "main".
+    assert any(p.rsplit("/", 1)[-1] == "pool.chunk" for p in paths)
     assert [w.worker for w in report.workers] == ["main"]
     # Counters match the campaign's own accounting exactly.
     assert telemetry.counter_value("campaign.reps_simulated") == result.n_simulated
+    # Every simulated replication was folded worker-side exactly once.
+    assert telemetry.counter_value("campaign.worker_folds") == result.n_simulated
     assert telemetry.counter_value("campaign.cache_misses") == 0.0
     assert report.cache_hit_rate is None  # no cache attached -> no probes
     assert report.reps_per_second > 0.0

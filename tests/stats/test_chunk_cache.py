@@ -1,0 +1,110 @@
+"""Chunking is an execution detail — the run cache must never see it.
+
+A replication's cache identity is ``run_cache_key(workload, platform,
+schedulers)``: what was simulated, not how the campaign dispatched it.
+A campaign warmed at one ``chunk_size`` / ``workers`` setting must
+therefore resume for free at any other setting, and both drivers
+(:func:`~repro.stats.run_campaign` and the per-replication
+:func:`~repro.stats.run_campaign_reference` oracle) must address the
+same entries.
+"""
+
+import pytest
+
+from repro.stats import (
+    CampaignConfig,
+    RunCache,
+    run_cache_key,
+    run_campaign,
+    run_campaign_reference,
+)
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:.*falling back to serial.*"
+)
+
+
+def _config(**overrides):
+    base = dict(
+        load=0.8,
+        horizon=0.5,
+        schedulers=("EUA*",),
+        n_replications=5,
+        base_seed=11,
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def _flatten(result):
+    return {
+        name: {k: (s.mean, s.std, s.n, s.half_width)
+               for k, s in stats.metrics.items()}
+        for name, stats in result.schedulers.items()
+    }
+
+
+def test_cache_key_ignores_chunking_knobs():
+    """The key is a pure function of the replication specs — there is
+    no argument through which ``chunk_size`` or ``workers`` could even
+    reach it, and the per-seed keys are stable across calls."""
+    config = _config()
+    platform = config.platform_spec()
+    schedulers = config.scheduler_specs()
+    keys = [run_cache_key(config.workload_spec(seed), platform, schedulers)
+            for seed in config.seeds]
+    assert len(set(keys)) == len(keys)  # one entry per seed
+    again = [run_cache_key(config.workload_spec(seed), platform, schedulers)
+             for seed in config.seeds]
+    assert keys == again
+
+
+@pytest.mark.parametrize("warm_kwargs", [
+    dict(chunk_size=1),
+    dict(chunk_size=3),
+    dict(chunk_size=50),
+    dict(workers=2, chunk_size=2),
+    dict(workers=2),
+])
+def test_warm_cache_hits_across_chunkings(tmp_path, warm_kwargs):
+    """Warm at chunk_size=2, resume at any other grain: zero
+    simulations, full hit count, bit-identical aggregates."""
+    cache = RunCache(tmp_path / "cache")
+    cold = run_campaign(_config(), cache=cache, chunk_size=2)
+    assert cold.n_simulated == _config().n_replications
+
+    warm = run_campaign(_config(), cache=cache, **warm_kwargs)
+    assert warm.n_simulated == 0
+    assert warm.n_cached == _config().n_replications
+    assert _flatten(warm) == _flatten(cold)
+
+
+def test_reference_driver_shares_the_cache_namespace(tmp_path):
+    """Entries written by the chunked driver satisfy the reference
+    driver and vice versa — same keys, same payloads."""
+    cache = RunCache(tmp_path / "cache")
+    cold = run_campaign(_config(), cache=cache, chunk_size=2)
+    warm_ref = run_campaign_reference(_config(), cache=cache)
+    assert warm_ref.n_simulated == 0
+    assert _flatten(warm_ref) == _flatten(cold)
+
+    cache2 = RunCache(tmp_path / "cache2")
+    cold_ref = run_campaign_reference(_config(), cache=cache2)
+    warm = run_campaign(_config(), cache=cache2, chunk_size=4)
+    assert warm.n_simulated == 0
+    assert _flatten(warm) == _flatten(cold_ref)
+    assert len(cache) == len(cache2) == _config().n_replications
+
+
+def test_partial_warm_cache_only_simulates_the_gap(tmp_path):
+    """Overlapping seed ranges share entries whatever the chunking: a
+    campaign extending a warmed one re-simulates only the new seeds."""
+    cache = RunCache(tmp_path / "cache")
+    run_campaign(_config(n_replications=3), cache=cache, chunk_size=2)
+    extended = run_campaign(_config(n_replications=5), cache=cache,
+                            chunk_size=3)
+    assert extended.n_cached == 3
+    assert extended.n_simulated == 2
+    # And the stitched campaign matches an uncached straight run.
+    fresh = run_campaign(_config(n_replications=5))
+    assert _flatten(extended) == _flatten(fresh)
