@@ -1,0 +1,106 @@
+"""Deterministic multicore frontier benchmark (m = 4, both modes).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_multicore.py
+
+A fixed-seed ``repro.experiments.multicore`` sweep at m = 4 over a
+nominal and an overloaded per-core load, partitioned and global EUA*
+against the EDF@f_max normaliser.  Two things are gated:
+
+1. **Scheduler fidelity** — the normalised energy/utility aggregates
+   are deterministic (fixed seeds, fixed ladder), so any drift in the
+   partitioner, the dispatch loop, or the core-count-aware energy
+   model moves them and trips the committed-baseline gate even when
+   the uniprocessor suites stay green.
+
+2. **Structural invariants** — partitioned runs must report zero
+   migrations and the sweep must emit exactly the expected row grid;
+   both are asserted outright before the artifact is written.
+
+Wall-clock is recorded as informational only (shared CI runners).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from _artifacts import write_bench_artifact  # noqa: E402
+from repro.experiments import run_multicore  # noqa: E402
+
+CORES = 4
+LOADS = (0.8, 1.6)
+SEEDS = (11,)
+HORIZON = float(os.environ.get("REPRO_BENCH_MP_HORIZON", "0.4"))
+WORKERS = int(os.environ.get("REPRO_BENCH_MP_WORKERS", "1"))
+
+
+def _slug(load: float) -> str:
+    return str(load).replace(".", "_")
+
+
+def bench_multicore_frontier() -> dict:
+    print(f"[mp] m={CORES}, loads {LOADS}, horizon {HORIZON}s, "
+          f"seeds {SEEDS}, workers {WORKERS}")
+    t0 = time.perf_counter()
+    result = run_multicore(
+        cores=(CORES,),
+        modes=("partitioned", "global"),
+        loads=LOADS,
+        seeds=SEEDS,
+        horizon=HORIZON,
+        workers=WORKERS,
+    )
+    wall = time.perf_counter() - t0
+    rows = result.rows()
+    print(f"[mp] sweep: {wall:8.2f} s ({len(rows)} rows)")
+
+    expected = 2 * len(LOADS) * 2  # modes x loads x schedulers
+    assert len(rows) == expected, (
+        f"expected {expected} rows from the m={CORES} grid, got {len(rows)}"
+    )
+    part_migrations = [r["migrations"] for r in rows
+                       if r["mode"] == "partitioned"]
+    assert all(m == 0.0 for m in part_migrations), (
+        f"partitioned rows reported migrations: {part_migrations}"
+    )
+    print("[mp] grid shape + zero partitioned migrations: OK")
+
+    metrics = {"mp_wall_s": wall}
+    cells = {(r["mode"], r["load"]): r for r in rows
+             if r["scheduler"] == "EUA*"}
+    for mode in ("partitioned", "global"):
+        tag = "part" if mode == "partitioned" else "global"
+        for load in LOADS:
+            row = cells[(mode, load)]
+            metrics[f"mp_{tag}_norm_energy_{_slug(load)}"] = row["norm_energy"]
+            metrics[f"mp_{tag}_norm_utility_{_slug(load)}"] = row["norm_utility"]
+            print(f"[mp] {mode:11s} load {load}: "
+                  f"U/U_EDF {row['norm_utility']:.4f}  "
+                  f"E/E_EDF {row['norm_energy']:.4f}  "
+                  f"migrations {row['migrations']:.1f}")
+    metrics["mp_global_migrations_mean"] = sum(
+        r["migrations"] for r in rows if r["mode"] == "global"
+    ) / max(1, sum(1 for r in rows if r["mode"] == "global"))
+    return metrics
+
+
+def main() -> int:
+    metrics = bench_multicore_frontier()
+    directions = {k: ("lower" if "energy" in k or "migrations" in k
+                      or k == "mp_wall_s" else "higher")
+                  for k in metrics}
+    write_bench_artifact(
+        "multicore_m4", metrics, directions=directions,
+        meta={"cores": CORES, "loads": list(LOADS), "seeds": list(SEEDS),
+              "horizon": HORIZON, "workers": WORKERS},
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,14 @@ def wilson_interval(
     ``(1 − confidence)/2`` and z = Φ⁻¹((1 + confidence)/2) — a 0.95
     interval uses z ≈ 1.96 where the one-sided
     :func:`wilson_lower_bound` at 0.95 uses z ≈ 1.645.
+
+    Guaranteed bracket: the returned pair always satisfies
+    ``0.0 <= low <= high <= 1.0``, for every valid input including the
+    boundary counts ``successes = 0`` and ``successes = trials``, the
+    single-trial case ``trials = 1``, and confidences arbitrarily close
+    to 1 (the raw Wilson endpoints are clamped to the unit interval; z
+    grows without bound as confidence → 1, driving the interval toward
+    ``[0, 1]`` rather than outside it).
     """
     if trials <= 0:
         raise ValueError("trials must be > 0")

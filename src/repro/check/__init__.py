@@ -13,6 +13,7 @@ Two halves (see ``docs/testing.md``):
 from .corpus import CorpusCase, load_case, replay_case, save_case
 from .fuzzer import FuzzFinding, FuzzReport, Scenario, run_check, run_fuzz
 from .invariants import InvariantChecker, InvariantConfig, InvariantViolation
+from .mp_invariants import check_mp_result
 from .shrink import shrink_workload
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "InvariantConfig",
     "InvariantViolation",
     "Scenario",
+    "check_mp_result",
     "load_case",
     "replay_case",
     "run_check",

@@ -1,0 +1,154 @@
+"""Multicore invariants (repro.mp result auditing).
+
+The per-core σ/UER reconstruction is the existing uniprocessor
+:class:`~repro.check.InvariantChecker`, attached per core by the
+partitioned engine (``simulate_partitioned(check=True)``).  This module
+adds the invariants that only exist *between* cores, checked over a
+finished :class:`~repro.mp.MPSimulationResult`:
+
+* **MP1 — no dual execution**: no job executes on two cores during
+  overlapping time slots (from the per-core execution segments);
+* **MP2 — partition respected**: in partitioned mode every job ran only
+  on its task's assigned core, and the migration count is zero;
+* **MP3 — migration-count sanity**: the engine's migration counter
+  equals the number of cross-core resumptions reconstructed from the
+  segments (and is zero when only one core exists);
+* **MP4 — energy conservation**: the combined processor accounting is
+  exactly the per-core sum plus the uncore term;
+* **MP5 — conservation of jobs**: per-core job populations partition
+  the combined job population (no job lost or double-counted).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .invariants import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (mp imports check)
+    from ..mp.engine import MPSimulationResult
+
+__all__ = ["check_mp_result"]
+
+#: Slot-overlap tolerance, matching the engine's event coincidence EPS.
+_EPS = 1e-12
+#: Relative tolerance for energy conservation (pure float summation).
+_ENERGY_RTOL = 1e-9
+
+
+def _busy_segments(
+    core_segments: List[List[Tuple[float, float, Optional[str], float]]],
+) -> Dict[str, List[Tuple[float, float, int]]]:
+    """Per job key: (start, end, core) execution intervals, time-sorted."""
+    by_job: Dict[str, List[Tuple[float, float, int]]] = {}
+    for core, segments in enumerate(core_segments):
+        for start, end, job_key, _freq in segments:
+            if job_key is not None and end - start > _EPS:
+                by_job.setdefault(job_key, []).append((start, end, core))
+    for intervals in by_job.values():
+        intervals.sort()
+    return by_job
+
+
+def check_mp_result(result: "MPSimulationResult") -> None:
+    """Audit a finished multicore run; raises :class:`InvariantViolation`."""
+    segments = result.core_segments
+    by_job = _busy_segments(segments) if segments is not None else None
+
+    # --- MP1: no job on two cores in an overlapping slot ---------------
+    if by_job is not None:
+        for job_key, intervals in by_job.items():
+            for (s0, e0, c0), (s1, _e1, c1) in zip(intervals, intervals[1:]):
+                if c1 != c0 and s1 < e0 - _EPS:
+                    raise InvariantViolation(
+                        "MP1-dual-execution",
+                        s1,
+                        f"executes on cores {c0} and {c1} concurrently "
+                        f"([{s0:.9g}, {e0:.9g}) vs start {s1:.9g})",
+                        job=job_key,
+                    )
+
+    # --- MP2: partitioned runs respect the assignment ------------------
+    if result.mode == "partitioned":
+        if result.migrations != 0:
+            raise InvariantViolation(
+                "MP2-partition-respected",
+                result.horizon,
+                f"partitioned run reports {result.migrations} migrations",
+            )
+        core_of = result.core_of_task
+        if core_of is not None and result.per_core_results is not None:
+            for core, sub in enumerate(result.per_core_results):
+                if sub is None:
+                    continue
+                for job in sub.jobs:
+                    assigned = core_of.get(job.task.name)
+                    if assigned != core:
+                        raise InvariantViolation(
+                            "MP2-partition-respected",
+                            job.release,
+                            f"job of task {job.task.name!r} ran on core {core}, "
+                            f"assigned to core {assigned}",
+                            job=job.key,
+                        )
+        if by_job is not None and core_of is not None:
+            for job_key, intervals in by_job.items():
+                task_name = job_key.rsplit(":", 1)[0]
+                assigned = core_of.get(task_name)
+                for start, _end, core in intervals:
+                    if core != assigned:
+                        raise InvariantViolation(
+                            "MP2-partition-respected",
+                            start,
+                            f"segment of task {task_name!r} on core {core}, "
+                            f"assigned to core {assigned}",
+                            job=job_key,
+                        )
+
+    # --- MP3: migration counter matches the segment record -------------
+    if by_job is not None:
+        reconstructed = 0
+        for intervals in by_job.values():
+            for (_s0, _e0, c0), (_s1, _e1, c1) in zip(intervals, intervals[1:]):
+                if c1 != c0:
+                    reconstructed += 1
+        if reconstructed != result.migrations:
+            raise InvariantViolation(
+                "MP3-migration-count",
+                result.horizon,
+                f"engine counted {result.migrations} migrations, segments "
+                f"show {reconstructed}",
+            )
+    if len(result.per_core_stats) <= 1 and result.migrations != 0:
+        raise InvariantViolation(
+            "MP3-migration-count",
+            result.horizon,
+            f"single-core run reports {result.migrations} migrations",
+        )
+
+    # --- MP4: energy conservation over cores + uncore -------------------
+    expected = result.uncore_energy
+    for stats in result.per_core_stats:
+        expected += stats.total_energy
+    combined = result.processor_stats.total_energy
+    tol = _ENERGY_RTOL * max(1.0, abs(expected))
+    if abs(combined - expected) > tol:
+        raise InvariantViolation(
+            "MP4-energy-conservation",
+            result.horizon,
+            f"combined energy {combined!r} != per-core sum + uncore {expected!r}",
+        )
+
+    # --- MP5: per-core jobs partition the combined population -----------
+    if result.per_core_results is not None:
+        per_core_keys = [
+            job.key for sub in result.per_core_results if sub is not None for job in sub.jobs
+        ]
+        combined_keys = [job.key for job in result.jobs]
+        if sorted(per_core_keys) != sorted(combined_keys):
+            raise InvariantViolation(
+                "MP5-job-conservation",
+                result.horizon,
+                f"per-core jobs ({len(per_core_keys)}) do not partition the "
+                f"combined population ({len(combined_keys)})",
+            )

@@ -4,6 +4,8 @@ Subcommands regenerate the paper's evaluation from a terminal::
 
     repro-eua figure2 --energy E1 --seeds 11 13 17 [--svg fig2.svg]
     repro-eua figure3 [--svg fig3.svg]
+    repro-eua mp --cores 1 2 4 8 --modes partitioned global [--svg mp.svg]
+    repro-eua mp --smoke
     repro-eua theorems
     repro-eua table1
     repro-eua table2
@@ -32,6 +34,9 @@ from .experiments import (
     DEFAULT_HORIZON,
     DEFAULT_SEEDS,
     FIGURE2_LOADS,
+    MULTICORE_CORES,
+    MULTICORE_LOADS,
+    MULTICORE_SCHEDULERS,
     TABLE1,
     TABLE2_NAMES,
     ascii_table,
@@ -40,6 +45,7 @@ from .experiments import (
     energy_setting,
     run_figure2,
     run_figure3,
+    run_multicore,
 )
 from .sched import available_schedulers, make_scheduler
 
@@ -86,6 +92,59 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 
         render_figure3(result, args.svg)
         print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_mp(args: argparse.Namespace) -> int:
+    if args.smoke:
+        # CI gate: a tiny m=2 campaign exercising both execution models
+        # end to end (partition, engines, invariants, normalisation).
+        result = run_multicore(
+            energy_setting_name=args.energy,
+            cores=(2,),
+            modes=("partitioned", "global"),
+            loads=(0.8,),
+            seeds=(11,),
+            horizon=0.3,
+            workers=1,
+        )
+        print(f"mp smoke — energy setting {result.energy_setting} (m=2, load 0.8)")
+        print(
+            ascii_table(
+                result.rows(),
+                ["mode", "cores", "load", "scheduler",
+                 "norm_utility", "norm_energy", "migrations"],
+            )
+        )
+        return 0
+    result = run_multicore(
+        energy_setting_name=args.energy,
+        cores=tuple(args.cores or MULTICORE_CORES),
+        modes=tuple(args.modes),
+        loads=tuple(args.loads or MULTICORE_LOADS),
+        seeds=tuple(args.seeds or DEFAULT_SEEDS),
+        horizon=args.horizon,
+        scheduler_names=tuple(args.schedulers),
+        partition_strategy=args.partition_strategy,
+        active_power=args.active_power,
+        workers=args.workers,
+    )
+    print(f"Multicore frontiers — energy setting {result.energy_setting}")
+    print(
+        ascii_table(
+            result.rows(),
+            ["mode", "cores", "load", "scheduler",
+             "norm_utility", "norm_energy", "migrations"],
+        )
+    )
+    if args.svg:
+        from .viz import render_multicore
+
+        base = args.svg[:-4] if args.svg.endswith(".svg") else args.svg
+        for metric in ("utility", "energy"):
+            path = f"{base}_{metric}.svg"
+            render_multicore(result, metric, path)
+            print(f"wrote {path}")
     return 0
 
 
@@ -498,6 +557,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         arrival_mode=args.arrivals,
         energy=args.energy,
         early_stop=rule,
+        cores=args.cores,
+        mp_mode=args.mp_mode,
+        partition_strategy=args.partition_strategy,
     )
     cache = RunCache(args.cache_dir) if args.cache_dir else None
     telemetry = None
@@ -592,6 +654,30 @@ def build_parser() -> argparse.ArgumentParser:
     p3.add_argument("--svg", help="write an SVG chart to this path")
     common(p3)
     p3.set_defaults(func=_cmd_figure3)
+
+    pmp = sub.add_parser(
+        "mp",
+        help="multicore frontiers: partitioned/global EUA* on m cores",
+    )
+    pmp.add_argument("--energy", default="E1", choices=list(TABLE2_NAMES))
+    pmp.add_argument("--cores", type=int, nargs="*",
+                     help=f"core counts m (default {' '.join(map(str, MULTICORE_CORES))})")
+    pmp.add_argument("--modes", nargs="+", default=["partitioned", "global"],
+                     choices=["partitioned", "global"],
+                     help="execution models to sweep")
+    pmp.add_argument("--schedulers", nargs="+", default=list(MULTICORE_SCHEDULERS),
+                     help="registry schedulers (must include the EDF normaliser)")
+    pmp.add_argument("--partition-strategy", default="wfd", choices=["wfd", "ffd"],
+                     help="bin-packing heuristic for partitioned mode")
+    pmp.add_argument("--active-power", type=float, default=0.0,
+                     help="per-active-core uncore power (W); 0 keeps the "
+                          "m=1 column bit-identical to figure2")
+    pmp.add_argument("--smoke", action="store_true",
+                     help="tiny m=2 campaign (both modes, one load, one seed) "
+                          "for CI smoke testing; ignores the sweep options")
+    pmp.add_argument("--svg", help="write SVG charts to <base>_{utility,energy}.svg")
+    common(pmp)
+    pmp.set_defaults(func=_cmd_mp)
 
     ps = sub.add_parser("simulate", help="one comparison run on a synthesised workload")
     ps.add_argument("--load", type=float, default=1.0)
@@ -726,6 +812,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "--confidence)")
     pst.add_argument("--check-every", type=int, default=25,
                      help="replications per batch between early-stop checks")
+    pst.add_argument("--cores", type=int, default=1,
+                     help="processor count m; m > 1 runs the multicore engine "
+                          "(workload demand scales to load × m)")
+    pst.add_argument("--mp-mode", default="partitioned",
+                     choices=["partitioned", "global"],
+                     help="multicore execution model when --cores > 1")
+    pst.add_argument("--partition-strategy", default="wfd",
+                     choices=["wfd", "ffd"],
+                     help="bin-packing heuristic for partitioned mode")
     pst.add_argument("--cache-dir",
                      help="content-addressed run cache; re-runs load hits "
                           "instead of re-simulating")

@@ -154,11 +154,17 @@ class WorkloadSpec:
     burst_override: Optional[int] = None
     apps: Tuple[AppSetting, ...] = TABLE1
     f_max: float = 1000.0
+    #: Core count the workload is sized for: the synthesised task set
+    #: targets ``load · cores`` total demand (``load`` stays the
+    #: *per-core* load knob the paper's figures sweep).  ``cores=1``
+    #: multiplies by exactly 1 and reproduces the uniprocessor workload
+    #: bit-identically.
+    cores: int = 1
 
     def build(self):
         rng = np.random.default_rng(self.seed)
         taskset = synthesize_taskset(
-            target_load=self.load,
+            target_load=self.load * self.cores,
             rng=rng,
             apps=self.apps,
             tuf_shape=self.tuf_shape,
@@ -187,6 +193,14 @@ class PlatformSpec:
     idle_power: float = 0.0
     switch_time: float = 0.0
     switch_energy: float = 0.0
+    #: Multicore dimension: ``cores > 1`` routes the unit through
+    #: :func:`repro.mp.simulate_mp` in ``mp_mode`` ("partitioned" or
+    #: "global"); ``partition_strategy``/``active_power`` parameterise
+    #: the partitioner and the uncore power term.
+    cores: int = 1
+    mp_mode: str = "partitioned"
+    partition_strategy: str = "wfd"
+    active_power: float = 0.0
 
     def build(self) -> Platform:
         scale = (
@@ -200,6 +214,15 @@ class PlatformSpec:
             idle_power=self.idle_power,
             switch_time=self.switch_time,
             switch_energy=self.switch_energy,
+        )
+
+    def build_mp(self):
+        """The :class:`~repro.mp.MulticorePlatform` for this spec."""
+        from ..mp import MulticorePlatform
+
+        base = self.build()
+        return MulticorePlatform.from_platform(
+            base, cores=self.cores, active_power=self.active_power
         )
 
 
@@ -233,11 +256,41 @@ class CompareOutcome:
 
 
 def _run_compare_unit(unit: CompareUnit) -> CompareOutcome:
-    """Execute one unit (top-level so it pickles under ``spawn``)."""
+    """Execute one unit (top-level so it pickles under ``spawn``).
+
+    ``unit.platform.cores > 1`` routes every scheduler arm through the
+    multicore engine (:func:`repro.mp.simulate_mp`); the resulting
+    :class:`~repro.mp.MPSimulationResult` satisfies the same
+    ``metrics``/``energy``/``normalized_utility`` consumer contract as
+    :class:`~repro.sim.engine.SimulationResult`, so the outcome shape
+    is identical either way.
+    """
     taskset, trace = unit.workload.build()
-    platform = unit.platform.build()
+    use_mp = unit.platform.cores > 1
     results: Dict[str, SimulationResult] = {}
     metrics: Dict[str, MetricsRegistry] = {}
+    if use_mp:
+        from ..mp import simulate_mp
+
+        mp_platform = unit.platform.build_mp()
+        for spec in unit.schedulers:
+            name = spec.display_name
+            if name in results:
+                raise ValueError(f"duplicate scheduler name {name!r}")
+            observer = Observer(events=False, metrics=True) if unit.collect_metrics else None
+            results[name] = simulate_mp(
+                trace,
+                spec.build,
+                mp_platform,
+                mode=unit.platform.mp_mode,
+                strategy=unit.platform.partition_strategy,
+                observer=observer,
+                record_trace=unit.record_trace,
+            )
+            if observer is not None:
+                metrics[name] = observer.metrics
+        return CompareOutcome(key=unit.key, results=results, taskset=taskset, metrics=metrics)
+    platform = unit.platform.build()
     for spec in unit.schedulers:
         scheduler = spec.build()
         if scheduler.name in results:
@@ -314,8 +367,19 @@ def default_chunksize(n_items: int, max_workers: int) -> int:
 def auto_chunk_size(n_items: int, max_workers: int) -> int:
     """Chunk size for :func:`run_chunked` when the caller does not pin
     one: ~4 chunks per worker (ceiling division, so every item lands in
-    a chunk and small batches still parallelise)."""
-    if n_items <= 0:
+    a chunk and small batches still parallelise).
+
+    Degenerate shapes are well-defined: ``n_items == 0`` returns 1 (a
+    harmless placeholder — :func:`run_chunked` short-circuits empty
+    item lists before chunking); ``max_workers <= 1`` (including 0 and
+    negatives, both meaning "no pool") returns one all-items chunk; and
+    ``n_items < max_workers`` yields chunk size 1 so every item can
+    still land on its own worker.  A negative ``n_items`` is a caller
+    bug and raises ``ValueError``.
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items!r}")
+    if n_items == 0:
         return 1
     if max_workers <= 1:
         return n_items

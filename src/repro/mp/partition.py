@@ -1,0 +1,129 @@
+"""UER-density-aware task partitioning (partitioned multicore EUA*).
+
+Partitioned multiprocessor scheduling reduces the m-core problem to m
+independent uniprocessor problems: tasks are assigned to cores offline
+and never migrate.  The classic sufficient feasibility test (Baruah &
+Fisher, "Feasibility Analysis of Sporadic Real-Time Multiprocessor Task
+Systems") is a bin-packing of per-task *densities* — here the
+Chebyshev-allocated demand rate ``C_i / D_i`` the paper's Theorem 1
+already derives for the uniprocessor case — into bins of capacity
+``f_max``.
+
+Two decreasing heuristics are provided:
+
+* ``"ffd"`` — first-fit decreasing: pack each task onto the first core
+  with room, concentrating load on low-index cores (pairs with the
+  active-cores energy search: unused cores can be powered down);
+* ``"wfd"`` — worst-fit decreasing: pack onto the least-loaded core,
+  balancing load so every core gets maximal DVS slack (the right choice
+  when all m cores stay powered).
+
+Ordering is *UER-aware*: ties in density break toward the task with the
+higher utility-per-allocated-cycle ``U_max / c_i``, so when two tasks
+compete for the last well-fitting slot the one promising more utility
+per unit of (energy-proportional) work is placed first.  The final
+tie-break is the original task index, keeping the partition fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..sim.task import TaskModelError, TaskSet
+
+__all__ = ["Partition", "partition_taskset", "PARTITION_STRATEGIES"]
+
+PARTITION_STRATEGIES = ("wfd", "ffd")
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An assignment of task indices to cores.
+
+    ``assignment[k]`` holds the indices (into the original task set,
+    ascending) of the tasks placed on core ``k``.  Cores may be empty.
+    """
+
+    cores: int
+    strategy: str
+    assignment: Tuple[Tuple[int, ...], ...]
+    #: Per-core sum of assigned densities ``C_i / D_i`` (MHz).
+    loads: Tuple[float, ...]
+
+    def core_of(self, taskset: TaskSet) -> Dict[str, int]:
+        """Map task name -> assigned core for ``taskset``."""
+        out: Dict[str, int] = {}
+        for core, indices in enumerate(self.assignment):
+            for i in indices:
+                out[taskset[i].name] = core
+        return out
+
+    def sub_taskset(self, taskset: TaskSet, core: int) -> TaskSet:
+        """The tasks of ``core`` in original task-set order.
+
+        Raises :class:`~repro.sim.task.TaskModelError` for an empty
+        core (``TaskSet`` must be non-empty) — callers skip empty cores.
+        """
+        return TaskSet(taskset[i] for i in self.assignment[core])
+
+
+def partition_taskset(
+    taskset: TaskSet,
+    cores: int,
+    strategy: str = "wfd",
+    f_max: float = 0.0,
+) -> Partition:
+    """Assign every task of ``taskset`` to one of ``cores`` cores.
+
+    Tasks are sorted by decreasing density ``C_i / D_i`` (UER tie-break,
+    see module docstring) and packed by ``strategy``.  ``f_max`` is the
+    per-core capacity used by the first-fit test; when no core has room
+    (overload, or ``f_max == 0``) both strategies fall back to the
+    least-loaded core so every task is always placed — overload is then
+    handled online by each core's scheduler (abort/shed), mirroring the
+    uniprocessor engine's behaviour.
+
+    ``cores == 1`` puts everything on core 0, so the partitioned engine
+    degenerates to the uniprocessor engine exactly.
+    """
+    if cores < 1:
+        raise TaskModelError(f"cores must be >= 1, got {cores!r}")
+    if strategy not in PARTITION_STRATEGIES:
+        raise TaskModelError(
+            f"unknown partition strategy {strategy!r}; choose from {PARTITION_STRATEGIES}"
+        )
+    order = sorted(
+        range(len(taskset)),
+        key=lambda i: (
+            -taskset[i].min_feasible_frequency,
+            -(taskset[i].tuf.max_utility / taskset[i].allocation),
+            i,
+        ),
+    )
+    loads = [0.0] * cores
+    bins: List[List[int]] = [[] for _ in range(cores)]
+
+    for i in order:
+        density = taskset[i].min_feasible_frequency
+        target = -1
+        if strategy == "ffd" and f_max > 0.0:
+            tol = 1e-9 * max(1.0, f_max)
+            for k in range(cores):
+                if loads[k] + density <= f_max + tol:
+                    target = k
+                    break
+        if target < 0:
+            # WFD proper, and the FFD overload fallback: least-loaded
+            # core, lowest index on ties.
+            target = min(range(cores), key=lambda k: (loads[k], k))
+        bins[target].append(i)
+        loads[target] += density
+
+    return Partition(
+        cores=cores,
+        strategy=strategy,
+        assignment=tuple(tuple(sorted(b)) for b in bins),
+        loads=tuple(loads),
+    )

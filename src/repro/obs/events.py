@@ -55,6 +55,9 @@ class EventKind(enum.Enum):
     FREQ_SWITCH = "freq_switch"
     #: Engine: a different job started executing.
     DISPATCH = "dispatch"
+    #: MP engine (global): a job resumed execution on a different core
+    #: than the one it last ran on.
+    MIGRATE = "migrate"
     #: Runtime: observed demand drifted away from the declared moments.
     DRIFT_DETECTED = "drift_detected"
     #: Runtime: per-task parameters re-derived from observed moments.

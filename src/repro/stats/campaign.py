@@ -85,6 +85,13 @@ class CampaignConfig:
     energy: str = "E1"
     f_max: float = 1000.0
     early_stop: Optional[EarlyStopRule] = None
+    #: Multicore dimension: ``cores > 1`` runs every replication through
+    #: :func:`repro.mp.simulate_mp` in ``mp_mode``, with the workload
+    #: sized to ``load · cores`` (``load`` stays the per-core knob).
+    cores: int = 1
+    mp_mode: str = "partitioned"
+    partition_strategy: str = "wfd"
+    active_power: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_replications < 1:
@@ -93,13 +100,24 @@ class CampaignConfig:
             raise ValueError("at least one scheduler is required")
         if not (0.0 < self.confidence < 1.0):
             raise ValueError("confidence must lie in (0, 1)")
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.mp_mode not in ("partitioned", "global"):
+            raise ValueError(f"unknown mp mode {self.mp_mode!r}")
 
     # -- picklable spec builders ---------------------------------------
     def scheduler_specs(self) -> Tuple[SchedulerSpec, ...]:
         return tuple(SchedulerSpec.registry(name) for name in self.schedulers)
 
     def platform_spec(self) -> PlatformSpec:
-        return PlatformSpec(energy=self.energy, f_max=self.f_max)
+        return PlatformSpec(
+            energy=self.energy,
+            f_max=self.f_max,
+            cores=self.cores,
+            mp_mode=self.mp_mode,
+            partition_strategy=self.partition_strategy,
+            active_power=self.active_power,
+        )
 
     def workload_spec(self, seed: int) -> WorkloadSpec:
         return WorkloadSpec(
@@ -113,6 +131,7 @@ class CampaignConfig:
             burst_override=self.burst_override,
             apps=self.apps,
             f_max=self.f_max,
+            cores=self.cores,
         )
 
     @property
@@ -171,13 +190,47 @@ class ReplicationSummary:
 
 
 def _run_replication(spec: ReplicationSpec) -> ReplicationSummary:
-    """Simulate one replication (top-level so it pickles under spawn)."""
-    from ..sim.runner import simulate
+    """Simulate one replication (top-level so it pickles under spawn).
 
+    ``spec.platform.cores > 1`` routes each scheduler arm through the
+    multicore engine; the summary then carries the extra ``migrations``
+    scalar (0 in partitioned mode, so the field is still comparable
+    across modes).
+    """
     taskset, trace = spec.workload.build()
-    platform = spec.platform.build()
     metrics: Dict[str, Dict[str, float]] = {}
     assurance: Dict[str, Dict[str, List[int]]] = {}
+    if spec.platform.cores > 1:
+        from ..mp import simulate_mp
+
+        mp_platform = spec.platform.build_mp()
+        for sched_spec in spec.schedulers:
+            name = sched_spec.display_name
+            if name in metrics:
+                raise ValueError(f"duplicate scheduler name {name!r}")
+            result = simulate_mp(
+                trace,
+                sched_spec.build,
+                mp_platform,
+                mode=spec.platform.mp_mode,
+                strategy=spec.platform.partition_strategy,
+            )
+            m = result.metrics
+            metrics[name] = m.summary()
+            metrics[name]["migrations"] = float(result.migrations)
+            assurance[name] = {
+                task: [tm.met_requirement, tm.released - tm.unfinished]
+                for task, tm in m.per_task.items()
+            }
+        return ReplicationSummary(
+            seed=spec.workload.seed,
+            metrics=metrics,
+            assurance=assurance,
+            requirements={t.name: [t.nu, t.rho] for t in taskset},
+        )
+    from ..sim.runner import simulate
+
+    platform = spec.platform.build()
     for sched_spec in spec.schedulers:
         scheduler = sched_spec.build()
         if scheduler.name in metrics:

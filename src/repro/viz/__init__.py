@@ -1,6 +1,12 @@
 """Dependency-free visualisation (SVG figure rendering)."""
 
 from .dashboard import render_phase_report
-from .svg import LineChart, render_figure2, render_figure3
+from .svg import LineChart, render_figure2, render_figure3, render_multicore
 
-__all__ = ["LineChart", "render_figure2", "render_figure3", "render_phase_report"]
+__all__ = [
+    "LineChart",
+    "render_figure2",
+    "render_figure3",
+    "render_multicore",
+    "render_phase_report",
+]

@@ -15,7 +15,7 @@ from __future__ import annotations
 import html
 from typing import List, Optional, Sequence, Tuple
 
-__all__ = ["LineChart", "render_figure2", "render_figure3"]
+__all__ = ["LineChart", "render_figure2", "render_figure3", "render_multicore"]
 
 #: Distinguishable stroke colours (colour-blind-safe Okabe–Ito palette).
 _PALETTE = (
@@ -228,6 +228,41 @@ def render_figure2(
     for name in names:
         errors = result.series_error(metric, name) if error_bars else None
         chart.add_series(name, result.series(metric, name), errors=errors)
+    svg = chart.to_svg()
+    if path:
+        chart.save(path)
+    return svg
+
+
+def render_multicore(
+    result, metric: str, path: Optional[str] = None, scheduler: str = "EUA*"
+) -> str:
+    """Render one multicore frontier panel from a
+    :class:`~repro.experiments.multicore.MulticoreResult`.
+
+    One curve per (mode, m) pair for ``scheduler``, normalised against
+    the in-cell EDF baseline (drawn as the y=1 reference line); returns
+    the SVG text (and writes it when ``path`` is given).
+    """
+    if metric not in ("utility", "energy"):
+        raise ValueError(f"metric must be 'utility' or 'energy', got {metric!r}")
+    chart = LineChart(
+        title=(
+            f"Multicore — normalised {metric} vs per-core load "
+            f"({result.energy_setting}, {scheduler})"
+        ),
+        x_label="per-core load ϱ",
+        y_label=f"normalised {metric}",
+        baseline=1.0,
+    )
+    pairs = []
+    for p in result.points:
+        if (p.mode, p.cores) not in pairs:
+            pairs.append((p.mode, p.cores))
+    for mode, cores in pairs:
+        points = result.frontier(mode, cores, metric, scheduler)
+        if points:
+            chart.add_series(f"{mode} m={cores}", points)
     svg = chart.to_svg()
     if path:
         chart.save(path)

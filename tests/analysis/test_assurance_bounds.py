@@ -1,0 +1,89 @@
+"""Boundary behaviour of the binomial confidence machinery: the Wilson
+interval's guaranteed ``[0, 1]`` bracket and the quantile's domain."""
+
+import math
+
+import pytest
+
+from repro.analysis import normal_quantile, wilson_interval, wilson_lower_bound
+
+
+def _assert_bracket(low, high):
+    assert 0.0 <= low <= high <= 1.0
+
+
+class TestWilsonBoundaries:
+    def test_zero_successes(self):
+        low, high = wilson_interval(0, 10)
+        _assert_bracket(low, high)
+        assert low == 0.0
+        assert high < 1.0
+
+    def test_all_successes(self):
+        low, high = wilson_interval(10, 10)
+        _assert_bracket(low, high)
+        assert high == pytest.approx(1.0, abs=1e-12)
+        assert low > 0.0
+
+    def test_single_trial_both_outcomes(self):
+        for successes in (0, 1):
+            low, high = wilson_interval(successes, 1)
+            _assert_bracket(low, high)
+        # One trial decides almost nothing: the interval stays wide.
+        low, high = wilson_interval(1, 1)
+        assert high - low > 0.5
+
+    def test_confidence_toward_one_widens_to_unit_interval(self):
+        prev_width = 0.0
+        for confidence in (0.9, 0.99, 0.999, 1.0 - 1e-9):
+            low, high = wilson_interval(7, 10, confidence)
+            _assert_bracket(low, high)
+            width = high - low
+            assert width >= prev_width
+            prev_width = width
+        # Extreme confidence drives the interval toward [0, 1] without
+        # ever escaping it (the documented guaranteed bracket).
+        assert low < 0.2 and high > 0.95
+
+    def test_interval_contains_point_estimate(self):
+        for successes, trials in ((0, 5), (3, 5), (5, 5), (1, 1)):
+            low, high = wilson_interval(successes, trials)
+            assert low <= successes / trials <= high
+
+    def test_lower_bound_is_the_one_sided_analogue(self):
+        bound = wilson_lower_bound(8, 10, 0.95)
+        assert 0.0 <= bound <= 0.8
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=1.0)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=0.0)
+        with pytest.raises(ValueError):
+            wilson_lower_bound(1, 0)
+
+
+class TestNormalQuantile:
+    def test_domain_is_open_unit_interval(self):
+        for p in (0.0, 1.0, -0.1, 1.1):
+            with pytest.raises(ValueError):
+                normal_quantile(p)
+
+    def test_median_is_zero(self):
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_antisymmetric(self):
+        for p in (0.6, 0.9, 0.975, 0.999):
+            assert normal_quantile(p) == pytest.approx(-normal_quantile(1.0 - p))
+
+    def test_known_z_scores(self):
+        # Winitzki's erfinv approximation is ~1e-4 absolute.
+        assert normal_quantile(0.975) == pytest.approx(1.95996, abs=5e-3)
+        assert normal_quantile(0.95) == pytest.approx(1.64485, abs=5e-3)
+
+    def test_extreme_confidence_stays_finite(self):
+        z = normal_quantile(1.0 - 1e-12)
+        assert math.isfinite(z)
+        assert z > 6.0

@@ -1,0 +1,41 @@
+"""Degenerate-input behaviour of the chunk planner (satellite of the
+multicore PR: the mp sweeps lean on auto-sizing with odd unit counts)."""
+
+import pytest
+
+from repro.experiments.parallel import auto_chunk_size
+
+
+def test_zero_items_returns_a_valid_chunk_size():
+    # Nothing to do, but callers still divide by the result.
+    assert auto_chunk_size(0, 8) == 1
+    assert auto_chunk_size(0, 1) == 1
+
+
+def test_negative_items_rejected():
+    with pytest.raises(ValueError):
+        auto_chunk_size(-1, 4)
+    with pytest.raises(ValueError):
+        auto_chunk_size(-100, 1)
+
+
+def test_serial_fuses_everything_into_one_chunk():
+    assert auto_chunk_size(10, 1) == 10
+    assert auto_chunk_size(1, 1) == 1
+
+
+def test_nonpositive_workers_treated_as_serial():
+    assert auto_chunk_size(10, 0) == 10
+    assert auto_chunk_size(10, -3) == 10
+
+
+def test_fewer_items_than_workers_yields_unit_chunks():
+    # Every item becomes its own chunk so the pool can spread them.
+    assert auto_chunk_size(3, 8) == 1
+    assert auto_chunk_size(1, 64) == 1
+
+
+def test_healthy_shapes_amortise_to_four_chunks_per_worker():
+    size = auto_chunk_size(1000, 4)
+    n_chunks = -(-1000 // size)
+    assert 4 <= n_chunks <= 16

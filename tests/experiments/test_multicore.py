@@ -1,0 +1,65 @@
+"""Tests for the multicore frontier driver (repro.experiments.multicore)."""
+
+import pytest
+
+from repro.experiments import multicore_units, run_multicore
+
+
+def test_units_deduplicate_the_m1_anchor():
+    units = multicore_units(
+        cores=(1, 2), modes=("partitioned", "global"), loads=(0.8,), seeds=(1,)
+    )
+    keys = [u.key for u in units]
+    assert ("partitioned", 1, 0.8, 1) in keys
+    assert ("global", 1, 0.8, 1) not in keys
+    assert ("global", 2, 0.8, 1) in keys
+
+
+def test_units_carry_the_m_dimension():
+    units = multicore_units(cores=(4,), modes=("global",), loads=(0.8,), seeds=(1,))
+    (unit,) = units
+    assert unit.platform.cores == 4
+    assert unit.platform.mp_mode == "global"
+    assert unit.workload.cores == 4
+
+
+def test_small_sweep_end_to_end():
+    result = run_multicore(
+        cores=(1, 2),
+        modes=("partitioned", "global"),
+        loads=(0.8,),
+        seeds=(11,),
+        horizon=0.2,
+    )
+    rows = result.rows()
+    cells = {(r["mode"], r["cores"], r["scheduler"]): r for r in rows}
+    assert len(rows) == 2 * 2 * 2  # modes x cores x schedulers
+
+    # EDF is the in-cell normaliser: exactly 1.0 in its own cell.
+    for r in rows:
+        if r["scheduler"] == "EDF":
+            assert r["norm_energy"] == pytest.approx(1.0)
+            assert r["norm_utility"] == pytest.approx(1.0)
+
+    # The m=1 column is mode-independent (the deduped anchor cell).
+    assert (
+        cells[("partitioned", 1, "EUA*")]["norm_energy"]
+        == cells[("global", 1, "EUA*")]["norm_energy"]
+    )
+
+    # Partitioned runs never migrate.
+    assert all(r["migrations"] == 0.0 for r in rows if r["mode"] == "partitioned")
+
+    # The frontier accessor agrees with the flat rows.
+    frontier = result.frontier("partitioned", 2, "energy", "EUA*")
+    assert frontier == [(0.8, cells[("partitioned", 2, "EUA*")]["norm_energy"])]
+
+
+def test_baseline_scheduler_required():
+    with pytest.raises(ValueError):
+        run_multicore(scheduler_names=("EUA*",))
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        run_multicore(modes=("clustered",), loads=(0.8,), seeds=(1,))

@@ -41,6 +41,14 @@ ADAPTIVE_LABEL = "EUA*-adaptive"
 ADAPTIVE_LOAD = 0.9
 ADAPTIVE_HORIZON = 1.0
 
+#: The multicore case freezes the partitioned m=2 engine: the same
+#: Table-1 synthesis at an m-scaled load, packed onto two cores, each
+#: running the uniprocessor EUA* over its sub-workload.  Events carry a
+#: ``core`` field; the interleaving (core 0's full log, then core 1's)
+#: is part of the frozen contract.
+MP_LABEL = "EUA*-mp-partitioned"
+MP_CORES = 2
+
 #: scheduler label -> (filename, factory).  REUA is not in the registry
 #: (it needs a resource map), so it gets an explicit factory.
 CASES = {
@@ -49,6 +57,7 @@ CASES = {
     "EDF": ("edf.jsonl", lambda: make_scheduler("EDF")),
     "REUA": ("reua.jsonl", lambda: REUA(ResourceMap({}))),
     ADAPTIVE_LABEL: ("eua_star_adaptive.jsonl", lambda: make_scheduler("EUA*")),
+    MP_LABEL: ("eua_star_mp_partitioned.jsonl", lambda: make_scheduler("EUA*")),
 }
 
 
@@ -70,6 +79,15 @@ def record_events_jsonl(label: str, checker=None, spans: bool = False) -> str:
         runtime = AdaptiveRuntime(RuntimeConfig())
         simulate(trace, factory(), platform, observer=observer, runtime=runtime,
                  checker=checker)
+    elif label == MP_LABEL:
+        from repro.mp import MulticorePlatform, simulate_mp
+
+        rng = np.random.default_rng(SEED)
+        taskset = synthesize_taskset(LOAD * MP_CORES, rng)
+        trace = materialize(taskset, HORIZON, rng)
+        platform = MulticorePlatform.from_platform(Platform(), cores=MP_CORES)
+        simulate_mp(trace, factory, platform, mode="partitioned",
+                    observer=observer, checker=checker)
     else:
         rng = np.random.default_rng(SEED)
         taskset = synthesize_taskset(LOAD, rng)

@@ -1,0 +1,89 @@
+"""Tests for the global multicore engine (repro.mp.engine.GlobalEngine)."""
+
+import numpy as np
+import pytest
+
+from repro.check import check_mp_result
+from repro.experiments import synthesize_taskset
+from repro.mp import GlobalEngine, MulticorePlatform, simulate_global, simulate_mp
+from repro.sched import make_scheduler
+from repro.sim import Platform, materialize
+from repro.sim.engine import SimulationError
+
+
+def _trace(load=1.6, seed=11, horizon=0.3, cores=2):
+    rng = np.random.default_rng(seed)
+    return materialize(synthesize_taskset(load * cores, rng), horizon, rng)
+
+
+@pytest.fixture
+def platform2():
+    return MulticorePlatform.from_platform(Platform(), cores=2)
+
+
+def test_basic_m2_run(platform2):
+    result = simulate_mp(_trace(), "EUA*", platform2, mode="global", check=True)
+    assert result.mode == "global"
+    assert result.cores == 2
+    assert result.migrations >= 0
+    assert len(result.per_core_stats) == 2
+    assert result.jobs
+
+
+def test_invariants_hold_across_core_counts():
+    for m in (1, 2, 4):
+        platform = MulticorePlatform.from_platform(Platform(), cores=m)
+        result = simulate_mp(
+            _trace(cores=m), "EUA*", platform, mode="global", check=True
+        )
+        assert len(result.per_core_stats) == m
+
+
+def test_single_core_never_migrates():
+    platform = MulticorePlatform.from_platform(Platform(), cores=1)
+    result = simulate_global(_trace(cores=1), "EUA*", platform)
+    assert result.migrations == 0
+
+
+def test_migration_counter_matches_segments(platform2):
+    result = simulate_global(_trace(), "EUA*", platform2)
+    # check_mp_result reconstructs migrations from the segment record
+    # (MP3) and raises on any mismatch with the engine's counter.
+    check_mp_result(result)
+
+
+def test_completions_land_within_horizon(platform2):
+    from repro.sim.job import JobStatus
+
+    result = simulate_mp(_trace(), "EUA*", platform2, mode="global")
+    completed = [j for j in result.jobs if j.status is JobStatus.COMPLETED]
+    assert completed
+    for job in completed:
+        assert job.completion_time <= result.horizon + 1e-9
+
+
+def test_switch_time_rejected(platform2):
+    stalling = Platform(switch_time=1e-4)
+    platform = MulticorePlatform.from_platform(stalling, cores=2)
+    with pytest.raises(SimulationError):
+        GlobalEngine(_trace(), make_scheduler("EUA*"), platform)
+
+
+def test_switch_energy_still_allowed():
+    base = Platform(switch_energy=10.0)
+    platform = MulticorePlatform.from_platform(base, cores=2)
+    result = simulate_global(_trace(), "EUA*", platform)
+    assert result.energy > 0.0
+
+
+def test_events_carry_core_field(platform2):
+    from repro.obs import EventKind, Observer
+
+    obs = Observer(events=True, metrics=False)
+    simulate_global(_trace(), "EUA*", platform2, observer=obs)
+    dispatches = obs.events.of_kind(EventKind.DISPATCH)
+    assert dispatches
+    assert all("core" in e.fields for e in dispatches)
+    cores = {e.fields["core"] for e in dispatches}
+    assert cores <= {0, 1}
+    assert 0 in cores

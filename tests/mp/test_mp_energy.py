@@ -1,0 +1,97 @@
+"""Tests for the core-count-aware platform power model and the
+minimum-energy (frequency, active-cores) configuration search."""
+
+import pytest
+
+from repro.cpu import (
+    EnergyModel,
+    FrequencyScale,
+    MulticorePowerModel,
+    min_energy_configuration,
+)
+from repro.cpu.energy import EnergyError
+
+# PowerNow! K6 ladder: 360, 550, 640, 730, 820, 910, 1000 MHz.
+SCALE = FrequencyScale.powernow_k6()
+E1 = MulticorePowerModel.martin(EnergyModel.e1())
+
+
+class TestPlatformPower:
+    def test_zero_cores_draw_nothing(self):
+        assert E1.platform_power(500.0, 0) == 0.0
+
+    def test_power_scales_linearly_in_cores(self):
+        one = E1.platform_power(500.0, 1)
+        assert E1.platform_power(500.0, 3) == pytest.approx(3.0 * one)
+
+    def test_uncore_term_charged_per_active_core(self):
+        model = MulticorePowerModel.martin(EnergyModel.e1(), active_power=7.5)
+        base = E1.platform_power(500.0, 2)
+        assert model.platform_power(500.0, 2) == pytest.approx(base + 2 * 7.5)
+
+    def test_eapss_is_cubic_per_core(self):
+        model = MulticorePowerModel.eapss()
+        assert model.platform_power(200.0, 2) == pytest.approx(2 * 200.0**3)
+
+    def test_negative_cores_rejected(self):
+        with pytest.raises(EnergyError):
+            E1.platform_power(500.0, -1)
+
+    def test_bad_active_power_rejected(self):
+        with pytest.raises(EnergyError):
+            MulticorePowerModel.martin(EnergyModel.e1(), active_power=-1.0)
+        with pytest.raises(EnergyError):
+            MulticorePowerModel.martin(EnergyModel.e1(), active_power=float("nan"))
+
+
+class TestMinEnergyConfiguration:
+    def test_single_light_task_runs_one_slow_core(self):
+        config = min_energy_configuration(E1, SCALE, 2, [300.0])
+        assert config.feasible
+        assert config.cores == 1
+        assert config.frequency == 360.0
+
+    def test_splitting_beats_one_fast_core_under_cubic_power(self):
+        # One core needs f >= 600 (P ~ 640^3); two cores run at 360 each
+        # (P ~ 2*360^3), cheaper under the convex per-core model.
+        config = min_energy_configuration(E1, SCALE, 2, [300.0, 300.0])
+        assert config.feasible
+        assert config.cores == 2
+        assert config.frequency == 360.0
+        assert config.power == pytest.approx(E1.platform_power(360.0, 2))
+
+    def test_demand_above_fmax_forces_more_cores(self):
+        # 600+600 cannot fit one 1000 MHz core; two cores at 640 can.
+        config = min_energy_configuration(E1, SCALE, 4, [600.0, 600.0])
+        assert config.feasible
+        assert config.cores == 2
+        assert config.frequency == 640.0
+
+    def test_uncore_power_penalises_wide_configurations(self):
+        # A large per-active-core uncore share flips the tradeoff back
+        # toward fewer, faster cores.
+        expensive = MulticorePowerModel.martin(EnergyModel.e1(), active_power=1e9)
+        config = min_energy_configuration(expensive, SCALE, 4, [300.0, 300.0])
+        assert config.feasible
+        assert config.cores == 1
+
+    def test_overload_falls_back_to_full_power(self):
+        config = min_energy_configuration(E1, SCALE, 2, [901.0, 901.0, 901.0])
+        assert not config.feasible
+        assert config.cores == 2
+        assert config.frequency == SCALE.f_max
+        assert config.power == pytest.approx(E1.platform_power(SCALE.f_max, 2))
+
+    def test_empty_taskset_idles_one_slow_core(self):
+        config = min_energy_configuration(E1, SCALE, 8, [])
+        assert config.feasible
+        assert config.cores == 1
+        assert config.frequency == 360.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(EnergyError):
+            min_energy_configuration(E1, SCALE, 0, [100.0])
+        with pytest.raises(EnergyError):
+            min_energy_configuration(E1, SCALE, 2, [-5.0])
+        with pytest.raises(EnergyError):
+            min_energy_configuration(E1, SCALE, 2, [float("inf")])

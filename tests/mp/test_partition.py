@@ -1,0 +1,88 @@
+"""Tests for the UER-density-aware partitioner (repro.mp.partition)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import synthesize_taskset
+from repro.mp import PARTITION_STRATEGIES, partition_taskset
+from repro.sim.task import TaskModelError
+
+
+@pytest.fixture
+def taskset():
+    return synthesize_taskset(1.6, np.random.default_rng(7))
+
+
+@pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+def test_every_task_placed_exactly_once(taskset, strategy):
+    part = partition_taskset(taskset, 4, strategy, f_max=1000.0)
+    placed = sorted(i for indices in part.assignment for i in indices)
+    assert placed == list(range(len(taskset)))
+
+
+@pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+def test_partition_is_deterministic(taskset, strategy):
+    a = partition_taskset(taskset, 4, strategy, f_max=1000.0)
+    b = partition_taskset(taskset, 4, strategy, f_max=1000.0)
+    assert a.assignment == b.assignment
+    assert a.loads == b.loads
+
+
+def test_single_core_gets_everything(taskset):
+    part = partition_taskset(taskset, 1, "wfd", f_max=1000.0)
+    assert part.assignment == (tuple(range(len(taskset))),)
+
+
+def test_loads_are_per_core_density_sums(taskset):
+    part = partition_taskset(taskset, 2, "wfd", f_max=1000.0)
+    for core, indices in enumerate(part.assignment):
+        expected = sum(taskset[i].min_feasible_frequency for i in indices)
+        assert part.loads[core] == pytest.approx(expected)
+
+
+def test_wfd_balances_loads(taskset):
+    """Worst-fit decreasing keeps per-core loads within one max-density
+    task of each other (the classic WFD balance bound)."""
+    part = partition_taskset(taskset, 4, "wfd", f_max=1000.0)
+    max_density = max(t.min_feasible_frequency for t in taskset)
+    assert max(part.loads) - min(part.loads) <= max_density + 1e-9
+
+
+def test_ffd_concentrates_on_low_cores(taskset):
+    """First-fit decreasing under a generous capacity fills low-index
+    cores first, leaving the high-index ones for power-down."""
+    total = sum(t.min_feasible_frequency for t in taskset)
+    part = partition_taskset(taskset, 8, "ffd", f_max=2.0 * total)
+    assert part.assignment[0] == tuple(range(len(taskset)))
+    assert all(not indices for indices in part.assignment[1:])
+
+
+def test_sub_taskset_preserves_original_order(taskset):
+    part = partition_taskset(taskset, 2, "wfd", f_max=1000.0)
+    core_of = part.core_of(taskset)
+    for core in range(2):
+        sub = part.sub_taskset(taskset, core)
+        expected = [t.name for t in taskset if core_of[t.name] == core]
+        assert [t.name for t in sub] == expected
+
+
+def test_core_of_covers_all_tasks(taskset):
+    part = partition_taskset(taskset, 3, "wfd", f_max=1000.0)
+    core_of = part.core_of(taskset)
+    assert sorted(core_of) == sorted(t.name for t in taskset)
+    assert all(0 <= core < 3 for core in core_of.values())
+
+
+def test_overload_still_places_every_task(taskset):
+    """With f_max far below the demand, FFD falls back to least-loaded
+    placement instead of dropping tasks — overload is handled online."""
+    part = partition_taskset(taskset, 2, "ffd", f_max=1.0)
+    placed = sorted(i for indices in part.assignment for i in indices)
+    assert placed == list(range(len(taskset)))
+
+
+def test_invalid_inputs_rejected(taskset):
+    with pytest.raises(TaskModelError):
+        partition_taskset(taskset, 0)
+    with pytest.raises(TaskModelError):
+        partition_taskset(taskset, 2, strategy="best-fit")

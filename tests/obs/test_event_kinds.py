@@ -25,6 +25,7 @@ _FIELDS = {
     EventKind.FREQ_DECISION: {"freq": 0.75, "window": 4, "feasible": True},
     EventKind.FREQ_SWITCH: {"from_freq": 0.5, "to_freq": 1.0},
     EventKind.DISPATCH: {"prev": None, "idle": True},
+    EventKind.MIGRATE: {"core": 1, "previous_core": 0},
     EventKind.DRIFT_DETECTED: {"task": "T1", "stat": 3.2},
     EventKind.REALLOCATION: {"task": "T1", "new_rate": 8.0},
     EventKind.UAM_VIOLATION: {"task": "T2", "arrivals": 5, "bound": 3},

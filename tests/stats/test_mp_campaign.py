@@ -1,0 +1,57 @@
+"""Monte-Carlo campaigns over the multicore engine (cores > 1)."""
+
+import pytest
+
+from repro.stats import CampaignConfig, run_campaign
+
+
+def _config(**overrides):
+    base = dict(
+        load=0.8,
+        horizon=0.2,
+        schedulers=("EUA*",),
+        n_replications=2,
+        base_seed=3,
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def test_partitioned_campaign_runs_and_reports_migrations():
+    result = run_campaign(_config(cores=2, mp_mode="partitioned"))
+    assert result.n_completed == 2
+    stats = result.schedulers["EUA*"]
+    assert stats.assurance  # per-task pooled assurance present
+    migrations = stats.metrics["migrations"]
+    assert migrations.mean == 0.0  # partitioned mode never migrates
+
+
+def test_global_campaign_runs():
+    result = run_campaign(_config(cores=2, mp_mode="global"))
+    stats = result.schedulers["EUA*"]
+    assert "migrations" in stats.metrics
+    assert stats.metrics["migrations"].mean >= 0.0
+    assert stats.metrics["energy"].mean > 0.0
+
+
+def test_mp_campaign_deterministic_across_workers():
+    a = run_campaign(_config(cores=2, mp_mode="partitioned"), workers=1)
+    b = run_campaign(_config(cores=2, mp_mode="partitioned"), workers=2)
+    sa, sb = a.schedulers["EUA*"], b.schedulers["EUA*"]
+    assert {k: (v.mean, v.half_width) for k, v in sa.metrics.items()} == {
+        k: (v.mean, v.half_width) for k, v in sb.metrics.items()
+    }
+
+
+def test_uniprocessor_path_untouched_at_one_core():
+    # cores=1 (the default) must keep taking the uniprocessor path:
+    # no `migrations` scalar appears in the summaries.
+    result = run_campaign(_config())
+    assert "migrations" not in result.schedulers["EUA*"].metrics
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        _config(cores=0)
+    with pytest.raises(ValueError):
+        _config(cores=2, mp_mode="clustered")
