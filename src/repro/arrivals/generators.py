@@ -8,8 +8,10 @@ through an explicit :class:`numpy.random.Generator`.
 
 from __future__ import annotations
 
+import math
+import warnings
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -17,6 +19,7 @@ from .uam import UAMSpec, UAMError, is_uam_compliant, thin_to_uam
 
 __all__ = [
     "ArrivalGenerator",
+    "UnseededRNGWarning",
     "PeriodicArrivals",
     "JitteredPeriodicArrivals",
     "SporadicArrivals",
@@ -24,8 +27,25 @@ __all__ = [
     "ScatteredUAMArrivals",
     "PoissonUAMArrivals",
     "MMPPUAMArrivals",
+    "NHPPArrivals",
+    "FlashCrowdArrivals",
+    "ParetoArrivals",
     "TraceArrivals",
+    "LoopedTraceArrivals",
 ]
+
+
+class UnseededRNGWarning(UserWarning):
+    """A stochastic generator ran without an explicit ``Generator``.
+
+    The fallback ``np.random.default_rng()`` is seeded from OS entropy,
+    so the resulting stream can never be reproduced.  That is fine for
+    interactive exploration but silently breaks the campaign
+    determinism contract (bit-identical replications under a fixed
+    seed), which is why every library path — ``WorkloadSpec.build``,
+    ``materialize``, the fuzzer — passes an explicit rng and this
+    warning only ever fires on direct interactive use.
+    """
 
 
 class ArrivalGenerator(ABC):
@@ -47,9 +67,32 @@ class ArrivalGenerator(ABC):
             raise UAMError(f"{type(self).__name__} produced a non-compliant sequence")
         return times
 
+    def to_config(self) -> Dict[str, object]:
+        """JSON-ready constructor config, round-trippable through
+        :func:`repro.arrivals.create_arrival_generator`.
+
+        The returned dict carries the registry ``name`` plus absolute
+        parameters (never spec-relative defaults), so
+        ``create_arrival_generator(**cfg)`` rebuilds a generator whose
+        streams are bit-identical under the same rng — this is what
+        lets arrival shapes participate in ``RunCache`` identity.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement to_config()"
+        )
+
     @staticmethod
     def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
-        return rng if rng is not None else np.random.default_rng()
+        if rng is None:
+            warnings.warn(
+                "arrival generation without an explicit rng is not "
+                "reproducible; pass np.random.default_rng(seed) "
+                "(campaign paths always do)",
+                UnseededRNGWarning,
+                stacklevel=3,
+            )
+            return np.random.default_rng()
+        return rng
 
 
 class PeriodicArrivals(ArrivalGenerator):
@@ -70,6 +113,9 @@ class PeriodicArrivals(ArrivalGenerator):
         n = int(np.ceil((horizon - self.phase) / self.period))
         times = self.phase + self.period * np.arange(n)
         return [float(t) for t in times if t < horizon]
+
+    def to_config(self) -> Dict[str, object]:
+        return {"name": "periodic", "period": self.period, "phase": self.phase}
 
 
 class JitteredPeriodicArrivals(ArrivalGenerator):
@@ -103,6 +149,14 @@ class JitteredPeriodicArrivals(ArrivalGenerator):
             k += 1
         return sorted(times)
 
+    def to_config(self) -> Dict[str, object]:
+        return {
+            "name": "jittered",
+            "period": self.period,
+            "jitter": self.jitter,
+            "phase": self.phase,
+        }
+
 
 class SporadicArrivals(ArrivalGenerator):
     """Sporadic arrivals: exponential gaps floored at a minimum separation.
@@ -131,6 +185,13 @@ class SporadicArrivals(ArrivalGenerator):
                 gap += float(rng.exponential(extra_mean))
             t += gap
         return times
+
+    def to_config(self) -> Dict[str, object]:
+        return {
+            "name": "sporadic",
+            "min_interarrival": self.min_interarrival,
+            "mean_interarrival": self.mean_interarrival,
+        }
 
 
 class BurstUAMArrivals(ArrivalGenerator):
@@ -162,6 +223,15 @@ class BurstUAMArrivals(ArrivalGenerator):
             times.extend([float(t)] * size)
             k += 1
         return times
+
+    def to_config(self) -> Dict[str, object]:
+        return {
+            "name": "burst",
+            "a": self.spec.max_arrivals,
+            "window": self.spec.window,
+            "randomize": self.randomize,
+            "phase": self.phase,
+        }
 
 
 class ScatteredUAMArrivals(ArrivalGenerator):
@@ -198,6 +268,15 @@ class ScatteredUAMArrivals(ArrivalGenerator):
         candidates.sort()
         return thin_to_uam(candidates, self.spec)
 
+    def to_config(self) -> Dict[str, object]:
+        return {
+            "name": "scattered",
+            "a": self.spec.max_arrivals,
+            "window": self.spec.window,
+            "spread": self.spread,
+            "phase": self.phase,
+        }
+
 
 class PoissonUAMArrivals(ArrivalGenerator):
     """Poisson arrivals thinned to satisfy a UAM envelope.
@@ -229,6 +308,14 @@ class PoissonUAMArrivals(ArrivalGenerator):
                     break
                 times.append(t)
         return thin_to_uam(times, self.spec)
+
+    def to_config(self) -> Dict[str, object]:
+        return {
+            "name": "poisson",
+            "a": self.spec.max_arrivals,
+            "window": self.spec.window,
+            "rate": self.rate,
+        }
 
 
 class MMPPUAMArrivals(ArrivalGenerator):
@@ -286,6 +373,227 @@ class MMPPUAMArrivals(ArrivalGenerator):
             bursting = not bursting
         return thin_to_uam(times, self.spec)
 
+    def to_config(self) -> Dict[str, object]:
+        return {
+            "name": "mmpp",
+            "a": self.spec.max_arrivals,
+            "window": self.spec.window,
+            "burst_rate": self.burst_rate,
+            "quiet_rate": self.quiet_rate,
+            "mean_burst_duration": self.mean_burst_duration,
+            "mean_quiet_duration": self.mean_quiet_duration,
+        }
+
+
+class NHPPArrivals(ArrivalGenerator):
+    """Non-homogeneous Poisson arrivals with diurnal peaks, admitted
+    through a UAM envelope.
+
+    The intensity is a periodic rate function with a Gaussian bump once
+    per ``cycle`` (the "day"): ``λ(t) = base_rate + (peak_rate −
+    base_rate) · exp(−d(t)² / 2w²)`` where ``d(t)`` is the circular
+    distance of ``t mod cycle`` from the peak position ``peak_frac ·
+    cycle`` and ``w = peak_width · cycle``.  Sampling uses the
+    Lewis–Shedler thinning algorithm: homogeneous candidates at
+    ``peak_rate`` are accepted with probability ``λ(t) / peak_rate``,
+    then the stream passes :func:`~repro.arrivals.uam.thin_to_uam` so
+    the declared ``⟨a, P⟩`` spec — and hence the paper's assurances —
+    still holds.  With ``peak_rate`` above the envelope's ``a / P`` the
+    diurnal crest saturates the UAM budget while troughs run far below
+    it, which is exactly the internet-facing load shape (request waves
+    following the day) the threshold study sweeps.
+    """
+
+    def __init__(
+        self,
+        spec: UAMSpec,
+        base_rate: float,
+        peak_rate: float,
+        cycle: float,
+        peak_frac: float = 0.5,
+        peak_width: float = 0.1,
+    ):
+        if not (peak_rate > 0.0):
+            raise UAMError(f"peak rate must be > 0, got {peak_rate!r}")
+        if not (0.0 <= base_rate <= peak_rate):
+            raise UAMError(
+                f"base rate must lie in [0, peak_rate], got {base_rate!r}"
+            )
+        if not (cycle > 0.0):
+            raise UAMError(f"cycle must be > 0, got {cycle!r}")
+        if not (0.0 <= peak_frac <= 1.0):
+            raise UAMError(f"peak_frac must lie in [0, 1], got {peak_frac!r}")
+        if not (0.0 < peak_width <= 1.0):
+            raise UAMError(f"peak_width must lie in (0, 1], got {peak_width!r}")
+        self.spec = spec
+        self.base_rate = float(base_rate)
+        self.peak_rate = float(peak_rate)
+        self.cycle = float(cycle)
+        self.peak_frac = float(peak_frac)
+        self.peak_width = float(peak_width)
+
+    def rate(self, t: float) -> float:
+        """The diurnal intensity ``λ(t)`` (jobs per second)."""
+        phase = (t / self.cycle) % 1.0
+        d = abs(phase - self.peak_frac)
+        d = min(d, 1.0 - d)  # circular distance in cycle fractions
+        bump = math.exp(-0.5 * (d / self.peak_width) ** 2)
+        return self.base_rate + (self.peak_rate - self.base_rate) * bump
+
+    def generate(self, horizon: float, rng: Optional[np.random.Generator] = None) -> List[float]:
+        rng = self._rng(rng)
+        times: List[float] = []
+        t = 0.0
+        # Lewis–Shedler: candidate process at the majorant peak_rate,
+        # accept each candidate with probability rate(t) / peak_rate.
+        while True:
+            t += float(rng.exponential(1.0 / self.peak_rate))
+            if t >= horizon:
+                break
+            if float(rng.random()) * self.peak_rate <= self.rate(t):
+                times.append(t)
+        return thin_to_uam(times, self.spec)
+
+    def to_config(self) -> Dict[str, object]:
+        return {
+            "name": "nhpp-diurnal",
+            "a": self.spec.max_arrivals,
+            "window": self.spec.window,
+            "base_rate": self.base_rate,
+            "peak_rate": self.peak_rate,
+            "cycle": self.cycle,
+            "peak_frac": self.peak_frac,
+            "peak_width": self.peak_width,
+        }
+
+
+class FlashCrowdArrivals(ArrivalGenerator):
+    """Flash-crowd traffic: a Poisson baseline with superimposed burst
+    windows, admitted through a UAM envelope.
+
+    Quiet stretches (exponential with mean ``mean_time_between``) carry
+    Poisson arrivals at ``base_rate``; each is followed by a burst
+    window of fixed length ``burst_duration`` during which the rate
+    jumps to ``base_rate · burst_factor`` (the "slashdotting").  Unlike
+    :class:`MMPPUAMArrivals` the burst episodes have deterministic
+    length and a multiplicative intensity, matching the flash-crowd
+    models used for CDN/load-balancer studies.  The merged stream is
+    thinned to ``⟨a, P⟩``, so bursts saturate the UAM budget for their
+    duration — the hardest admissible pattern short of the synchronised
+    :class:`BurstUAMArrivals` adversary, but at *unpredictable* epochs.
+    """
+
+    def __init__(
+        self,
+        spec: UAMSpec,
+        base_rate: float,
+        burst_factor: float = 8.0,
+        burst_duration: float = 1.0,
+        mean_time_between: float = 4.0,
+    ):
+        if not (base_rate > 0.0):
+            raise UAMError(f"base rate must be > 0, got {base_rate!r}")
+        if not (burst_factor >= 1.0):
+            raise UAMError(f"burst factor must be >= 1, got {burst_factor!r}")
+        if not (burst_duration > 0.0):
+            raise UAMError(f"burst duration must be > 0, got {burst_duration!r}")
+        if not (mean_time_between > 0.0):
+            raise UAMError(
+                f"mean time between bursts must be > 0, got {mean_time_between!r}"
+            )
+        self.spec = spec
+        self.base_rate = float(base_rate)
+        self.burst_factor = float(burst_factor)
+        self.burst_duration = float(burst_duration)
+        self.mean_time_between = float(mean_time_between)
+
+    @staticmethod
+    def _poisson_segment(
+        times: List[float],
+        rng: np.random.Generator,
+        start: float,
+        end: float,
+        rate: float,
+    ) -> None:
+        s = start
+        while True:
+            s += float(rng.exponential(1.0 / rate))
+            if s >= end:
+                break
+            times.append(s)
+
+    def generate(self, horizon: float, rng: Optional[np.random.Generator] = None) -> List[float]:
+        rng = self._rng(rng)
+        times: List[float] = []
+        t = 0.0
+        while t < horizon:
+            quiet_end = min(horizon, t + float(rng.exponential(self.mean_time_between)))
+            self._poisson_segment(times, rng, t, quiet_end, self.base_rate)
+            t = quiet_end
+            if t >= horizon:
+                break
+            burst_end = min(horizon, t + self.burst_duration)
+            self._poisson_segment(
+                times, rng, t, burst_end, self.base_rate * self.burst_factor
+            )
+            t = burst_end
+        return thin_to_uam(times, self.spec)
+
+    def to_config(self) -> Dict[str, object]:
+        return {
+            "name": "flash-crowd",
+            "a": self.spec.max_arrivals,
+            "window": self.spec.window,
+            "base_rate": self.base_rate,
+            "burst_factor": self.burst_factor,
+            "burst_duration": self.burst_duration,
+            "mean_time_between": self.mean_time_between,
+        }
+
+
+class ParetoArrivals(ArrivalGenerator):
+    """Heavy-tailed (Pareto) inter-arrival gaps admitted through a UAM
+    envelope.
+
+    Gaps follow a Pareto Type I law with tail index ``alpha`` and scale
+    ``x_min`` (``gap = x_min · U^{-1/alpha}``): most gaps sit near
+    ``x_min`` — so the thinner clips local pile-ups against ``⟨a, P⟩``
+    — while occasional enormous gaps produce the long silent stretches
+    characteristic of self-similar internet traffic (for ``alpha < 2``
+    the gap variance is infinite).  The mean gap is ``x_min · alpha /
+    (alpha − 1)`` for ``alpha > 1`` and infinite otherwise.
+    """
+
+    def __init__(self, spec: UAMSpec, alpha: float = 1.5, x_min: float = 1.0):
+        if not (alpha > 0.0):
+            raise UAMError(f"alpha must be > 0, got {alpha!r}")
+        if not (x_min > 0.0):
+            raise UAMError(f"x_min must be > 0, got {x_min!r}")
+        self.spec = spec
+        self.alpha = float(alpha)
+        self.x_min = float(x_min)
+
+    def generate(self, horizon: float, rng: Optional[np.random.Generator] = None) -> List[float]:
+        rng = self._rng(rng)
+        times: List[float] = []
+        t = 0.0
+        while True:
+            # numpy's pareto() samples the Lomax law (Pareto minus 1).
+            t += self.x_min * (1.0 + float(rng.pareto(self.alpha)))
+            if t >= horizon:
+                break
+            times.append(t)
+        return thin_to_uam(times, self.spec)
+
+    def to_config(self) -> Dict[str, object]:
+        return {
+            "name": "pareto",
+            "a": self.spec.max_arrivals,
+            "window": self.spec.window,
+            "alpha": self.alpha,
+            "x_min": self.x_min,
+        }
+
 
 class TraceArrivals(ArrivalGenerator):
     """Replay a recorded arrival trace.
@@ -320,3 +628,59 @@ class TraceArrivals(ArrivalGenerator):
 
     def generate(self, horizon: float, rng: Optional[np.random.Generator] = None) -> List[float]:
         return [t for t in self._times if t < horizon]
+
+    def to_config(self) -> Dict[str, object]:
+        return {
+            "name": "trace",
+            "times": list(self._times),
+            "a": self.spec.max_arrivals,
+            "window": self.spec.window,
+        }
+
+
+class LoopedTraceArrivals(ArrivalGenerator):
+    """Replay a recorded trace *tiled periodically* over the horizon.
+
+    The base trace must live inside ``[0, cycle)``; copy ``k`` is the
+    base shifted by ``k · cycle``.  The tiled stream is thinned to the
+    declared ``⟨a, P⟩`` spec (wrap-around can cluster the tail of one
+    copy against the head of the next), so a short measured trace —
+    e.g. one recorded day of request timestamps — drives arbitrarily
+    long campaigns while the paper's assurances keep applying.
+    """
+
+    def __init__(self, times: Sequence[float], cycle: float, spec: Optional[UAMSpec] = None):
+        if not (cycle > 0.0):
+            raise UAMError(f"cycle must be > 0, got {cycle!r}")
+        ts = sorted(float(t) for t in times)
+        if ts and (ts[0] < 0.0 or ts[-1] >= cycle):
+            raise UAMError("looped trace times must lie in [0, cycle)")
+        self._times = ts
+        self.cycle = float(cycle)
+        if spec is None:
+            # Infer from two tiled copies so the wrap-around seam is
+            # part of the observed envelope.
+            doubled = ts + [t + self.cycle for t in ts]
+            spec = TraceArrivals._infer_spec(doubled)
+        self.spec = spec
+
+    def generate(self, horizon: float, rng: Optional[np.random.Generator] = None) -> List[float]:
+        if not self._times or horizon <= 0.0:
+            return []
+        n_cycles = int(np.ceil(horizon / self.cycle))
+        tiled = [
+            k * self.cycle + t
+            for k in range(n_cycles)
+            for t in self._times
+            if k * self.cycle + t < horizon
+        ]
+        return thin_to_uam(tiled, self.spec)
+
+    def to_config(self) -> Dict[str, object]:
+        return {
+            "name": "trace-loop",
+            "times": list(self._times),
+            "cycle": self.cycle,
+            "a": self.spec.max_arrivals,
+            "window": self.spec.window,
+        }

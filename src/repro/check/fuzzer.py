@@ -31,7 +31,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from ..arrivals import (
     PoissonUAMArrivals,
     ScatteredUAMArrivals,
     UAMSpec,
+    create_arrival_generator,
 )
 from ..cpu import FrequencyScale
 from ..demand import NormalDemand
@@ -101,7 +102,7 @@ class Scenario:
     horizon: float
     platform: str  # key into _PLATFORMS
     energy: str  # "E1" | "E2" | "E3"
-    arrival_mode: str  # "periodic" | "burst" | "scattered" | "poisson"
+    arrival_mode: str  # any registered arrival-shape name
     tuf_shape: str  # "step" | "linear" | "mixed"
     nu: float  # statistical requirement for linear TUFs
 
@@ -135,13 +136,21 @@ class FuzzReport:
 # ----------------------------------------------------------------------
 # Scenario generation
 # ----------------------------------------------------------------------
-def generate_scenarios(budget: int, seed: int) -> List[Scenario]:
+def generate_scenarios(
+    budget: int, seed: int, shapes: Optional[Sequence[str]] = None
+) -> List[Scenario]:
     """Stratified adversarial scenarios, deterministic in ``seed``.
 
     Strata rotate so every small budget still covers the interesting
     corners: dominance-eligible periodic underload, bursty UAM edges,
     near-saturation loads, degenerate-TUF overload, and a grab bag.
+
+    With ``shapes`` the stratification instead rotates over that list of
+    registered arrival-shape names (the registry lane).  The default
+    path's draw sequence is untouched — corpus seeds stay replayable.
     """
+    if shapes is not None:
+        return _registry_scenarios(budget, seed, tuple(shapes))
     rng = np.random.default_rng(seed)
     scenarios: List[Scenario] = []
     for i in range(budget):
@@ -164,6 +173,39 @@ def generate_scenarios(budget: int, seed: int) -> List[Scenario]:
             arrival = str(rng.choice(["periodic", "burst", "scattered", "poisson"]))
             tuf = str(rng.choice(["step", "linear", "mixed"]))
             load = float(rng.uniform(0.2, 1.8))
+        platform = str(rng.choice(
+            ["powernow", "single", "coarse", "fine"], p=[0.4, 0.2, 0.2, 0.2]
+        ))
+        scenarios.append(Scenario(
+            seed=int(rng.integers(0, 2**31)),
+            n_tasks=int(rng.integers(2, 6)),
+            target_load=load,
+            horizon=float(rng.uniform(0.4, 1.2)),
+            platform=platform,
+            energy=str(rng.choice(["E1", "E2", "E3"])),
+            arrival_mode=arrival,
+            tuf_shape=tuf,
+            nu=float(rng.choice([0.3, 0.7, 0.95])),
+        ))
+    return scenarios
+
+
+def _registry_scenarios(
+    budget: int, seed: int, shapes: Tuple[str, ...]
+) -> List[Scenario]:
+    """Scenarios stratified over registered arrival shapes.
+
+    Each shape gets ``budget / len(shapes)`` scenarios (round-robin), so
+    even a small budget touches every generator's UAM-thinning path.
+    """
+    if not shapes:
+        raise ValueError("shapes must be a non-empty sequence of shape names")
+    rng = np.random.default_rng(seed)
+    scenarios: List[Scenario] = []
+    for i in range(budget):
+        arrival = shapes[i % len(shapes)]
+        tuf = str(rng.choice(["step", "linear", "mixed"]))
+        load = float(rng.uniform(0.3, 1.6))
         platform = str(rng.choice(
             ["powernow", "single", "coarse", "fine"], p=[0.4, 0.2, 0.2, 0.2]
         ))
@@ -218,8 +260,10 @@ def build_workload(scenario: Scenario) -> Tuple[WorkloadTrace, Platform]:
             arrivals = BurstUAMArrivals(spec, randomize=bool(rng.integers(0, 2)))
         elif scenario.arrival_mode == "scattered":
             arrivals = ScatteredUAMArrivals(spec, spread=float(rng.uniform(0.5, 1.0)))
-        else:
+        elif scenario.arrival_mode == "poisson":
             arrivals = PoissonUAMArrivals(spec, rate=0.8 * spec.peak_rate)
+        else:  # registry lane: any other registered shape, spec defaults
+            arrivals = create_arrival_generator(scenario.arrival_mode, spec=spec)
         mean = float(rng.uniform(0.05, 0.3)) * window * scale.f_max / a
         rel_std = float(rng.uniform(0.01, 0.2))
         tasks.append(Task(
@@ -440,17 +484,19 @@ def run_fuzz(
     shrink: bool = True,
     max_shrink_evals: int = 200,
     log=None,
+    shapes: Optional[Sequence[str]] = None,
 ) -> FuzzReport:
     """Fuzz ``budget`` scenarios; shrink and save each distinct failure.
 
     Findings are deduplicated by ``(oracle, invariant, scheduler)`` —
     at most three instances of each signature are kept (and at most one
     shrunk to a corpus file), so a systemic bug does not flood the
-    report.
+    report.  ``shapes`` switches generation to the registry lane (see
+    :func:`generate_scenarios`).
     """
     report = FuzzReport(budget=budget, seed=seed)
     seen: Dict[Tuple[str, Optional[str], str], int] = {}
-    for scenario in generate_scenarios(budget, seed):
+    for scenario in generate_scenarios(budget, seed, shapes=shapes):
         report.scenarios_run += 1
         for finding in _fuzz_one(scenario):
             key = (finding.oracle, finding.invariant, finding.scheduler)
@@ -508,6 +554,7 @@ def run_check(
     energy: str = "E1",
     arrivals: str = "periodic",
     tuf: str = "step",
+    arrival_params: Tuple[Tuple[str, object], ...] = (),
 ) -> CheckReport:
     """Audit one synthesized workload under the invariant checker."""
     from ..experiments.workload import synthesize_taskset
@@ -516,7 +563,8 @@ def run_check(
     nu = 1.0 if tuf == "step" else 0.7
     scale = FrequencyScale.powernow_k6()
     taskset = synthesize_taskset(
-        load, rng, tuf_shape=tuf, nu=nu, f_max=scale.f_max, arrival_mode=arrivals
+        load, rng, tuf_shape=tuf, nu=nu, f_max=scale.f_max,
+        arrival_mode=arrivals, arrival_params=arrival_params,
     )
     platform = Platform(scale, energy_setting(energy, scale.f_max))
     trace = materialize(taskset, horizon, np.random.default_rng(seed + 1), verify=False)

@@ -19,7 +19,10 @@ Subcommands regenerate the paper's evaluation from a terminal::
     repro-eua profile --load 0.8 -n 16 --workers 4 [--dashboard profile.svg]
     repro-eua check --scheduler "EUA*" --load 0.8
     repro-eua check --corpus tests/corpus/<case>.json
-    repro-eua fuzz --budget 100 --seed 0
+    repro-eua fuzz --budget 100 --seed 0 [--registry-shapes]
+    repro-eua arrivals
+    repro-eua threshold --smoke [--svg phase.svg] [--bench]
+    repro-eua threshold --shapes nhpp-diurnal flash-crowd --load-range 1.5 4.5
 """
 
 from __future__ import annotations
@@ -50,6 +53,17 @@ from .experiments import (
 from .sched import available_schedulers, make_scheduler
 
 __all__ = ["main"]
+
+
+def _arrival_shape_arg(text: str):
+    """argparse type for ``--arrivals``: ``name`` or ``name:key=val,...``
+    resolved against the arrival registry."""
+    from .experiments import ArrivalShape
+
+    try:
+        return ArrivalShape.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
@@ -214,7 +228,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         tuf_shape=args.tuf,
         nu=args.nu,
         rho=args.rho,
-        arrival_mode=args.arrivals,
+        arrival_mode=args.arrivals.name,
+        arrival_params=args.arrivals.params,
     )
     trace = materialize(taskset, args.horizon, rng)
     platform = Platform(energy_model=energy_setting(args.energy))
@@ -457,7 +472,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         seed=args.seed,
         horizon=args.horizon,
         energy=args.energy,
-        arrivals=args.arrivals,
+        arrivals=args.arrivals.name,
+        arrival_params=args.arrivals.params,
         tuf=args.tuf,
     )
     print(f"scheduler={report.scheduler} load={args.load} jobs={report.jobs} "
@@ -476,6 +492,11 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     from .check import run_fuzz
 
+    shapes = None
+    if args.registry_shapes:
+        from .arrivals import workload_shape_names
+
+        shapes = tuple(workload_shape_names())
     corpus_dir = None if args.no_corpus else Path(args.corpus_dir)
     report = run_fuzz(
         budget=args.budget,
@@ -483,6 +504,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         corpus_dir=corpus_dir,
         shrink=not args.no_shrink,
         log=print if args.verbose else None,
+        shapes=shapes,
     )
     print(f"fuzz: {report.scenarios_run}/{report.budget} scenarios, "
           f"{len(report.findings)} finding(s), seed={report.seed}")
@@ -554,7 +576,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         tuf_shape=args.tuf,
         nu=args.nu,
         rho=args.rho,
-        arrival_mode=args.arrivals,
+        arrival_mode=args.arrivals.name,
+        arrival_params=args.arrivals.params,
         energy=args.energy,
         early_stop=rule,
         cores=args.cores,
@@ -584,6 +607,93 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             render_phase_report(report, args.dashboard)
             print(f"wrote {args.dashboard}")
     return 1 if result.verdict == "fail" else 0
+
+
+def _cmd_arrivals(args: argparse.Namespace) -> int:
+    from .arrivals import (
+        arrival_generator_names,
+        create_arrival_generator,
+        workload_shape_names,
+    )
+
+    spec_shapes = set(workload_shape_names())
+    rows = []
+    for name in arrival_generator_names():
+        if name in spec_shapes:
+            gen = create_arrival_generator(name, a=3, window=0.1)
+            params = ", ".join(
+                f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in gen.to_config().items()
+                if k != "name"
+            )
+        else:
+            params = "(trace-driven: needs explicit times)"
+        rows.append({
+            "name": name,
+            "from_spec": "yes" if name in spec_shapes else "no",
+            "defaults_for_<3,0.1>": params,
+        })
+    print("registered arrival shapes (--arrivals NAME[:K=V,...]):")
+    print(ascii_table(rows, ["name", "from_spec", "defaults_for_<3,0.1>"]))
+    return 0
+
+
+def _cmd_threshold(args: argparse.Namespace) -> int:
+    from .experiments import (
+        ArrivalShape,
+        ThresholdConfig,
+        run_threshold,
+        smoke_config,
+        write_threshold_artifact,
+    )
+    from .stats import RunCache
+
+    if args.smoke:
+        config = smoke_config()
+    else:
+        config = ThresholdConfig(
+            schedulers=tuple(args.schedulers),
+            shapes=tuple(ArrivalShape.parse(s) for s in args.shapes),
+            load_lo=args.load_range[0],
+            load_hi=args.load_range[1],
+            coarse_points=args.points,
+            refine_iters=args.refine,
+            n_replications=args.n,
+            base_seed=args.seed,
+            horizon=args.horizon,
+            confidence=args.confidence,
+            tuf_shape=args.tuf,
+            nu=args.nu,
+            rho=args.rho,
+            energy=args.energy,
+        )
+    cache = RunCache(args.cache_dir) if args.cache_dir else None
+    t0 = perf_counter()
+    result = run_threshold(
+        config,
+        workers=args.workers,
+        cache=cache,
+        chunk_size=args.chunk_size,
+        log=print if args.verbose else None,
+    )
+    wall = perf_counter() - t0
+    print(f"phase transition — {len(config.schedulers)} scheduler(s) x "
+          f"{len(config.shapes)} shape(s), {result.n_campaigns} campaigns "
+          f"({result.n_simulated} simulated, {result.n_cached} cached) "
+          f"in {wall:.1f}s")
+    print(ascii_table(
+        result.rows(),
+        ["scheduler", "shape", "threshold", "ci_low", "ci_high", "width"],
+    ))
+    if args.bench:
+        path = write_threshold_artifact(result, name=args.bench_name)
+        print(f"wrote {path}")
+    if args.svg:
+        from .viz import render_threshold
+
+        render_threshold(result, args.svg)
+        print(f"wrote {args.svg}")
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -685,8 +795,10 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--tuf", default="step", choices=["step", "linear"])
     ps.add_argument("--nu", type=float, default=1.0)
     ps.add_argument("--rho", type=float, default=0.96)
-    ps.add_argument("--arrivals", default="periodic",
-                    choices=["periodic", "burst", "scattered", "poisson"])
+    ps.add_argument("--arrivals", default=_arrival_shape_arg("periodic"),
+                    type=_arrival_shape_arg, metavar="NAME[:K=V,...]",
+                    help="arrival shape from the registry (see `repro arrivals`),"
+                         " e.g. poisson, nhpp-diurnal:peak_frac=0.25")
     ps.add_argument("--horizon", type=float, default=DEFAULT_HORIZON)
     ps.add_argument("--seed", type=int, default=11)
     ps.add_argument("--schedulers", nargs="+",
@@ -746,8 +858,9 @@ def build_parser() -> argparse.ArgumentParser:
     pck = sub.add_parser("check", help="audit one run with the invariant checker, "
                                        "or replay fuzz-corpus cases")
     obs_common(pck)
-    pck.add_argument("--arrivals", default="periodic",
-                     choices=["periodic", "burst", "scattered", "poisson"])
+    pck.add_argument("--arrivals", default=_arrival_shape_arg("periodic"),
+                     type=_arrival_shape_arg, metavar="NAME[:K=V,...]",
+                     help="arrival shape from the registry (see `repro arrivals`)")
     pck.add_argument("--tuf", default="step", choices=["step", "linear"])
     pck.add_argument("--corpus",
                      help="replay a corpus case file (or every *.json in a "
@@ -767,6 +880,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="save failing workloads without minimizing them")
     pfz.add_argument("--verbose", action="store_true",
                      help="log findings as they occur")
+    pfz.add_argument("--registry-shapes", action="store_true",
+                     help="stratify scenarios over every spec-constructible "
+                          "arrival shape in the registry instead of the "
+                          "legacy four modes")
     pfz.set_defaults(func=_cmd_fuzz)
 
     def span_opts(p: argparse.ArgumentParser) -> None:
@@ -798,8 +915,9 @@ def build_parser() -> argparse.ArgumentParser:
     pst.add_argument("--tuf", default="step", choices=["step", "linear"])
     pst.add_argument("--nu", type=float, default=1.0)
     pst.add_argument("--rho", type=float, default=0.96)
-    pst.add_argument("--arrivals", default="periodic",
-                     choices=["periodic", "burst", "scattered", "poisson"])
+    pst.add_argument("--arrivals", default=_arrival_shape_arg("periodic"),
+                     type=_arrival_shape_arg, metavar="NAME[:K=V,...]",
+                     help="arrival shape from the registry (see `repro arrivals`)")
     pst.add_argument("--confidence", type=float, default=0.95,
                      help="two-sided Wilson interval coverage in the report")
     pst.add_argument("--early-stop", action="store_true",
@@ -828,6 +946,59 @@ def build_parser() -> argparse.ArgumentParser:
     workers_opt(pst)
     chunk_opt(pst)
     pst.set_defaults(func=_cmd_stats)
+
+    pth = sub.add_parser(
+        "threshold",
+        help="locate the utilization phase transition per scheduler x "
+             "arrival shape (coarse sweep + bisection refinement)",
+    )
+    pth.add_argument("--smoke", action="store_true",
+                     help="the CI mini-sweep (EUA* vs EDF on nhpp-diurnal "
+                          "and flash-crowd); ignores the sweep options")
+    pth.add_argument("--schedulers", nargs="+", default=["EUA*", "EDF"])
+    pth.add_argument("--shapes", nargs="+",
+                     default=["nhpp-diurnal", "flash-crowd"],
+                     metavar="NAME[:K=V,...]",
+                     help="arrival shapes from the registry (see "
+                          "`repro arrivals`)")
+    pth.add_argument("--load-range", type=float, nargs=2, default=[0.5, 4.5],
+                     metavar=("LO", "HI"),
+                     help="nominal synthesis load range to sweep (UAM "
+                          "thinning shifts internet-shape transitions to "
+                          "~3-4 nominal)")
+    pth.add_argument("--points", type=int, default=9,
+                     help="coarse grid points across the load range")
+    pth.add_argument("--refine", type=int, default=3,
+                     help="bisection iterations inside the crossing bracket")
+    pth.add_argument("-n", "--n", type=int, default=24, dest="n",
+                     help="replications per sweep point")
+    pth.add_argument("--seed", type=int, default=11,
+                     help="base seed; replication k uses seed + k")
+    pth.add_argument("--horizon", type=float, default=2.0)
+    pth.add_argument("--confidence", type=float, default=0.95,
+                     help="Wilson interval coverage for the confidence band")
+    pth.add_argument("--tuf", default="step", choices=["step", "linear"])
+    pth.add_argument("--nu", type=float, default=1.0)
+    pth.add_argument("--rho", type=float, default=0.96)
+    pth.add_argument("--energy", default="E1", choices=list(TABLE2_NAMES))
+    pth.add_argument("--cache-dir",
+                     help="content-addressed run cache shared with `stats`")
+    pth.add_argument("--bench", action="store_true",
+                     help="write the BENCH_<name>.json gate artifact "
+                          "(to $REPRO_BENCH_ARTIFACTS or benchmarks/artifacts/)")
+    pth.add_argument("--bench-name", default="threshold_smoke",
+                     help="artifact name for --bench")
+    pth.add_argument("--svg", help="write the phase-diagram SVG to this path")
+    pth.add_argument("--verbose", action="store_true",
+                     help="log each campaign evaluation as it completes")
+    workers_opt(pth)
+    chunk_opt(pth)
+    pth.set_defaults(func=_cmd_threshold)
+
+    sub.add_parser(
+        "arrivals",
+        help="list registered arrival shapes and their spec-relative defaults",
+    ).set_defaults(func=_cmd_arrivals)
 
     ppr = sub.add_parser(
         "profile",

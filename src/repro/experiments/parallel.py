@@ -160,6 +160,11 @@ class WorkloadSpec:
     #: multiplies by exactly 1 and reproduces the uniprocessor workload
     #: bit-identically.
     cores: int = 1
+    #: Extra ``(key, value)`` pairs for the arrival registry factory
+    #: (``repro.arrivals.create_arrival_generator``).  A pair tuple —
+    #: not a dict — so the spec stays hashable and its canonical-JSON
+    #: rendering (the ``RunCache`` identity) is order-stable.
+    arrival_params: Tuple[Tuple[str, object], ...] = ()
 
     def build(self):
         rng = np.random.default_rng(self.seed)
@@ -173,6 +178,7 @@ class WorkloadSpec:
             f_max=self.f_max,
             arrival_mode=self.arrival_mode,
             burst_override=self.burst_override,
+            arrival_params=self.arrival_params,
         )
         trace = materialize(taskset, self.horizon, rng)
         return taskset, trace

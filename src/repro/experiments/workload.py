@@ -12,17 +12,11 @@ requested sweep point — exactly the paper's procedure.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..arrivals import (
-    BurstUAMArrivals,
-    PeriodicArrivals,
-    PoissonUAMArrivals,
-    ScatteredUAMArrivals,
-    UAMSpec,
-)
+from ..arrivals import UAMSpec, create_arrival_generator, workload_shape_names
 from ..demand import NormalDemand
 from ..sim.task import Task, TaskSet
 from ..tuf import TUF, LinearTUF, StepTUF
@@ -53,44 +47,51 @@ def synthesize_taskset(
     f_max: float = 1000.0,
     arrival_mode: str = "periodic",
     burst_override: Optional[int] = None,
+    arrival_params: Sequence[Tuple[str, object]] = (),
 ) -> TaskSet:
     """One randomized task set at system load ``target_load``.
 
     Parameters
     ----------
     arrival_mode:
-        ``"periodic"`` releases one job per window (Figure 2's periodic
-        task sets — the UAM special case ``⟨1, P⟩``); ``"burst"``
-        releases UAM-adversarial bursts of ``a`` simultaneous jobs at
-        window starts (predictable worst case); ``"scattered"`` places
-        up to ``a`` arrivals per window at uniform random instants;
+        Any spec-constructible shape from the arrival registry (see
+        :func:`repro.arrivals.workload_shape_names`).  The paper's four
+        historical modes keep their exact semantics: ``"periodic"``
+        releases one job per window (Figure 2's periodic task sets —
+        the UAM special case ``⟨1, P⟩``); ``"burst"`` releases
+        UAM-adversarial bursts of ``a`` simultaneous jobs at window
+        starts (predictable worst case); ``"scattered"`` places up to
+        ``a`` arrivals per window at uniform random instants;
         ``"poisson"`` admits a Poisson stream through the UAM envelope
         (maximally unpredictable — used for Figure 3, whose effect is
         precisely that unpredictable UAM arrivals spoil slack
-        estimation).
+        estimation).  The internet-scale shapes (``"nhpp-diurnal"``,
+        ``"flash-crowd"``, ``"pareto"``, ``"mmpp"``, …) stress the
+        threshold study; all honour the task's declared ``⟨a, P⟩``.
     burst_override:
         Replace every application's ``a`` with this value (Figure 3
         sweeps ``a ∈ {1, 2, 3}`` over the same task set shape).
+    arrival_params:
+        Extra ``(key, value)`` pairs forwarded to the registry factory
+        (e.g. ``(("burst_factor", 12.0),)`` for ``"flash-crowd"``) —
+        kept as a pair sequence so workload specs stay hashable.
     """
-    if arrival_mode not in ("periodic", "burst", "scattered", "poisson"):
-        raise ValueError(f"unknown arrival mode {arrival_mode!r}")
+    if arrival_mode not in workload_shape_names():
+        raise ValueError(
+            f"unknown arrival mode {arrival_mode!r} "
+            f"(registered: {', '.join(workload_shape_names())})"
+        )
+    params = dict(arrival_params)
     tasks: List[Task] = []
     for app in apps:
         for j in range(app.n_tasks):
             window = float(rng.uniform(*app.window_range))
             umax = float(rng.uniform(*app.umax_range))
             a = burst_override if burst_override is not None else app.max_arrivals
-            if arrival_mode == "periodic":
-                spec = UAMSpec(1, window)
-                arrivals = PeriodicArrivals(window)
-            else:
-                spec = UAMSpec(a, window)
-                if arrival_mode == "burst":
-                    arrivals = BurstUAMArrivals(spec)
-                elif arrival_mode == "scattered":
-                    arrivals = ScatteredUAMArrivals(spec)
-                else:  # poisson
-                    arrivals = PoissonUAMArrivals(spec, rate=2.0 * a / window)
+            # Periodic keeps its historical ⟨1, P⟩ envelope; every other
+            # shape is admitted through the application's ⟨a, P⟩.
+            spec = UAMSpec(1, window) if arrival_mode == "periodic" else UAMSpec(a, window)
+            arrivals = create_arrival_generator(arrival_mode, spec=spec, **params)
             # Base mean before load scaling: equal per-task load shares
             # (the common k rescales everything afterwards).
             mean = 0.2 * window * f_max / spec.max_arrivals

@@ -9,6 +9,7 @@ the same jobs).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -93,8 +94,22 @@ def materialize(
     scheduler can be charged for them fairly, and DVS policies that
     legitimately defer work would otherwise look like they lost utility
     at the simulation edge.
+
+    Omitting ``rng`` draws from an unseeded generator — fine at the
+    REPL, but the trace is then unreproducible, so it warns (see
+    :class:`~repro.arrivals.UnseededRNGWarning`).  Every campaign /
+    experiment path seeds explicitly.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    if rng is None:
+        from ..arrivals import UnseededRNGWarning
+
+        warnings.warn(
+            "materialize() called without rng: drawing from an unseeded "
+            "generator; the workload trace will not be reproducible",
+            UnseededRNGWarning,
+            stacklevel=2,
+        )
+        rng = np.random.default_rng()
     specs: List[JobSpec] = []
     children = rng.spawn(len(taskset))
     for task, child in zip(taskset, children):

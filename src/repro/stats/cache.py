@@ -34,7 +34,9 @@ __all__ = ["RunCache", "run_cache_key", "CACHE_RECORD_VERSION"]
 #: Bump when the :class:`~repro.stats.campaign.ReplicationSummary`
 #: record layout (or the semantics of a cached simulation) changes —
 #: stale entries then simply miss instead of deserialising garbage.
-CACHE_RECORD_VERSION = 1
+#: v2: ``WorkloadSpec`` gained the ``arrival_params`` registry
+#: dimension, changing the canonical spec rendering below.
+CACHE_RECORD_VERSION = 2
 
 
 def run_cache_key(

@@ -92,6 +92,10 @@ class CampaignConfig:
     mp_mode: str = "partitioned"
     partition_strategy: str = "wfd"
     active_power: float = 0.0
+    #: Arrival-shape dimension: extra ``(key, value)`` factory params
+    #: for ``arrival_mode`` (see ``repro.arrivals``).  Part of the
+    #: cache identity via :meth:`workload_spec`.
+    arrival_params: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_replications < 1:
@@ -132,6 +136,7 @@ class CampaignConfig:
             apps=self.apps,
             f_max=self.f_max,
             cores=self.cores,
+            arrival_params=self.arrival_params,
         )
 
     @property
@@ -304,6 +309,29 @@ class SchedulerStats:
     name: str
     metrics: Dict[str, SummaryStat]
     assurance: List[TaskAssurance]
+    #: Replication-level Bernoulli outcome for the threshold study: a
+    #: replication *succeeds* when every task with at least one decided
+    #: job attains its ``ρ_i`` empirically within that replication.
+    #: ``replication_decided`` counts replications contributing an
+    #: outcome (at least one decided job anywhere).
+    replication_successes: int = 0
+    replication_decided: int = 0
+
+    @property
+    def assurance_probability(self) -> float:
+        """Empirical ``Pr[assurance met]`` over replications (1.0 when
+        no replication decided anything — vacuous success)."""
+        if self.replication_decided == 0:
+            return 1.0
+        return self.replication_successes / self.replication_decided
+
+    def assurance_interval(self, confidence: float = 0.95) -> Tuple[float, float]:
+        """Wilson interval for :attr:`assurance_probability`."""
+        if self.replication_decided == 0:
+            return (0.0, 1.0)
+        return wilson_interval(
+            self.replication_successes, self.replication_decided, confidence
+        )
 
     @property
     def verdict(self) -> str:
@@ -391,6 +419,32 @@ def _pooled_counts(
     return pooled
 
 
+#: Slop for the per-replication attainment comparison — matches the
+#: Wilson machinery's tolerance in ``assurance_verdict``.
+_RHO_SLOP = 1e-12
+
+
+def _replication_success(summary: ReplicationSummary, sched: str) -> Optional[bool]:
+    """One replication's Bernoulli assurance outcome for ``sched``.
+
+    ``True`` iff every task with at least one decided job attained its
+    ``ρ_i`` within this replication; ``None`` when nothing was decided
+    (censored replication — contributes no outcome).
+    """
+    counts = summary.assurance.get(sched)
+    if not counts:
+        return None
+    decided_any = False
+    for task, (satisfied, decided) in counts.items():
+        if decided == 0:
+            continue
+        decided_any = True
+        rho = summary.requirements[task][1]
+        if satisfied < rho * decided - _RHO_SLOP:
+            return False
+    return True if decided_any else None
+
+
 def _aggregate(
     config: CampaignConfig,
     summaries: Sequence[ReplicationSummary],
@@ -439,10 +493,21 @@ def _aggregate(
                     verdict=assurance_verdict(satisfied, decided, rho, config.confidence),
                 )
             )
+        successes = 0
+        decided_reps = 0
+        for summary in summaries:
+            outcome = _replication_success(summary, sched)
+            if outcome is None:
+                continue
+            decided_reps += 1
+            if outcome:
+                successes += 1
         result.schedulers[sched] = SchedulerStats(
             name=sched,
             metrics=accumulators[sched].stats(config.confidence),
             assurance=assurance,
+            replication_successes=successes,
+            replication_decided=decided_reps,
         )
     return result
 

@@ -1,7 +1,13 @@
 """Dependency-free visualisation (SVG figure rendering)."""
 
 from .dashboard import render_phase_report
-from .svg import LineChart, render_figure2, render_figure3, render_multicore
+from .svg import (
+    LineChart,
+    render_figure2,
+    render_figure3,
+    render_multicore,
+    render_threshold,
+)
 
 __all__ = [
     "LineChart",
@@ -9,4 +15,5 @@ __all__ = [
     "render_figure3",
     "render_multicore",
     "render_phase_report",
+    "render_threshold",
 ]

@@ -269,6 +269,35 @@ def render_multicore(
     return svg
 
 
+def render_threshold(result, path: Optional[str] = None) -> str:
+    """Render the utilization phase diagram from a
+    :class:`~repro.experiments.threshold.ThresholdResult`.
+
+    One curve per scheduler × arrival shape: empirical
+    ``Pr[assurance met]`` against load, Wilson half-widths as error
+    bars, with the ``p_level`` crossing that defines the threshold
+    drawn as the reference line.
+    """
+    chart = LineChart(
+        title="Utilization phase transition — Pr[assurance met] vs load",
+        x_label="system load ϱ",
+        y_label="Pr[assurance met]",
+        y_max=1.0,
+        baseline=result.config.p_level,
+    )
+    for curve in result.curves:
+        points = [(p.load, p.probability) for p in curve.points]
+        errors = [0.5 * (p.ci_high - p.ci_low) for p in curve.points]
+        if points:
+            chart.add_series(
+                f"{curve.scheduler} · {curve.shape.name}", points, errors=errors
+            )
+    svg = chart.to_svg()
+    if path:
+        chart.save(path)
+    return svg
+
+
 def render_figure3(result, path: Optional[str] = None) -> str:
     """Render Figure 3 from a
     :class:`~repro.experiments.figure3.Figure3Result`."""

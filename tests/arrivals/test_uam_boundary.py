@@ -110,6 +110,53 @@ class TestNextAdmissibleTime:
                 assert not is_uam_compliant(recent + [probe], spec)
 
 
+class TestThinningBoundary:
+    """Edge cases of the greedy admitter every registry shape funnels
+    its raw stream through."""
+
+    def test_empty_stream_stays_empty(self):
+        assert thin_to_uam([], UAMSpec(3, 1.0)) == []
+
+    def test_single_arrival_passes(self):
+        assert thin_to_uam([0.7], UAMSpec(1, 1.0)) == [0.7]
+
+    def test_compliant_stream_passes_through_identically(self):
+        times = [0.0, 0.4, 1.0, 1.4, 2.0, 2.4]
+        assert thin_to_uam(times, UAMSpec(2, 1.0)) == times
+
+    def test_exact_a_P_edge_is_admitted(self):
+        # The a+1'th arrival exactly P after the anchor opens a fresh
+        # half-open window — it must be kept, not dropped.
+        spec = UAMSpec(2, 1.0)
+        assert thin_to_uam([0.0, 0.5, 1.0], spec) == [0.0, 0.5, 1.0]
+
+    def test_hair_inside_the_edge_is_dropped(self):
+        spec = UAMSpec(2, 1.0)
+        kept = thin_to_uam([0.0, 0.5, 1.0 - 1e-6], spec)
+        assert kept == [0.0, 0.5]
+
+    def test_saturating_burst_keeps_first_a(self):
+        spec = UAMSpec(3, 1.0)
+        times = [0.0] * 5  # simultaneous burst of 5 into an a=3 budget
+        assert thin_to_uam(times, spec) == [0.0, 0.0, 0.0]
+
+    def test_drop_frees_no_budget(self):
+        # A dropped arrival must not count against later admissions:
+        # after dropping 0.9 (window [0, 1) already holds a=1's worth),
+        # the arrival at exactly 1.0 is admissible.
+        spec = UAMSpec(1, 1.0)
+        assert thin_to_uam([0.0, 0.9, 1.0], spec) == [0.0, 1.0]
+
+    def test_float_accumulation_at_the_edge_is_tolerated(self):
+        # k * 0.1 undershoots exact multiples by ulps; the effective
+        # window slack must keep the periodic stream untouched.
+        times, t = [], 0.0
+        for _ in range(50):
+            times.append(t)
+            t += 0.1
+        assert thin_to_uam(times, UAMSpec(1, 0.1)) == times
+
+
 class TestOnlineOfflineAgreement:
     @given(arrival_lists, specs)
     @settings(max_examples=300)

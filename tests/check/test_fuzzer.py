@@ -42,6 +42,34 @@ def test_strata_cover_the_adversarial_corners():
     assert any(s.target_load > 0.9 for s in scenarios)
 
 
+def test_registry_lane_rotates_over_every_shape():
+    from repro.arrivals import workload_shape_names
+
+    shapes = workload_shape_names()
+    scenarios = generate_scenarios(2 * len(shapes), 7, shapes=shapes)
+    assert {s.arrival_mode for s in scenarios} == set(shapes)
+    # The default lane's draw sequence must be untouched by the new
+    # parameter (corpus seeds stay replayable).
+    assert generate_scenarios(12, 42, shapes=None) == generate_scenarios(12, 42)
+
+
+def test_registry_shapes_build_and_pass_the_zoo():
+    """A small registry-lane budget on clean code finds nothing — the
+    internet shapes' UAM-thinned streams satisfy every oracle."""
+    report = run_fuzz(budget=6, seed=3, corpus_dir=None,
+                      shapes=["nhpp-diurnal", "flash-crowd", "pareto", "mmpp"])
+    assert report.scenarios_run == 6
+    assert report.ok, [f.message for f in report.findings]
+
+
+def test_registry_lane_workload_build_is_deterministic():
+    scenario = generate_scenarios(3, 9, shapes=["pareto", "flash-crowd"])[1]
+    a, _ = build_workload(scenario)
+    b, _ = build_workload(scenario)
+    key = lambda tr: [(j.task.name, j.index, j.release, j.demand) for j in tr]  # noqa: E731
+    assert key(a) == key(b)
+
+
 def test_corpus_round_trip(tmp_path):
     scenario = generate_scenarios(2, 21)[0]
     trace, platform = build_workload(scenario)

@@ -188,3 +188,80 @@ class TestProfileAndSpans:
         out = capsys.readouterr().out
         assert rc == 0
         assert "engine.run" not in out
+
+
+class TestArrivalShapes:
+    def test_arrivals_lists_the_registry(self, capsys):
+        assert main(["arrivals"]) == 0
+        out = capsys.readouterr().out
+        for name in ("nhpp-diurnal", "flash-crowd", "pareto", "trace-loop"):
+            assert name in out
+
+    def test_arrivals_arg_parses_name_and_params(self):
+        args = build_parser().parse_args(
+            ["simulate", "--arrivals", "nhpp-diurnal:peak_frac=0.25"]
+        )
+        assert args.arrivals.name == "nhpp-diurnal"
+        assert dict(args.arrivals.params) == {"peak_frac": 0.25}
+
+    def test_arrivals_arg_rejects_unknown_shape(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--arrivals", "nope"])
+
+    def test_simulate_with_registry_shape(self, capsys):
+        rc = main(["simulate", "--load", "0.6", "--horizon", "0.5",
+                   "--arrivals", "flash-crowd", "--schedulers", "EDF"])
+        assert rc == 0
+        assert "EDF" in capsys.readouterr().out
+
+    def test_check_with_registry_shape(self, capsys):
+        rc = main(["check", "--load", "0.6", "--horizon", "0.5",
+                   "--arrivals", "pareto:alpha=2.0"])
+        assert rc == 0
+        assert "all clean" in capsys.readouterr().out
+
+    def test_stats_with_registry_shape(self, capsys):
+        rc = main(["stats", "--load", "0.5", "--horizon", "0.5", "-n", "4",
+                   "--arrivals", "nhpp-diurnal", "--rho", "0.5"])
+        out = capsys.readouterr().out
+        assert rc in (0, 1)  # verdict depends on the tiny sample
+        assert "EUA*" in out
+
+    def test_fuzz_registry_shapes_flag(self, capsys):
+        rc = main(["fuzz", "--budget", "4", "--seed", "5", "--no-corpus",
+                   "--registry-shapes"])
+        assert rc == 0
+        assert "4/4 scenarios" in capsys.readouterr().out
+
+
+class TestThresholdCommand:
+    TINY = ["threshold", "--schedulers", "EDF", "--shapes", "poisson",
+            "--load-range", "0.5", "3.5", "--points", "3", "--refine", "1",
+            "-n", "4", "--horizon", "0.5"]
+
+    def test_tiny_sweep_prints_the_table(self, capsys):
+        assert main(self.TINY) == 0
+        out = capsys.readouterr().out
+        assert "threshold" in out and "width" in out
+        assert "EDF" in out and "poisson" in out
+
+    def test_smoke_flag_parses(self):
+        args = build_parser().parse_args(["threshold", "--smoke"])
+        assert args.smoke and args.func is not None
+
+    def test_svg_and_bench_outputs(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ARTIFACTS", str(tmp_path))
+        svg = tmp_path / "phase.svg"
+        rc = main(self.TINY + ["--svg", str(svg), "--bench",
+                               "--bench-name", "t_cli"])
+        assert rc == 0
+        assert svg.read_text().startswith("<svg")
+        assert (tmp_path / "BENCH_t_cli.json").exists()
+
+    def test_verbose_logs_campaign_evaluations(self, capsys):
+        assert main(self.TINY + ["--verbose"]) == 0
+        assert "coarse sweep" in capsys.readouterr().out
+
+    def test_rejects_bad_load_range(self):
+        with pytest.raises(ValueError):
+            main(self.TINY[:0] + ["threshold", "--load-range", "3.0", "1.0"])

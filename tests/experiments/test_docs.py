@@ -101,6 +101,23 @@ class TestStatisticsDoc:
         assert "[0.902, 0.984]" in out  # the Wilson example straddles rho
 
 
+class TestArrivalsDoc:
+    def test_all_blocks_execute(self):
+        blocks = _python_blocks(ROOT / "docs" / "arrivals.md")
+        assert len(blocks) >= 5
+        ns = {}
+        sink = io.StringIO()
+        with contextlib.redirect_stdout(sink):
+            for block in blocks:
+                exec(compile(_shrink(block), "arrivals.md", "exec"), ns)
+        out = sink.getvalue()
+        assert "workload shapes:" in out
+        assert "compliant: True" in out            # thinning honours the spec
+        assert "config round-trip bit-identical: True" in out
+        assert "custom shape compliant: True" in out  # registration demo
+        assert "threshold" in out                  # the phase-map example ran
+
+
 class TestTestingDoc:
     def test_all_blocks_execute(self):
         blocks = _python_blocks(ROOT / "docs" / "testing.md")

@@ -1,0 +1,96 @@
+"""Campaigns over registry arrival shapes: determinism, cache identity,
+and the replication-level assurance Bernoulli the threshold study sums.
+"""
+
+from repro.stats import CampaignConfig, RunCache, run_campaign
+
+
+def _config(**overrides):
+    base = dict(
+        load=0.8,
+        horizon=0.5,
+        schedulers=("EUA*",),
+        n_replications=6,
+        base_seed=11,
+        arrival_mode="nhpp-diurnal",
+        arrival_params=(("peak_frac", 0.25),),
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def _flatten(result):
+    out = {}
+    for name, stats in result.schedulers.items():
+        out[name] = {
+            "metrics": {
+                k: (s.mean, s.std, s.n, s.half_width)
+                for k, s in stats.metrics.items()
+            },
+            "successes": stats.replication_successes,
+            "decided": stats.replication_decided,
+        }
+    return out
+
+
+class TestRegistryShapeDeterminism:
+    def test_workers_and_chunking_do_not_change_aggregates(self):
+        serial = run_campaign(_config(), workers=1)
+        parallel = run_campaign(_config(), workers=2, chunk_size=2)
+        assert _flatten(serial) == _flatten(parallel)
+
+    def test_chunk_size_one_matches_batched(self):
+        assert _flatten(run_campaign(_config(), chunk_size=1)) == \
+            _flatten(run_campaign(_config(), chunk_size=6))
+
+    def test_cache_round_trip_bit_identical(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cold = run_campaign(_config(), cache=cache)
+        warm = run_campaign(_config(), cache=cache)
+        assert cold.n_simulated == 6 and warm.n_cached == 6
+        assert _flatten(cold) == _flatten(warm)
+
+    def test_arrival_params_change_cache_identity(self, tmp_path):
+        # A different shape parameter is a different experiment: the
+        # cache must miss, not serve the other configuration's runs.
+        cache = RunCache(tmp_path)
+        run_campaign(_config(), cache=cache)
+        other = run_campaign(
+            _config(arrival_params=(("peak_frac", 0.75),)), cache=cache
+        )
+        assert other.n_cached == 0 and other.n_simulated == 6
+
+    def test_arrival_mode_change_cache_identity(self, tmp_path):
+        cache = RunCache(tmp_path)
+        run_campaign(_config(), cache=cache)
+        other = run_campaign(_config(arrival_mode="flash-crowd",
+                                     arrival_params=()), cache=cache)
+        assert other.n_cached == 0 and other.n_simulated == 6
+
+
+class TestAssuranceBernoulli:
+    def test_counts_are_consistent(self):
+        result = run_campaign(_config(horizon=1.0))
+        stats = result.schedulers["EUA*"]
+        assert 0 <= stats.replication_successes <= stats.replication_decided
+        assert stats.replication_decided <= result.n_simulated + result.n_cached
+        assert 0.0 <= stats.assurance_probability <= 1.0
+
+    def test_interval_brackets_the_probability(self):
+        result = run_campaign(_config(horizon=1.0))
+        stats = result.schedulers["EUA*"]
+        lo, hi = stats.assurance_interval(0.95)
+        assert 0.0 <= lo <= stats.assurance_probability <= hi <= 1.0
+
+    def test_underload_succeeds_overload_fails(self):
+        low = run_campaign(_config(load=0.4, rho=0.5, horizon=1.0))
+        high = run_campaign(_config(load=6.0, horizon=1.0))
+        assert low.schedulers["EUA*"].assurance_probability > \
+            high.schedulers["EUA*"].assurance_probability
+
+    def test_zero_decided_defaults_to_certain_success(self):
+        from repro.stats.campaign import SchedulerStats
+
+        stats = SchedulerStats(name="EDF", metrics={}, assurance=[])
+        assert stats.assurance_probability == 1.0
+        assert stats.assurance_interval() == (0.0, 1.0)
