@@ -86,6 +86,21 @@ def bench_multicore_frontier() -> dict:
     metrics["mp_global_migrations_mean"] = sum(
         r["migrations"] for r in rows if r["mode"] == "global"
     ) / max(1, sum(1 for r in rows if r["mode"] == "global"))
+
+    # Global-mode DVS sanity: with per-core residual frequency views
+    # the nominal-load global cell must run strictly below the
+    # EDF@f_max normaliser.  norm_energy == 1.0 is the signature of the
+    # pre-fix degeneracy (decideFreq over the shared m-scaled view pins
+    # every core to f_max), so it fails outright rather than via the
+    # baseline tolerance.
+    nominal = min(LOADS)
+    global_nominal = metrics[f"mp_global_norm_energy_{_slug(nominal)}"]
+    assert global_nominal < 1.0, (
+        f"global EUA* at load {nominal} reports f_max-pinned energy "
+        f"(norm_energy={global_nominal}); per-core decideFreq regressed"
+    )
+    print(f"[mp] global DVS engaged at load {nominal}: "
+          f"E/E_EDF {global_nominal:.4f} < 1: OK")
     return metrics
 
 

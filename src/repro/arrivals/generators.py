@@ -9,6 +9,7 @@ through an explicit :class:`numpy.random.Generator`.
 from __future__ import annotations
 
 import math
+import sys
 import warnings
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence
@@ -89,10 +90,31 @@ class ArrivalGenerator(ABC):
                 "reproducible; pass np.random.default_rng(seed) "
                 "(campaign paths always do)",
                 UnseededRNGWarning,
-                stacklevel=3,
+                stacklevel=_external_stacklevel(),
             )
             return np.random.default_rng()
         return rng
+
+
+def _external_stacklevel() -> int:
+    """Stacklevel (relative to the caller of this helper) of the first
+    frame *outside* ``repro.arrivals``.
+
+    ``_rng`` is reached through a varying number of in-package wrappers
+    — ``generate`` directly, but also ``generate_checked`` and the
+    shape-registry constructors — so a fixed ``stacklevel`` attributes
+    the :class:`UnseededRNGWarning` to library internals on all but one
+    path.  Walking the stack keeps the warning pointing at the caller
+    that actually forgot the rng, whichever entry point it used.
+    """
+    level = 2  # warn()'s caller, i.e. whoever called _rng
+    frame = sys._getframe(2)  # the same frame, seen from here
+    while frame is not None and frame.f_globals.get("__name__", "").startswith(
+        "repro.arrivals"
+    ):
+        level += 1
+        frame = frame.f_back
+    return level
 
 
 class PeriodicArrivals(ArrivalGenerator):

@@ -23,6 +23,9 @@ Subcommands regenerate the paper's evaluation from a terminal::
     repro-eua arrivals
     repro-eua threshold --smoke [--svg phase.svg] [--bench]
     repro-eua threshold --shapes nhpp-diurnal flash-crowd --load-range 1.5 4.5
+    repro-eua serve --port 8787 --load 0.8 --rate 10
+    repro-eua loadtest --smoke [--bench]
+    repro-eua loadtest --arrivals flash-crowd --rate 25 --connections 8
 """
 
 from __future__ import annotations
@@ -730,6 +733,74 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    import numpy as np
+
+    from .experiments import synthesize_taskset
+    from .runtime import ViolationPolicy
+    from .sim import Platform, WallClock
+    from .svc import SchedulerService, ServiceCore
+
+    rng = np.random.default_rng(args.seed)
+    taskset = synthesize_taskset(args.load, rng)
+    core = ServiceCore(
+        taskset,
+        Platform(energy_model=energy_setting(args.energy)),
+        scheduler=make_scheduler(args.scheduler),
+        policy=ViolationPolicy.parse(args.policy),
+        headroom=args.headroom,
+    )
+    service = SchedulerService(
+        core, clock=WallClock(rate=args.rate), host=args.host, port=args.port
+    )
+
+    async def _serve() -> None:
+        await service.start()
+        print(f"serving {len(taskset)} tasks at {service.address} "
+              f"(clock rate {args.rate:g}x; POST /shutdown to stop)")
+        await service.serve_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    stats = core.stats()
+    print("final: " + "  ".join(
+        f"{k}={stats[k]}" for k in ("submitted", "admitted", "completed",
+                                    "expired", "rejected", "shed_uam")
+    ))
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from .svc import run_load_test_sync, write_loadtest_artifact
+
+    if args.smoke:
+        # The CI preset: the deterministic schedule behind the
+        # BENCH_svc_loadtest gate (see benchmarks/bench_svc_loadtest.py).
+        kwargs = dict(load=0.8, seed=11, horizon=4.0, shape="poisson",
+                      rate=25.0, connections=4)
+    else:
+        kwargs = dict(
+            load=args.load, seed=args.seed, horizon=args.horizon,
+            shape=args.arrivals.name, shape_params=args.arrivals.params,
+            rate=args.rate, connections=args.connections,
+            policy=args.policy, headroom=args.headroom,
+            scheduler=args.scheduler,
+        )
+        if args.address:
+            host, _, port = args.address.rpartition(":")
+            kwargs["address"] = (host or "127.0.0.1", int(port))
+    report = run_load_test_sync(**kwargs)
+    print(report.render())
+    if args.bench:
+        path = write_loadtest_artifact(report, name=args.bench_name)
+        print(f"wrote {path}")
+    return 0 if report.errors == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-eua",
@@ -1051,6 +1122,59 @@ def build_parser() -> argparse.ArgumentParser:
     prt.add_argument("--burst-factor", type=int, default=2,
                      help="simultaneous copies per arrival (uam-burst scenario)")
     prt.set_defaults(func=_cmd_runtime)
+
+    def svc_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--load", type=float, default=0.8,
+                       help="synthesis load of the hosted task set")
+        p.add_argument("--seed", type=int, default=11)
+        p.add_argument("--energy", default="E1", choices=list(TABLE2_NAMES))
+        p.add_argument("--scheduler", default="EUA*")
+        p.add_argument("--policy", default="shed",
+                       choices=["shed", "defer", "admit-and-flag"],
+                       help="UAM violation policy at ingestion")
+        p.add_argument("--headroom", type=float, default=1.0,
+                       help="admission capacity derating (>= 1)")
+        p.add_argument("--rate", type=float, default=1.0,
+                       help="clock rate: emulated seconds per wall second")
+
+    psv = sub.add_parser(
+        "serve",
+        help="run the asyncio scheduler service (HTTP ingestion through "
+             "UAM compliance + admission control, JSONL decision stream)",
+    )
+    svc_common(psv)
+    psv.add_argument("--host", default="127.0.0.1")
+    psv.add_argument("--port", type=int, default=8787,
+                     help="listen port (0 picks an ephemeral port)")
+    psv.set_defaults(func=_cmd_serve)
+
+    plt = sub.add_parser(
+        "loadtest",
+        help="replay arrival-registry traffic against a service and "
+             "report jobs/s, shed rate and deadline-hit rate",
+    )
+    svc_common(plt)
+    plt.set_defaults(rate=25.0)
+    plt.add_argument("--horizon", type=float, default=4.0,
+                     help="emulated seconds of arrivals to replay")
+    plt.add_argument("--arrivals", default=_arrival_shape_arg("poisson"),
+                     type=_arrival_shape_arg, metavar="NAME[:K=V,...]",
+                     help="arrival shape from the registry (see "
+                          "`repro arrivals`)")
+    plt.add_argument("--connections", type=int, default=4,
+                     help="persistent loopback HTTP connections")
+    plt.add_argument("--address", metavar="HOST:PORT",
+                     help="target an already-running service instead of "
+                          "spinning one in-process")
+    plt.add_argument("--smoke", action="store_true",
+                     help="the deterministic CI preset (ignores the "
+                          "workload options)")
+    plt.add_argument("--bench", action="store_true",
+                     help="write the BENCH_<name>.json gate artifact "
+                          "(to $REPRO_BENCH_ARTIFACTS or benchmarks/artifacts/)")
+    plt.add_argument("--bench-name", default="svc_loadtest",
+                     help="artifact name for --bench")
+    plt.set_defaults(func=_cmd_loadtest)
 
     sub.add_parser("table1", help="print the Table 1 settings").set_defaults(func=_cmd_table1)
     sub.add_parser("table2", help="print the Table 2 energy models").set_defaults(func=_cmd_table2)

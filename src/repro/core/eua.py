@@ -162,7 +162,7 @@ class EUAStar(Scheduler):
 
         if head is None:
             return Decision(job=None, frequency=f_m, aborts=tuple(aborts))
-        if self.use_dvs:
+        if self.use_dvs and view.dvs:
             working_view = view.without(aborts) if aborts else view
             if profiling:
                 t1 = perf_counter()
@@ -180,6 +180,28 @@ class EUAStar(Scheduler):
         else:
             f_exe = f_m
         return Decision(job=head, frequency=f_exe, aborts=tuple(aborts))
+
+    def decide_frequency(self, view: SchedulerView, job: Job) -> Optional[float]:
+        """Per-core ``decideFreq()`` for the global multicore engine.
+
+        ``view`` is the engine's per-core residual view — the core's
+        dispatched ``job`` plus that core's deterministic share of the
+        other tasks' demand — so Algorithm 2's single-processor rate
+        computation applies as-is.  Returns ``None`` with DVS ablated
+        (``use_dvs=False``), pinning ``f_m`` exactly like the
+        uniprocessor path.
+        """
+        if not self.use_dvs:
+            return None
+        return decide_freq(
+            view,
+            job,
+            self._params,
+            use_fopt_bound=self.use_fopt_bound,
+            method=self.dvs_method,
+            observer=self.observer,
+            source=self.name,
+        )
 
     # ------------------------------------------------------------------
     def _build_sigma_incremental(

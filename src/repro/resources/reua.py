@@ -163,7 +163,7 @@ class REUA(Scheduler):
                          blocked_head=head.key, chain_depth=guard)
                 obs.inc("inherited_dispatches")
 
-        if self.use_dvs:
+        if self.use_dvs and view.dvs:
             if profiling:
                 t1 = perf_counter()
             f_exe = decide_freq(
@@ -176,3 +176,14 @@ class REUA(Scheduler):
         else:
             f_exe = f_m
         return Decision(job=exec_job, frequency=f_exe, aborts=tuple(aborts))
+
+    def decide_frequency(self, view, job):
+        """Per-core ``decideFreq()`` for the global multicore engine
+        (same contract as :meth:`repro.core.eua.EUAStar.decide_frequency`)."""
+        if not self.use_dvs:
+            return None
+        return decide_freq(
+            view, job, self._params,
+            use_fopt_bound=self.use_fopt_bound, method=self.dvs_method,
+            observer=self.observer, source=self.name,
+        )

@@ -1,5 +1,6 @@
 """Discrete-event simulation of a preemptive DVS uniprocessor."""
 
+from .clock import Clock, ClockDrift, FakeClock, SimClock, WallClock, as_clock
 from .engine import Engine, SimulationError, SimulationResult
 from .job import Job, JobStatus
 from .metrics import Metrics, TaskMetrics
@@ -32,4 +33,10 @@ __all__ = [
     "compare",
     "ValidationReport",
     "validate_result",
+    "Clock",
+    "ClockDrift",
+    "SimClock",
+    "WallClock",
+    "FakeClock",
+    "as_clock",
 ]

@@ -14,6 +14,7 @@ import numpy as np
 from ..cpu import EnergyModel, FrequencyScale, Processor
 from ..demand import DemandProfiler
 from ..obs import Observer
+from .clock import Clock
 from .scheduler import Scheduler
 from .engine import Engine, SimulationResult
 from .task import TaskSet
@@ -92,6 +93,7 @@ def simulate(
     observer: Optional[Observer] = None,
     runtime: Optional["AdaptiveRuntime"] = None,
     checker: Optional["InvariantChecker"] = None,
+    clock: Union[None, str, Clock] = None,
 ) -> SimulationResult:
     """Run ``scheduler`` over ``workload`` and return the result.
 
@@ -105,7 +107,10 @@ def simulate(
     enforcement, admission control); it is single-use — pass a fresh
     instance per run.  ``checker`` attaches an observe-only
     :class:`~repro.check.InvariantChecker`; like ``runtime`` it is
-    single-use per run.
+    single-use per run.  ``clock`` selects the time source:
+    ``None``/``"sim"`` run discrete-event (bit-identical), ``"wall"``
+    or a :class:`~repro.sim.clock.Clock` instance makes the engine wait
+    for each event instant in real time (the service driver).
     """
     platform = platform if platform is not None else Platform()
     trace = _as_workload(workload, horizon, rng, seed)
@@ -118,6 +123,7 @@ def simulate(
         observer=observer,
         runtime=runtime,
         checker=checker,
+        clock=clock,
     )
     return engine.run()
 

@@ -129,6 +129,7 @@ class SchedulerView:
         "_arrivals_in_window",
         "energy_consumed",
         "_pending",
+        "dvs",
     )
 
     def __init__(
@@ -141,6 +142,7 @@ class SchedulerView:
         event: SchedulingEvent,
         arrivals_in_window: Dict[str, List[float]],
         energy_consumed: float = 0.0,
+        dvs: bool = True,
     ):
         #: Current simulation time ``t_cur``.
         self.time = time
@@ -162,6 +164,14 @@ class SchedulerView:
         #: Total system energy consumed so far (busy + idle + switches).
         #: Used by energy-budget-aware extensions (repro.ext).
         self.energy_consumed = energy_consumed
+        #: Whether a DVS frequency decision is wanted alongside the job
+        #: pick.  The global multicore engine sets this ``False`` on the
+        #: shared top-m selection views: a frequency computed over the
+        #: whole m-core demand is meaningless for any single core (it
+        #: pins to ``f_max``), so the engine asks for per-core
+        #: frequencies separately via :meth:`Scheduler.decide_frequency`
+        #: over per-core residual views.
+        self.dvs = dvs
         #: Lazily built ``id(task) -> sorted pending jobs`` cache.  The
         #: view's ready membership is frozen at construction, so one
         #: grouping pass serves every ``pending_of``-family query of the
@@ -273,6 +283,7 @@ class SchedulerView:
             event=self.event,
             arrivals_in_window=self._arrivals_in_window,
             energy_consumed=self.energy_consumed,
+            dvs=self.dvs,
         )
 
     def earliest_critical_time(self, task: Task) -> float:
@@ -322,6 +333,19 @@ class Scheduler(ABC):
     @abstractmethod
     def decide(self, view: SchedulerView) -> Decision:
         """Pick the job to execute and the operating frequency."""
+
+    def decide_frequency(self, view: SchedulerView, job: Job) -> Optional[float]:
+        """Frequency for running ``job`` against ``view``'s demand.
+
+        Invoked by the global multicore engine once per assigned core
+        with a *per-core residual view* (the core's own pick plus its
+        deterministic share of the background demand) after the top-m
+        selection round ran with ``view.dvs = False``.  Returning
+        ``None`` (the default) tells the engine to keep the frequency
+        of the selection-round :class:`Decision` — correct for
+        fixed-frequency policies like EDF.
+        """
+        return None
 
     def on_completion(self, job: Job, time: float) -> None:
         """Engine callback after a job completes.

@@ -1,0 +1,314 @@
+"""The asyncio scheduler service: HTTP ingestion + real-time dispatch.
+
+:class:`SchedulerService` wraps a :class:`~repro.svc.core.ServiceCore`
+in a long-running asyncio loop:
+
+* a stdlib HTTP/1.1 front-end (``asyncio.start_server`` — no external
+  dependencies) accepts job submissions and serves the decision stream;
+* a single executor task emulates the uniprocessor: it re-decides at
+  every scheduling event (arrival, completion, deadline expiry — the
+  paper's event model), then *sleeps* for the dispatched job's
+  remaining execution time at the decided frequency, waking early when
+  a new submission preempts the decision;
+* time comes from a :class:`~repro.sim.clock.WallClock`, whose ``rate``
+  compresses emulated seconds into wall seconds for load replay, and
+  whose drift accounting surfaces in ``/stats``.
+
+Endpoints (all JSON unless noted)::
+
+    POST /jobs            {"task": name, "demand": Mcycles?}  -> verdict
+    POST /jobs/batch      [submission, ...]                   -> [verdict, ...]
+    GET  /events?since=N  decision stream as repro.obs JSONL
+    GET  /stats           lifecycle counters + clock drift
+    GET  /healthz         liveness probe
+    POST /shutdown        graceful stop
+
+Accepted submissions return 200; shed/rejected ones return 429 with the
+verdict body so clients can distinguish back-pressure from errors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..obs import EventLog, events_to_jsonl
+from ..sim.clock import Clock, WallClock
+from .core import ServiceCore, UnknownTaskError
+
+__all__ = ["SchedulerService"]
+
+_MAX_BODY = 1 << 20
+
+
+class SchedulerService:
+    """One service instance: HTTP front-end + executor over a core."""
+
+    def __init__(
+        self,
+        core: ServiceCore,
+        clock: Optional[Clock] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.core = core
+        self.clock = clock if clock is not None else WallClock()
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[asyncio.Task] = None
+        #: Set by submissions/completions to preempt the executor's wait.
+        self._wake = asyncio.Event()
+        self._stopping = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start the executor task."""
+        self.clock.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._executor = asyncio.create_task(self._run_executor())
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel the executor, close the listener."""
+        self._stopping.set()
+        if self._executor is not None:
+            self._executor.cancel()
+            try:
+                await self._executor
+            except asyncio.CancelledError:
+                pass
+            self._executor = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until ``POST /shutdown`` (or :meth:`stop`) is called."""
+        if self._server is None:
+            await self.start()
+        await self._stopping.wait()
+        await self.stop()
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Executor: the real-time dispatch loop
+    # ------------------------------------------------------------------
+    async def _run_executor(self) -> None:
+        core, clock = self.core, self.clock
+        while True:
+            self._wake.clear()
+            t = clock.now()
+            decision = core.decide(t)
+            job = decision.job
+            if job is None:
+                # Idle until a submission or the next timer (deferral
+                # grant / termination deadline).
+                timer = core.next_timer(t)
+                timeout = clock.wall_remaining(timer) if timer is not None else None
+                if timeout is not None and timeout <= 0.0:
+                    continue
+                await self._wait_for_wake(timeout)
+                if timeout is not None:
+                    clock.note_lag(timer)
+                continue
+            # Emulate execution: sleep until the predicted completion,
+            # waking early if a new arrival preempts the decision.
+            freq = decision.frequency
+            start = clock.now()
+            target = start + job.remaining_demand / freq
+            woken = await self._wait_for_wake(max(0.0, clock.wall_remaining(target)))
+            now = clock.now()
+            core.advance(job, now - start, freq)
+            if not woken:
+                clock.note_lag(target)
+            if not core.complete_if_done(job, now) and not woken:
+                # Timer fired but demand remains (drift under-ran the
+                # emulated cycles): loop and keep executing.
+                continue
+
+    #: Final stretch of a timed wait handled by cooperative spinning:
+    #: ``asyncio.wait_for`` timeouts overshoot by one timer quantum
+    #: (~1-3ms), which a rate-scaled clock multiplies into real
+    #: deadline misses.  Spinning the loop for the last couple of
+    #: milliseconds keeps waits punctual while staying preemptible.
+    _SPIN_S = 0.002
+
+    async def _wait_for_wake(self, timeout: Optional[float]) -> bool:
+        """Wait for a wake signal; True when woken, False on timeout."""
+        if timeout is None:
+            await self._wake.wait()
+            return True
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        coarse = timeout - self._SPIN_S
+        if coarse > 0.0:
+            try:
+                await asyncio.wait_for(self._wake.wait(), coarse)
+                return True
+            except asyncio.TimeoutError:
+                pass
+        while loop.time() < deadline:
+            if self._wake.is_set():
+                return True
+            await asyncio.sleep(0)
+        return self._wake.is_set()
+
+    def _kick(self) -> None:
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    # HTTP front-end (minimal HTTP/1.1, keep-alive)
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._stopping.is_set():
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body = request
+                status, payload = self._route(method, path, body)
+                writer.write(
+                    (
+                        f"HTTP/1.1 {status}\r\n"
+                        "Content-Type: "
+                        f"{'application/x-ndjson' if path.startswith('/events') else 'application/json'}\r\n"
+                        f"Content-Length: {len(payload)}\r\n"
+                        "Connection: keep-alive\r\n\r\n"
+                    ).encode() + payload
+                )
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, path, _version = line.decode("ascii").split()
+        except ValueError:
+            return None
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = min(int(value.strip()), _MAX_BODY)
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    def _route(self, method: str, path: str, body: bytes) -> Tuple[str, bytes]:
+        url = urlsplit(path)
+        route = (method.upper(), url.path)
+        if route == ("POST", "/jobs"):
+            return self._submit_one(body)
+        if route == ("POST", "/jobs/batch"):
+            return self._submit_batch(body)
+        if route == ("GET", "/events"):
+            return self._events(url.query)
+        if route == ("GET", "/stats"):
+            return "200 OK", _json(self.describe())
+        if route == ("GET", "/tasks"):
+            return "200 OK", _json([
+                {
+                    "name": task.name,
+                    "a": task.uam.max_arrivals,
+                    "window": task.uam.window,
+                    "allocation": task.allocation,
+                    "critical_time": task.critical_time,
+                }
+                for task in self.core.taskset
+            ])
+        if route == ("GET", "/healthz"):
+            return "200 OK", _json({"status": "ok"})
+        if route == ("POST", "/shutdown"):
+            self._stopping.set()
+            self._kick()
+            return "200 OK", _json({"status": "stopping"})
+        return "404 Not Found", _json({"error": f"no route {method} {url.path}"})
+
+    def _submit_one(self, body: bytes) -> Tuple[str, bytes]:
+        try:
+            spec = json.loads(body or b"{}")
+            outcome = self.core.submit(
+                spec["task"], self.clock.now(), demand=spec.get("demand")
+            )
+        except UnknownTaskError as exc:
+            return "400 Bad Request", _json({"error": f"unknown task {exc.args[0]!r}"})
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            return "400 Bad Request", _json({"error": str(exc)})
+        self._kick()
+        status = "200 OK" if outcome.accepted else "429 Too Many Requests"
+        return status, _json(outcome.to_dict())
+
+    def _submit_batch(self, body: bytes) -> Tuple[str, bytes]:
+        try:
+            specs = json.loads(body or b"[]")
+            if not isinstance(specs, list):
+                raise ValueError("batch body must be a JSON array")
+            verdicts = []
+            for spec in specs:
+                try:
+                    outcome = self.core.submit(
+                        spec["task"], self.clock.now(), demand=spec.get("demand")
+                    )
+                    verdicts.append(outcome.to_dict())
+                except UnknownTaskError as exc:
+                    verdicts.append(
+                        {"status": "error", "reason": f"unknown task {exc.args[0]!r}"}
+                    )
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            return "400 Bad Request", _json({"error": str(exc)})
+        self._kick()
+        return "200 OK", _json(verdicts)
+
+    def _events(self, query: str) -> Tuple[str, bytes]:
+        since = 0
+        params = parse_qs(query)
+        if "since" in params:
+            try:
+                since = int(params["since"][0])
+            except ValueError:
+                pass
+        log = self.core.observer.events
+        snapshot = EventLog()
+        if log is not None:
+            for event in log.events[since:]:
+                snapshot.append(event)
+        return "200 OK", events_to_jsonl(snapshot).encode()
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Stats payload: core counters + clock drift + clock time."""
+        out = self.core.stats()
+        out["clock_now"] = self.clock.now()
+        out["clock_rate"] = getattr(self.clock, "rate", 1.0)
+        out["drift"] = self.clock.drift.summary()
+        return out
+
+
+def _json(payload: object) -> bytes:
+    return json.dumps(payload).encode()

@@ -49,6 +49,13 @@ ADAPTIVE_HORIZON = 1.0
 MP_LABEL = "EUA*-mp-partitioned"
 MP_CORES = 2
 
+#: The global-mode multicore case freezes the shared-queue m=2 engine
+#: over the same m-scaled workload: top-m selection (dvs=False views),
+#: affinity-first placement, and — the PR 10 fix — per-core residual
+#: ``decideFreq`` views, whose core-stamped FREQ_DECISION events are
+#: part of the frozen contract.
+MP_GLOBAL_LABEL = "EUA*-mp-global"
+
 #: scheduler label -> (filename, factory).  REUA is not in the registry
 #: (it needs a resource map), so it gets an explicit factory.
 CASES = {
@@ -58,6 +65,7 @@ CASES = {
     "REUA": ("reua.jsonl", lambda: REUA(ResourceMap({}))),
     ADAPTIVE_LABEL: ("eua_star_adaptive.jsonl", lambda: make_scheduler("EUA*")),
     MP_LABEL: ("eua_star_mp_partitioned.jsonl", lambda: make_scheduler("EUA*")),
+    MP_GLOBAL_LABEL: ("eua_star_mp_global.jsonl", lambda: make_scheduler("EUA*")),
 }
 
 
@@ -79,15 +87,19 @@ def record_events_jsonl(label: str, checker=None, spans: bool = False) -> str:
         runtime = AdaptiveRuntime(RuntimeConfig())
         simulate(trace, factory(), platform, observer=observer, runtime=runtime,
                  checker=checker)
-    elif label == MP_LABEL:
+    elif label in (MP_LABEL, MP_GLOBAL_LABEL):
         from repro.mp import MulticorePlatform, simulate_mp
 
         rng = np.random.default_rng(SEED)
         taskset = synthesize_taskset(LOAD * MP_CORES, rng)
         trace = materialize(taskset, HORIZON, rng)
         platform = MulticorePlatform.from_platform(Platform(), cores=MP_CORES)
-        simulate_mp(trace, factory, platform, mode="partitioned",
-                    observer=observer, checker=checker)
+        mode = "partitioned" if label == MP_LABEL else "global"
+        # Global mode has no per-core InvariantChecker hooks (it raises
+        # on a non-None checker); the transparency suite's checker arm
+        # degenerates to the plain replay for this case.
+        simulate_mp(trace, factory, platform, mode=mode, observer=observer,
+                    checker=checker if mode == "partitioned" else None)
     else:
         rng = np.random.default_rng(SEED)
         taskset = synthesize_taskset(LOAD, rng)

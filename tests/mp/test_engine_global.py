@@ -76,6 +76,51 @@ def test_switch_energy_still_allowed():
     assert result.energy > 0.0
 
 
+def test_global_dvs_scales_below_fmax_at_nominal_load():
+    """The PR 10 headline fix: per-core residual decideFreq views.
+
+    Pre-fix, the shared m-scaled selection view drove decideFreq, whose
+    aggregate demand exceeded one core's f_max at any nominal load —
+    global EUA* energy degenerated to exactly the EDF@f_max normaliser.
+    With per-core views it must scale frequency (strictly less energy)
+    without giving up utility.
+    """
+    m = 4
+    platform = MulticorePlatform.from_platform(Platform(), cores=m)
+    trace = _trace(load=0.8, cores=m, horizon=0.4)
+    eua = simulate_mp(trace, "EUA*", platform, mode="global", check=True)
+    edf = simulate_mp(trace, "EDF", platform, mode="global")
+    assert eua.energy < edf.energy  # not f_max-pinned any more
+    assert eua.normalized_utility >= edf.normalized_utility - 1e-9
+
+
+def test_global_overload_still_runs_at_fmax():
+    """At 1.6 per-core load there is no slack to reclaim: every core
+    must keep running at f_max (line 9's overload cap), so EUA* energy
+    equals the EDF@f_max normaliser bit-for-bit."""
+    m = 2
+    platform = MulticorePlatform.from_platform(Platform(), cores=m)
+    trace = _trace(load=1.6, cores=m)
+    eua = simulate_mp(trace, "EUA*", platform, mode="global")
+    edf = simulate_mp(trace, "EDF", platform, mode="global")
+    assert eua.energy == edf.energy
+
+
+def test_global_freq_decisions_are_per_core(platform2):
+    """Frequency decisions come from decide_frequency over per-core
+    views: every FREQ_DECISION event is core-stamped, and at nominal
+    load at least one lands below f_max."""
+    from repro.obs import EventKind, Observer
+
+    obs = Observer(events=True, metrics=False)
+    simulate_global(_trace(load=0.8), "EUA*", platform2, observer=obs)
+    decisions = obs.events.of_kind(EventKind.FREQ_DECISION)
+    assert decisions
+    assert all("core" in e.fields for e in decisions)
+    f_max = Platform().scale.f_max
+    assert any(e.fields["frequency"] < f_max for e in decisions)
+
+
 def test_events_carry_core_field(platform2):
     from repro.obs import EventKind, Observer
 
